@@ -1,0 +1,131 @@
+"""Ablation — the Section IV makespan guarantees, measured.
+
+Sweeps random workloads and reports how close LevelBased comes to its
+proven bounds:
+
+* unit tasks (Lemma 3) and fully parallelizable tasks (Lemma 5):
+  makespan ≤ w/P + L;
+* arbitrary tasks (Lemma 7): makespan ≤ w/P + Σ_i S_i;
+* the meta-scheduler (Theorem 10): makespan ≤ 2·min{T_a, T_b} with the
+  memory budget respected.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from conftest import run_once
+
+from repro.analysis import render_table
+from repro.dag import layered_dag, level_spans
+from repro.schedulers import (
+    LevelBasedScheduler,
+    LogicBloxScheduler,
+    meta_schedule,
+)
+from repro.sim import OverheadModel, simulate
+from repro.tasks import ExecutionModel, JobTrace
+
+NO_OVERHEAD = OverheadModel(op_cost=0.0)
+P = 8
+
+
+def _trace(seed, mode):
+    rng = np.random.default_rng(seed)
+    dag = layered_dag([12] * 10, edge_prob=0.25, rng=rng, skip_prob=0.2)
+    n = dag.n_nodes
+    if mode == "unit":
+        work = np.ones(n)
+        span = work.copy()
+        models = np.full(n, ExecutionModel.UNIT, dtype=np.int8)
+    elif mode == "parallel":
+        work = rng.uniform(0.5, 8.0, n)
+        span = np.zeros(n)
+        models = np.full(n, ExecutionModel.MALLEABLE, dtype=np.int8)
+    else:  # arbitrary
+        work = rng.uniform(0.5, 8.0, n)
+        span = work * rng.uniform(0.2, 1.0, n)
+        models = np.full(n, ExecutionModel.MALLEABLE, dtype=np.int8)
+    return JobTrace(
+        dag=dag,
+        work=work,
+        span=span,
+        models=models,
+        initial_tasks=dag.sources(),
+        changed_edges=rng.random(dag.n_edges) < 0.8,
+    )
+
+
+@pytest.mark.parametrize("mode", ["unit", "parallel", "arbitrary"])
+def test_levelbased_bound_tightness(benchmark, emit, mode):
+    def sweep():
+        rows = []
+        for seed in range(8):
+            trace = _trace(seed, mode)
+            res = simulate(
+                trace, LevelBasedScheduler(), processors=P,
+                overhead=NO_OVERHEAD,
+            )
+            w = trace.total_active_work
+            L = trace.n_levels
+            if mode == "arbitrary":
+                active_span = np.where(
+                    trace.propagation.executed, trace.span, 0.0
+                )
+                bound = w / P + float(
+                    level_spans(trace.levels, active_span).sum()
+                )
+            else:
+                bound = w / P + L
+            rows.append((seed, res.makespan, bound))
+        return rows
+
+    rows = run_once(benchmark, sweep)
+    for seed, makespan, bound in rows:
+        assert makespan <= bound + 1e-6, f"bound violated at seed {seed}"
+    usage = [m / b for _, m, b in rows]
+    table_rows = [
+        [seed, f"{m:.2f}", f"{b:.2f}", f"{m / b:.2f}"]
+        for seed, m, b in rows
+    ]
+    table_rows.append(["mean", "", "", f"{np.mean(usage):.2f}"])
+    emit(
+        f"ablation_bounds_{mode}",
+        render_table(
+            ["seed", "makespan", "bound", "makespan/bound"],
+            table_rows,
+            title=f"Ablation — LevelBased vs its bound ({mode} tasks, "
+                  f"P={P})",
+        ),
+    )
+
+
+def test_meta_scheduler_bound(benchmark, emit):
+    def sweep():
+        rows = []
+        for seed in range(6):
+            trace = _trace(seed, "arbitrary")
+            res = meta_schedule(
+                trace, LogicBloxScheduler(), processors=P, zeta=10**9
+            )
+            ta = simulate(trace, LogicBloxScheduler(), processors=P).makespan
+            tb = simulate(trace, LevelBasedScheduler(), processors=P).makespan
+            rows.append((seed, res.makespan, ta, tb, res.winner))
+        return rows
+
+    rows = run_once(benchmark, sweep)
+    for seed, mk, ta, tb, _ in rows:
+        assert mk <= 2 * min(ta, tb) + 1e-6
+    emit(
+        "ablation_meta",
+        render_table(
+            ["seed", "meta makespan", "T_a", "T_b", "winner",
+             "2*min(Ta,Tb)"],
+            [
+                [s, f"{mk:.2f}", f"{ta:.2f}", f"{tb:.2f}", w,
+                 f"{2 * min(ta, tb):.2f}"]
+                for s, mk, ta, tb, w in rows
+            ],
+            title="Ablation — Theorem 10 meta-scheduler bound",
+        ),
+    )

@@ -1,0 +1,126 @@
+"""Ablation — the look-ahead depth trade-off (Sections III & VI-B).
+
+LBL(k)'s bounded BFS buys back LevelBased's barrier idle time at the
+price of extra readiness probes; the paper notes a worst case of O(n²)
+operations but "much better" behavior with few nodes per level. Two
+sweeps:
+
+1. **k sweep on the Theorem 9 instance** — makespan falls from Θ(L²)
+   toward the optimum as k grows, while scheduling ops rise gently; the
+   knee sits near the paper's observed k ≈ 15.
+2. **Ops scaling** — on the blocked-window instance (a long straggler
+   parks n blocked candidates at the front of the look-ahead window
+   while n quick tasks drain one at a time), LBL's probes grow
+   ~quadratically in n while plain LevelBased stays linear.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from conftest import run_once
+
+from repro.analysis import render_table
+from repro.dag import Dag
+from repro.schedulers import LevelBasedScheduler, LookaheadScheduler
+from repro.sim import OverheadModel, simulate
+from repro.tasks import JobTrace
+from repro.workloads import theorem9_example
+
+NO_OVERHEAD = OverheadModel(op_cost=0.0)
+
+
+def test_lookahead_depth_tradeoff(benchmark, emit):
+    L = 48
+    trace = theorem9_example(L)
+
+    def sweep():
+        out = {}
+        for k in (0, 2, 4, 8, 16, 32, 48):
+            s = LookaheadScheduler(k)
+            res = simulate(
+                trace, s, processors=2 * L, overhead=NO_OVERHEAD
+            )
+            out[k] = (res.makespan, s.ops)
+        return out
+
+    results = run_once(benchmark, sweep)
+
+    makespans = [m for m, _ in results.values()]
+    assert makespans == sorted(makespans, reverse=True), (
+        "makespan must fall monotonically with k on the tight example"
+    )
+    assert results[48][0] <= L * 1.01  # full look-ahead reaches optimum
+    assert results[0][0] >= L * (L - 1) / 2  # none stays at Θ(L²)
+
+    rows = [
+        [k, f"{m:.0f}", ops] for k, (m, ops) in results.items()
+    ]
+    emit(
+        "ablation_lbl_tradeoff",
+        render_table(
+            ["k", "makespan", "scheduling ops"],
+            rows,
+            title=f"Ablation — LBL(k) on the Theorem 9 instance (L={L})",
+        ),
+    )
+
+
+def _blocked_window(n: int) -> JobTrace:
+    """The adversarial regime for LBL's probe count: ``n`` pre-activated
+    tasks sit blocked behind a long straggler at the front of the level-1
+    bucket, while ``n`` quick tasks behind them drain one at a time —
+    every dispatch rescans the whole blocked prefix, Θ(n²) probes total.
+
+    Layout: straggler ``s`` (long) feeds t_1..t_n; quick source ``q``
+    feeds u_1..u_n. The t's are dirtied directly so they enter the
+    bucket first; the u's activate when ``q`` finishes."""
+    s, q = 0, 1
+    t = list(range(2, 2 + n))
+    u = list(range(2 + n, 2 + 2 * n))
+    edges = [(s, x) for x in t] + [(q, x) for x in u]
+    dag = Dag(2 + 2 * n, edges)
+    work = np.ones(2 + 2 * n)
+    work[s] = 10.0 * n  # outlasts every u
+    work[q] = 0.1
+    return JobTrace(
+        dag=dag,
+        work=work,
+        initial_tasks=np.array([s, q] + t),
+        changed_edges=np.ones(dag.n_edges, dtype=bool),
+        name=f"blocked-window({n})",
+    )
+
+
+def test_lookahead_ops_scaling(benchmark, emit):
+    def sweep():
+        out = {}
+        for n in (50, 100, 200):
+            trace = _blocked_window(n)
+            lbl = LookaheadScheduler(2)
+            lb = LevelBasedScheduler()
+            simulate(trace, lbl, processors=2, overhead=NO_OVERHEAD)
+            simulate(trace, lb, processors=2, overhead=NO_OVERHEAD)
+            out[n] = (trace.n_active, lbl.ops, lb.ops)
+        return out
+
+    results = run_once(benchmark, sweep)
+    ns = sorted(results)
+    n0, lbl0, lb0 = results[ns[0]]
+    n1, lbl1, lb1 = results[ns[-1]]
+    assert lb1 / lb0 < 1.5 * (n1 / n0), "LevelBased stays ~linear"
+    assert lbl1 / lbl0 > 2 * (n1 / n0), "LBL probes grow superlinearly"
+
+    rows = [
+        [w, n, lbl, lb, f"{lbl / n:.1f}"]
+        for w, (n, lbl, lb) in results.items()
+    ]
+    emit(
+        "ablation_lbl_ops",
+        render_table(
+            ["n", "n active", "LBL(2) ops", "LevelBased ops",
+             "LBL ops / n"],
+            rows,
+            title="Ablation — LBL's probe cost on the blocked-window "
+                  "instance (worst case O(n²))",
+        ),
+    )

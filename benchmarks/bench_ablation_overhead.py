@@ -1,0 +1,164 @@
+"""Ablation — scheduling cost and memory scaling (Theorem 2, §II-C, §VI).
+
+Three sweeps on the chain-drip ("killer") instance family:
+
+1. **Scheduling ops vs n** — LevelBased grows Θ(n + L); the pre-fix
+   production scan grows ~Θ(n²); the hybrid stays LevelBased-shaped
+   because the shared queue never starves (the "100×" anecdote of
+   Section VI, reproduced mechanically).
+2. **Precompute memory vs V** — the interval lists fragment to Θ(V²)
+   cells on this family while the level table stays Θ(V).
+3. **Signal propagation vs LevelBased** — brute-force messaging costs
+   Θ(V + E) regardless of how small the active set is.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from conftest import run_once
+
+from repro.analysis import render_table
+from repro.dag import layered_dag
+from repro.schedulers import (
+    HybridScheduler,
+    LevelBasedScheduler,
+    LogicBloxScheduler,
+    SignalPropagationScheduler,
+)
+from repro.sim import simulate
+from repro.tasks import JobTrace
+from repro.workloads import logicblox_killer
+
+WIDTHS = (200, 400, 800, 1600)
+
+
+def test_ops_scaling_on_killer(benchmark, emit):
+    """The '100×' instance: a short chain gates huge ready batches.
+
+    The pre-fix production scheduler re-scans the whole active queue
+    every scheduling round — Θ(rounds × queue) = Θ(W²) operations —
+    while LevelBased feeds the shared ready queue from its level
+    buckets, so the hybrid's scans almost never run and its cost stays
+    linear. (``compact_index=True`` isolates this rescan pathology from
+    the independent interval-fragmentation pathology, which
+    ``test_memory_scaling`` measures.)
+    """
+
+    def sweep():
+        out = {}
+        for w in WIDTHS:
+            trace = logicblox_killer(
+                12, width_per_step=w, task_work=1e-5, compact_index=True
+            )
+            row = {}
+            for name, factory in [
+                ("LevelBased", LevelBasedScheduler),
+                ("Hybrid", HybridScheduler),
+                ("LogicBlox", LogicBloxScheduler),
+            ]:
+                res = simulate(trace, factory(), processors=8)
+                row[name] = res.scheduling_ops
+            out[w] = row
+        return out
+
+    results = run_once(benchmark, sweep)
+
+    # growth factors over an 8x width range
+    lb_growth = results[WIDTHS[-1]]["LevelBased"] / results[WIDTHS[0]]["LevelBased"]
+    lbx_growth = results[WIDTHS[-1]]["LogicBlox"] / results[WIDTHS[0]]["LogicBlox"]
+    hy_growth = results[WIDTHS[-1]]["Hybrid"] / results[WIDTHS[0]]["Hybrid"]
+    assert lb_growth < 12, "LevelBased must scale ~linearly"
+    assert hy_growth < 14, "Hybrid must inherit LevelBased's scaling"
+    assert lbx_growth > 4 * lb_growth, "production rescans must blow up"
+    final_ratio = results[WIDTHS[-1]]["LogicBlox"] / results[WIDTHS[-1]]["Hybrid"]
+    assert final_ratio > 100, "the '100x' gap at the largest size"
+
+    rows = [
+        [w, r["LevelBased"], r["Hybrid"], r["LogicBlox"],
+         f'{r["LogicBlox"] / r["Hybrid"]:.0f}x']
+        for w, r in results.items()
+    ]
+    emit(
+        "ablation_ops_scaling",
+        render_table(
+            ["width", "LevelBased ops", "Hybrid ops", "LogicBlox ops",
+             "LBX/Hybrid"],
+            rows,
+            title="Ablation — scheduling ops vs queue width "
+                  "(chain-drip family, the §VI '100x' synthetic instance)",
+        ),
+    )
+
+
+def test_memory_scaling(benchmark, emit):
+    def sweep():
+        out = {}
+        for m in (50, 100, 200):
+            trace = logicblox_killer(m)
+            lbx, lb = LogicBloxScheduler(), LevelBasedScheduler()
+            simulate(trace, lbx, processors=2)
+            simulate(trace, lb, processors=2)
+            out[m] = (
+                trace.dag.n_nodes,
+                lb.precompute_memory_cells,
+                lbx.precompute_memory_cells,
+            )
+        return out
+
+    results = run_once(benchmark, sweep)
+    sizes = sorted(results)
+    v0, lb0, lbx0 = results[sizes[0]]
+    v1, lb1, lbx1 = results[sizes[-1]]
+    assert lb1 / lb0 == pytest.approx(v1 / v0, rel=0.05), "level table Θ(V)"
+    assert lbx1 / lbx0 > 2.5 * (v1 / v0), "interval lists superlinear"
+
+    rows = [
+        [m, v, lb, lbx, f"{lbx / v:.1f}"]
+        for m, (v, lb, lbx) in results.items()
+    ]
+    emit(
+        "ablation_memory",
+        render_table(
+            ["m", "V", "LevelBased cells", "LogicBlox cells", "cells/V"],
+            rows,
+            title="Ablation — precompute memory: Θ(V) levels vs "
+                  "fragmenting interval lists (Θ(V²) worst case)",
+        ),
+    )
+
+
+def test_signal_propagation_pays_for_the_whole_dag(benchmark, emit):
+    def sweep():
+        out = {}
+        for width in (10, 20, 40):
+            rng = np.random.default_rng(0)
+            dag = layered_dag([width] * 12, edge_prob=0.2, rng=rng)
+            flags = np.zeros(dag.n_edges, dtype=bool)
+            trace = JobTrace(
+                dag=dag,
+                work=np.ones(dag.n_nodes),
+                initial_tasks=dag.sources()[:1],
+                changed_edges=flags,  # nothing downstream changes: n = 1
+            )
+            sp, lb = SignalPropagationScheduler(), LevelBasedScheduler()
+            simulate(trace, sp, processors=2)
+            simulate(trace, lb, processors=2)
+            out[width] = (dag.n_nodes + dag.n_edges, sp.ops, lb.ops)
+        return out
+
+    results = run_once(benchmark, sweep)
+    for width, (ve, sp_ops, lb_ops) in results.items():
+        assert sp_ops >= ve, "messages must cover the whole DAG"
+        assert lb_ops < 50, "LevelBased touches only the active node"
+
+    rows = [[w, ve, sp, lb] for w, (ve, sp, lb) in results.items()]
+    emit(
+        "ablation_signalprop",
+        render_table(
+            ["layer width", "V+E", "SignalProp ops", "LevelBased ops"],
+            rows,
+            title="Ablation — brute-force signal propagation pays "
+                  "Θ(V+E) even when n = 1",
+        ),
+    )

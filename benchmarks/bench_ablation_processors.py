@@ -1,0 +1,86 @@
+"""Ablation — processor scaling and the work-dominated regime (§II-B).
+
+The paper's guarantee story is regime-based: LevelBased's makespan is at
+most ``w/P + L`` and therefore a 2-approximation whenever the
+computation is *work dominated* (``w/P ≥ L``) — "the case that we want
+to optimize for in multithreaded programs". This bench sweeps the
+processor count on job trace #5 and reports, per P:
+
+* measured makespans for LevelBased and the production scheduler;
+* the ``w/P + Σᵢ Sᵢ`` bound (Lemma 7's form, since durations vary);
+* the w/P and critical-path lower bounds, showing where the regime
+  flips from work-dominated to span-dominated and speedup saturates.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from conftest import run_once
+
+from repro.analysis import render_table
+from repro.dag import level_spans
+from repro.schedulers import (
+    LevelBasedScheduler,
+    LogicBloxScheduler,
+    lower_bounds,
+)
+from repro.sim import OverheadModel, simulate
+
+NO_OVERHEAD = OverheadModel(op_cost=0.0)
+PS = (1, 2, 4, 8, 16, 32)
+
+
+def test_processor_scaling(benchmark, trace_cache, emit):
+    trace = trace_cache(5)
+    w = trace.total_active_work
+    active_span = np.where(trace.propagation.executed, trace.span, 0.0)
+    sum_si = float(level_spans(trace.levels, active_span).sum())
+
+    def sweep():
+        out = {}
+        for p in PS:
+            lb = simulate(
+                trace, LevelBasedScheduler(), processors=p,
+                overhead=NO_OVERHEAD,
+            )
+            lbx = simulate(
+                trace, LogicBloxScheduler(), processors=p,
+                overhead=NO_OVERHEAD,
+            )
+            out[p] = (lb.makespan, lbx.makespan, lower_bounds(trace, p))
+        return out
+
+    results = run_once(benchmark, sweep)
+
+    prev_lb = float("inf")
+    for p, (lb_mk, lbx_mk, bounds) in results.items():
+        assert lb_mk <= w / p + sum_si + 1e-6, "Lemma 7 bound violated"
+        assert lb_mk <= prev_lb + 1e-9, "more processors must not hurt"
+        assert lbx_mk >= bounds["combined"] - 1e-9
+        prev_lb = lb_mk
+    # at P=1 both schedulers serialize the same work
+    lb1, lbx1, _ = results[1]
+    assert lb1 == pytest.approx(lbx1, rel=1e-6)
+    # saturation: beyond the work-dominated regime speedup stalls at the
+    # critical path, so doubling 16 → 32 buys little
+    assert results[32][1] > 0.7 * results[16][1]
+
+    rows = []
+    for p, (lb_mk, lbx_mk, bounds) in results.items():
+        regime = "work" if w / p >= sum_si else "span"
+        rows.append(
+            [p, f"{lb_mk:.2f}", f"{lbx_mk:.2f}",
+             f"{w / p + sum_si:.2f}", f"{bounds['combined']:.2f}", regime]
+        )
+    emit(
+        "ablation_processors",
+        render_table(
+            ["P", "LevelBased", "LogicBlox", "w/P + ΣSᵢ bound",
+             "lower bound", "regime"],
+            rows,
+            title="Ablation — processor scaling on job trace #5 "
+                  "(work-dominated ⇒ 2-approximation)",
+        ),
+    )
+

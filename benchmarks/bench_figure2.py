@@ -1,0 +1,78 @@
+"""Figure 2 / Theorem 9 — the tight example for LevelBased.
+
+A unit chain ``j_1 … j_L`` with side tasks ``k_i`` of work = span =
+``L − i + 1``. The optimal schedule overlaps every ``k_i`` with the rest
+of the chain (makespan Θ(M + L)); LevelBased waits for each ``k_i`` at
+its level barrier (makespan Θ(ML) = Θ(L²) at M = L). LBL(k) recovers
+the gap once the look-ahead window covers the chain.
+
+The bench sweeps L, verifies the exact closed forms, and asserts the
+ratio grows linearly — i.e., the analysis of Theorem 9 is tight.
+"""
+
+from __future__ import annotations
+
+import pytest
+from conftest import run_once
+
+from repro.analysis import render_table
+from repro.schedulers import (
+    LevelBasedScheduler,
+    LookaheadScheduler,
+    OracleScheduler,
+)
+from repro.sim import OverheadModel, simulate
+from repro.workloads import theorem9_example
+
+LS = (8, 16, 32, 64)
+NO_OVERHEAD = OverheadModel(op_cost=0.0)
+
+
+def test_figure2_tight_example(benchmark, emit):
+    def sweep():
+        out = {}
+        for L in LS:
+            trace = theorem9_example(L)
+            P = 2 * L  # M = L ≤ P, as the construction assumes
+            lb = simulate(
+                trace, LevelBasedScheduler(), processors=P,
+                overhead=NO_OVERHEAD,
+            )
+            lbl = simulate(
+                trace, LookaheadScheduler(L), processors=P,
+                overhead=NO_OVERHEAD,
+            )
+            opt = simulate(
+                trace, OracleScheduler(), processors=P,
+                overhead=NO_OVERHEAD,
+            )
+            out[L] = (lb.makespan, lbl.makespan, opt.makespan)
+        return out
+
+    results = run_once(benchmark, sweep)
+
+    rows = []
+    ratios = []
+    for L, (lb, lbl, opt) in results.items():
+        # closed forms: OPT = L; LevelBased = L(L-1)/2 + 1
+        assert opt == pytest.approx(L, abs=1e-6)
+        assert lb == pytest.approx(L * (L - 1) / 2 + 1, abs=1e-6)
+        assert lbl <= opt * 1.01 + 1e-9  # full look-ahead recovers optimum
+        ratios.append(lb / opt)
+        rows.append(
+            [L, f"{lb:.0f}", f"{lbl:.0f}", f"{opt:.0f}",
+             f"{lb / opt:.2f}", f"{(L - 1) / 2 + 1 / L:.2f}"]
+        )
+    # Θ(L) growth of the ratio: doubling L ≈ doubles it
+    for a, b in zip(ratios, ratios[1:]):
+        assert b > 1.7 * a
+
+    emit(
+        "figure2",
+        render_table(
+            ["L", "LevelBased", "LBL(L)", "optimal",
+             "ratio", "theory L(L-1)/2L"],
+            rows,
+            title="Figure 2 / Theorem 9 — tight example (P = 2L, M = L)",
+        ),
+    )

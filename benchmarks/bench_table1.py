@@ -1,0 +1,46 @@
+"""Table I — structural statistics of job traces #1–#11.
+
+Regenerates every trace at full scale and reports (nodes, edges,
+initial tasks, active jobs, levels) next to the published row. The
+node/edge/initial/level columns are generator inputs and must match
+exactly; the active-job count is grown stochastically toward the
+published target and is asserted to land within 2%.
+"""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.analysis import render_table
+from repro.tasks import trace_stats
+from repro.workloads import PAPER_TABLE1
+
+
+def test_table1_structure(benchmark, trace_cache, emit):
+    def build_all():
+        return {i: trace_stats(trace_cache(i)) for i in range(1, 12)}
+
+    stats = run_once(benchmark, build_all)
+
+    rows = []
+    for i in range(1, 12):
+        ours = stats[i].table1_row()
+        paper = PAPER_TABLE1[i]
+        rows.append([f"#{i}", *ours, "", *paper])
+        nodes, edges, initial, active, levels = ours
+        p_nodes, p_edges, p_initial, p_active, p_levels = paper
+        assert nodes == p_nodes, f"trace {i} node count"
+        assert edges == p_edges, f"trace {i} edge count"
+        assert initial == p_initial, f"trace {i} initial tasks"
+        assert levels == p_levels, f"trace {i} levels"
+        assert abs(active - p_active) <= max(2, 0.02 * p_active), (
+            f"trace {i} active jobs {active} vs paper {p_active}"
+        )
+
+    table = render_table(
+        ["trace", "nodes", "edges", "init", "active", "levels",
+         "|", "paper:nodes", "edges", "init", "active", "levels"],
+        rows,
+        title="Table I — workload trace statistics (measured vs paper)",
+    )
+    emit("table1", table)

@@ -1,0 +1,85 @@
+"""Table II — total makespan of LogicBlox vs LevelBased vs LBL(k).
+
+Job traces #1–#5 on eight processors, LBL depth k ∈ {5, 10, 15, 20}.
+The paper's shape claims, asserted below:
+
+* LevelBased trails the production scheduler (level barrier);
+* LBL(k) improves monotonically (within tolerance) toward it as k
+  grows, and LBL(k≥15) recovers most of the gap;
+* all schedulers incur negligible scheduling overhead on these traces
+  (Table II's caption).
+"""
+
+from __future__ import annotations
+
+import pytest
+from conftest import run_once
+
+from repro.analysis import format_seconds, render_table
+from repro.schedulers import (
+    LevelBasedScheduler,
+    LogicBloxScheduler,
+    LookaheadScheduler,
+)
+from repro.sim import simulate
+
+PROCESSORS = 8
+KS = (5, 10, 15, 20)
+TRACES = (1, 2, 3, 4, 5)
+
+
+def _schedulers():
+    yield "LogicBlox", LogicBloxScheduler
+    yield "LevelBased", LevelBasedScheduler
+    for k in KS:
+        yield f"LBL(k={k})", (lambda k=k: LookaheadScheduler(k))
+
+
+@pytest.mark.parametrize("index", TRACES)
+def test_table2_row(benchmark, trace_cache, emit, index):
+    trace = trace_cache(index)
+
+    def run_row():
+        out = {}
+        for name, factory in _schedulers():
+            res = simulate(trace, factory(), processors=PROCESSORS)
+            out[name] = res
+        return out
+
+    results = run_once(benchmark, run_row)
+    paper = trace.metadata["paper"]
+
+    mk = {name: r.makespan for name, r in results.items()}
+    # shape assertions
+    assert mk["LevelBased"] > mk["LogicBlox"], "LevelBased should trail"
+    assert mk["LBL(k=20)"] <= mk["LBL(k=5)"] * 1.05, "deeper k should help"
+    assert mk["LBL(k=20)"] <= mk["LevelBased"], "look-ahead must not hurt"
+    gap = mk["LevelBased"] - mk["LogicBlox"]
+    recovered = mk["LevelBased"] - mk["LBL(k=20)"]
+    assert recovered >= 0.5 * gap, "LBL(20) should recover most of the gap"
+    for name, r in results.items():
+        assert r.scheduling_overhead <= 0.05 * r.makespan + 0.05, (
+            f"{name} overhead should be negligible on trace #{index}"
+        )
+
+    header = ["scheduler", "makespan", "overhead", "paper makespan"]
+    rows = []
+    paper_mk = dict(paper.get("makespan", {}))
+    paper_lbl = paper.get("lbl", {})
+    for name, r in results.items():
+        if name.startswith("LBL"):
+            k = int(name.split("=")[1][:-1])
+            p = paper_lbl.get(k)
+        else:
+            p = paper_mk.get(name)
+        rows.append(
+            [name, format_seconds(r.makespan),
+             format_seconds(r.scheduling_overhead), format_seconds(p)]
+        )
+    emit(
+        f"table2_trace{index}",
+        render_table(
+            header, rows,
+            title=f"Table II — job trace #{index} (P={PROCESSORS})",
+        ),
+    )

@@ -1,0 +1,91 @@
+"""Table III — makespan and scheduling overhead of LogicBlox,
+LevelBased, and Hybrid on job traces #6–#11 (eight processors).
+
+Shape claims asserted:
+
+* the hybrid's makespan is similar to or better than the better of its
+  two components on every trace ("similar or improved total execution
+  times");
+* the hybrid's scheduling overhead is below the production scheduler's
+  on every trace ("consistently reducing the scheduling overhead"),
+  with the largest reductions on the shallow traces #6 and #11;
+* on #6 the production scheduler's overhead dominates its makespan
+  while LevelBased's stays negligible (the Section VI-C analysis).
+"""
+
+from __future__ import annotations
+
+import pytest
+from conftest import run_once
+
+from repro.analysis import format_seconds, render_table
+from repro.schedulers import (
+    HybridScheduler,
+    LevelBasedScheduler,
+    LogicBloxScheduler,
+)
+from repro.sim import simulate
+
+PROCESSORS = 8
+TRACES = (6, 7, 8, 9, 10, 11)
+SCHEDULERS = (
+    ("LogicBlox", LogicBloxScheduler),
+    ("LevelBased", LevelBasedScheduler),
+    ("Hybrid", HybridScheduler),
+)
+
+
+@pytest.mark.parametrize("index", TRACES)
+def test_table3_row(benchmark, trace_cache, emit, index):
+    trace = trace_cache(index)
+
+    def run_row():
+        return {
+            name: simulate(trace, factory(), processors=PROCESSORS)
+            for name, factory in SCHEDULERS
+        }
+
+    results = run_once(benchmark, run_row)
+    paper = trace.metadata["paper"]
+
+    hy, lb, lbx = (
+        results["Hybrid"],
+        results["LevelBased"],
+        results["LogicBlox"],
+    )
+    assert hy.makespan <= min(lb.makespan, lbx.makespan) * 1.10, (
+        "hybrid makespan must track the better component"
+    )
+    assert hy.scheduling_overhead <= lbx.scheduling_overhead, (
+        "hybrid must not exceed the production scheduler's overhead"
+    )
+    if index in (6, 11):
+        assert hy.scheduling_overhead < 0.5 * lbx.scheduling_overhead, (
+            "shallow traces are where the hybrid overhead win is largest"
+        )
+        assert lb.scheduling_overhead < 0.1 * lbx.scheduling_overhead
+    if index == 6:
+        assert lbx.scheduling_overhead > 0.5 * lbx.makespan, (
+            "on #6 the production scheduler is overhead-dominated"
+        )
+
+    header = [
+        "scheduler", "makespan", "overhead",
+        "paper makespan", "paper overhead",
+    ]
+    rows = []
+    for name, r in results.items():
+        pm = paper.get("makespan", {}).get(name)
+        po = paper.get("overhead", {}).get(name)
+        rows.append(
+            [name, format_seconds(r.makespan),
+             format_seconds(r.scheduling_overhead),
+             format_seconds(pm), format_seconds(po)]
+        )
+    emit(
+        f"table3_trace{index}",
+        render_table(
+            header, rows,
+            title=f"Table III — job trace #{index} (P={PROCESSORS})",
+        ),
+    )

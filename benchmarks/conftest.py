@@ -1,0 +1,56 @@
+"""Shared infrastructure for the reproduction benchmarks.
+
+Every bench regenerates one table or figure from the paper's evaluation
+section, prints it next to the published numbers, and appends it to
+``benchmarks/results/<name>.txt`` so EXPERIMENTS.md can reference the
+artifacts. Heavy simulations run exactly once (``benchmark.pedantic``
+with one round) — the interesting output is the table, not a timing
+distribution over repeated 30-second simulations.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.workloads import make_trace
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def trace_cache():
+    """Memoized job-trace generator shared by all benches."""
+    cache: dict = {}
+
+    def get(index: int, scale: float = 1.0):
+        key = (index, scale)
+        if key not in cache:
+            cache[key] = make_trace(index, scale=scale)
+        return cache[key]
+
+    return get
+
+
+@pytest.fixture(scope="session")
+def emit(request):
+    """Print a result block and persist it under benchmarks/results/."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    capman = request.config.pluginmanager.getplugin("capturemanager")
+
+    def _emit(name: str, text: str) -> None:
+        block = f"\n{'=' * 72}\n{text}\n"
+        if capman is not None:
+            with capman.global_and_fixture_disabled():
+                print(block)
+        else:  # pragma: no cover - capture plugin always present
+            print(block)
+        (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+
+    return _emit
+
+
+def run_once(benchmark, fn):
+    """Run ``fn`` exactly once under pytest-benchmark's timer."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

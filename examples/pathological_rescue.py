@@ -1,0 +1,89 @@
+#!/usr/bin/env python3
+"""Pathological instances and the hybrid rescue (Sections IV–VI).
+
+Two demonstrations:
+
+1. **Theorem 9** — on the Figure 2 instance, LevelBased's level barrier
+   costs Θ(L²) against the optimal Θ(L); LBL(k) recovers as its
+   look-ahead window grows.
+2. **The §VI synthetic instance** — a chain that drip-unblocks a huge
+   pre-activated queue. The production scheduler rescans the queue on
+   every round (quadratic ops); the hybrid keeps the shared ready queue
+   fed through its LevelBased component, so the scans never run.
+
+Run:  python examples/pathological_rescue.py
+"""
+
+from repro.analysis import format_seconds, render_table
+from repro.schedulers import (
+    HybridScheduler,
+    LevelBasedScheduler,
+    LogicBloxScheduler,
+    LookaheadScheduler,
+    OracleScheduler,
+)
+from repro.sim import OverheadModel, simulate
+from repro.workloads import logicblox_killer, theorem9_example
+
+
+def theorem9_demo() -> None:
+    L = 32
+    trace = theorem9_example(L)
+    no_overhead = OverheadModel(op_cost=0.0)
+    rows = []
+    for scheduler in (
+        LevelBasedScheduler(),
+        LookaheadScheduler(4),
+        LookaheadScheduler(16),
+        LookaheadScheduler(L),
+        OracleScheduler(),
+    ):
+        res = simulate(
+            trace, scheduler, processors=2 * L, overhead=no_overhead
+        )
+        rows.append([res.scheduler_name, f"{res.makespan:.0f}"])
+    print(
+        render_table(
+            ["scheduler", "makespan"],
+            rows,
+            title=f"Theorem 9 tight example, L = {L} "
+                  f"(optimal = {L}, LevelBased = L(L-1)/2+1 = "
+                  f"{L * (L - 1) // 2 + 1})",
+        )
+    )
+
+
+def killer_demo() -> None:
+    trace = logicblox_killer(
+        12, width_per_step=450, task_work=1e-4, compact_index=True
+    )
+    rows = []
+    for scheduler in (
+        LogicBloxScheduler(),
+        LevelBasedScheduler(),
+        HybridScheduler(),
+    ):
+        res = simulate(trace, scheduler, processors=8)
+        rows.append(
+            [res.scheduler_name, format_seconds(res.makespan),
+             format_seconds(res.scheduling_overhead), res.scheduling_ops]
+        )
+    print()
+    print(
+        render_table(
+            ["scheduler", "makespan", "overhead", "ops"],
+            rows,
+            title="The §VI synthetic instance (a 12-link chain gates a "
+                  "5,400-task queue)",
+        )
+    )
+    print(
+        "\nThe production scheduler re-probes the whole blocked queue every"
+        "\nscheduling round; LevelBased (and therefore the hybrid) identifies"
+        "\nthe same ready tasks from its level buckets in O(1)."
+    )
+
+
+if __name__ == "__main__":
+    theorem9_demo()
+    killer_demo()

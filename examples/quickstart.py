@@ -1,0 +1,78 @@
+#!/usr/bin/env python3
+"""Quickstart — schedule one incremental-maintenance workload.
+
+Builds a small synthetic computation DAG, applies an update, and runs
+the paper's three main schedulers over it, printing makespan and
+scheduling overhead for each. This is the 60-second tour of the public
+API:
+
+    trace      = workloads.make_synthetic_trace(...)   # the workload
+    scheduler  = schedulers.HybridScheduler()          # the algorithm
+    result     = sim.simulate(trace, scheduler, P)     # the experiment
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.analysis import format_seconds, render_table
+from repro.schedulers import (
+    HybridScheduler,
+    LevelBasedScheduler,
+    LogicBloxScheduler,
+)
+from repro.sim import simulate
+from repro.tasks import trace_stats
+from repro.workloads import make_synthetic_trace
+
+
+def main() -> None:
+    # A 2,000-node computation DAG, 40 levels deep; an update dirties
+    # three base predicates and the change cascades to ~200 tasks.
+    trace = make_synthetic_trace(
+        n_nodes=2000,
+        n_edges=3200,
+        n_levels=40,
+        n_initial=3,
+        target_active_tasks=200,
+        mean_work=0.5,
+        sigma=1.0,
+        seed=42,
+        name="quickstart",
+    )
+    st = trace_stats(trace)
+    print(
+        f"workload: {st.n_nodes} nodes, {st.n_edges} edges, "
+        f"{st.n_levels} levels; update activates {st.n_active_jobs} tasks\n"
+    )
+
+    rows = []
+    for scheduler in (
+        LevelBasedScheduler(),
+        LogicBloxScheduler(),
+        HybridScheduler(),
+    ):
+        result = simulate(trace, scheduler, processors=8)
+        rows.append(
+            [
+                result.scheduler_name,
+                format_seconds(result.makespan),
+                format_seconds(result.scheduling_overhead),
+                result.scheduling_ops,
+                f"{result.utilization:.0%}",
+            ]
+        )
+    print(
+        render_table(
+            ["scheduler", "makespan", "sched overhead", "ops", "util"],
+            rows,
+            title="8 processors, one update",
+        )
+    )
+    print(
+        "\nLevelBased pays a level barrier on deep traces; the production"
+        "\n(LogicBlox-style) scheduler avoids it with ancestor checks; the"
+        "\nhybrid gets the better makespan at near-LevelBased overhead."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,6 @@
+"""Legacy shim: this environment lacks the ``wheel`` package, so
+``pip install -e . --no-build-isolation --no-use-pep517`` goes through
+setup.py develop. All metadata lives in pyproject.toml."""
+from setuptools import setup
+
+setup()

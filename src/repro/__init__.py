@@ -1,0 +1,46 @@
+"""repro — reproduction of "A Scheduling Approach to Incremental
+Maintenance of Datalog Programs" (IPDPS 2020).
+
+Public API tour
+---------------
+* :mod:`repro.dag` — the computation DAG ``G``, level computation, and
+  the interval-list ancestor index.
+* :mod:`repro.tasks` — task execution models, activation semantics (the
+  active graph ``H``), and the :class:`~repro.tasks.JobTrace` workload
+  format.
+* :mod:`repro.schedulers` — LevelBased, LBL(k), the LogicBlox-style
+  production baseline, brute-force signal propagation, the Hybrid
+  scheduler, and the Theorem-10 meta-scheduler.
+* :mod:`repro.sim` — the discrete-event simulator with scheduling
+  overhead and memory accounting.
+* :mod:`repro.datalog` — a from-scratch Datalog engine whose incremental
+  maintenance produces the computation DAGs the paper schedules.
+* :mod:`repro.workloads` — synthetic generators calibrated to the
+  paper's job traces #1–#11, pathological instances, and Datalog-derived
+  workloads.
+
+Quickstart
+----------
+>>> from repro.workloads import tables
+>>> from repro.schedulers import HybridScheduler
+>>> from repro.sim import simulate
+>>> trace = tables.make_trace(5)          # job trace #5 analogue
+>>> res = simulate(trace, HybridScheduler(), processors=8)
+>>> res.makespan > 0
+True
+"""
+
+from . import analysis, dag, datalog, schedulers, sim, tasks, workloads
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "dag",
+    "tasks",
+    "sim",
+    "schedulers",
+    "datalog",
+    "workloads",
+    "analysis",
+    "__version__",
+]

@@ -1,0 +1,12 @@
+"""Reporting helpers: table rendering and paper-vs-measured comparisons."""
+
+from .compare import ShapeComparison, compare_pair, ratio
+from .tables import format_seconds, render_table
+
+__all__ = [
+    "render_table",
+    "format_seconds",
+    "ShapeComparison",
+    "compare_pair",
+    "ratio",
+]

@@ -1,0 +1,90 @@
+"""Paper-vs-measured comparison helpers.
+
+The reproduction targets *shape*, not absolute wall-clock: who wins, by
+roughly what factor, and where crossovers fall. These helpers compute
+those shape quantities so benches and EXPERIMENTS.md report them
+uniformly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["ShapeComparison", "compare_pair", "ratio"]
+
+
+def ratio(a: float, b: float) -> float:
+    """``a / b`` guarded against zero (returns inf)."""
+    if b == 0:
+        return float("inf") if a > 0 else 1.0
+    return a / b
+
+
+@dataclass(frozen=True)
+class ShapeComparison:
+    """Did the measured A-vs-B relationship match the paper's?"""
+
+    quantity: str
+    paper_a: float
+    paper_b: float
+    measured_a: float
+    measured_b: float
+
+    @property
+    def paper_ratio(self) -> float:
+        """A/B ratio as published."""
+        return ratio(self.paper_a, self.paper_b)
+
+    @property
+    def measured_ratio(self) -> float:
+        """A/B ratio as measured here."""
+        return ratio(self.measured_a, self.measured_b)
+
+    @property
+    def same_winner(self) -> bool:
+        """Does the same side win (ties within 10% count as ties)?"""
+
+        def sign(r: float) -> int:
+            if r > 1.1:
+                return 1
+            if r < 1 / 1.1:
+                return -1
+            return 0
+
+        return sign(self.paper_ratio) == sign(self.measured_ratio)
+
+    def factor_agreement(self) -> float:
+        """How close the measured ratio is to the paper's (1.0 = exact).
+
+        Computed in log space: ``exp(-|ln(measured/paper)|)``; 0.5 means
+        off by 2× in either direction.
+        """
+        import math
+
+        pr, mr = self.paper_ratio, self.measured_ratio
+        if pr <= 0 or mr <= 0 or pr == float("inf") or mr == float("inf"):
+            return 0.0
+        return math.exp(-abs(math.log(mr / pr)))
+
+    def describe(self) -> str:
+        """One-line textual comparison."""
+        return (
+            f"{self.quantity}: paper ratio {self.paper_ratio:.2f}, "
+            f"measured {self.measured_ratio:.2f} "
+            f"({'same winner' if self.same_winner else 'WINNER FLIPPED'})"
+        )
+
+
+def compare_pair(
+    quantity: str,
+    paper: tuple[float, float],
+    measured: tuple[float, float],
+) -> ShapeComparison:
+    """Build a :class:`ShapeComparison` from (A, B) value pairs."""
+    return ShapeComparison(
+        quantity=quantity,
+        paper_a=paper[0],
+        paper_b=paper[1],
+        measured_a=measured[0],
+        measured_b=measured[1],
+    )

@@ -1,0 +1,52 @@
+"""ASCII table rendering for benches and EXPERIMENTS.md.
+
+Deliberately dependency-free: benches print tables with the same rows
+and columns the paper reports, and the renderer keeps them legible in a
+terminal or a Markdown code block.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+__all__ = ["render_table", "format_seconds"]
+
+
+def format_seconds(x: float | None) -> str:
+    """Human-scale seconds: 9736 → '9736 s', 0.0107 → '10.7 ms'."""
+    if x is None:
+        return "—"
+    if x == 0:
+        return "0 s"
+    if x >= 100:
+        return f"{x:,.0f} s"
+    if x >= 1:
+        return f"{x:.2f} s"
+    if x >= 1e-3:
+        return f"{x * 1e3:.1f} ms"
+    if x >= 1e-6:
+        return f"{x * 1e6:.1f} µs"
+    return f"{x * 1e9:.1f} ns"
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[Any]],
+    title: str | None = None,
+) -> str:
+    """Monospace table with a header rule; values are str()-ed."""
+    cells = [[str(h) for h in headers]] + [
+        [str(c) for c in row] for row in rows
+    ]
+    widths = [max(len(r[i]) for r in cells) for i in range(len(headers))]
+
+    def fmt(row: Sequence[str]) -> str:
+        return "  ".join(c.rjust(w) for c, w in zip(row, widths))
+
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(fmt(cells[0]))
+    lines.append("  ".join("-" * w for w in widths))
+    lines.extend(fmt(r) for r in cells[1:])
+    return "\n".join(lines)

@@ -1,0 +1,220 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``stats``     Print Table-I statistics for a job-trace analogue or a
+              trace JSON file.
+``simulate``  Run one scheduler over a trace and print the result.
+``compare``   Run the Table-III scheduler trio over a trace.
+``generate``  Write a job-trace analogue to a JSON file (e.g. the
+              public synthetic trace #11 the paper mentions).
+``datalog``   Evaluate a Datalog program file and print the
+              materialized relations.
+
+Examples
+--------
+::
+
+    python -m repro stats --trace 5
+    python -m repro simulate --trace 5 --scheduler hybrid -P 8
+    python -m repro compare --trace 7 --scale 0.5
+    python -m repro generate --trace 11 --scale 0.05 -o trace11.json
+    python -m repro datalog program.dl
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from .analysis import format_seconds, render_table
+from .schedulers import (
+    HybridScheduler,
+    LevelBasedScheduler,
+    LogicBloxScheduler,
+    LookaheadScheduler,
+    OracleScheduler,
+    SignalPropagationScheduler,
+)
+from .sim import simulate
+from .tasks import JobTrace, trace_stats
+from .workloads import make_trace
+
+SCHEDULERS = {
+    "levelbased": LevelBasedScheduler,
+    "logicblox": LogicBloxScheduler,
+    "logicblox-cached": lambda: LogicBloxScheduler("cached"),
+    "signalprop": SignalPropagationScheduler,
+    "hybrid": HybridScheduler,
+    "oracle": OracleScheduler,
+}
+
+
+def _load_trace(args) -> JobTrace:
+    if args.trace_file:
+        with open(args.trace_file) as fh:
+            return JobTrace.load(fh)
+    if args.trace is None:
+        raise SystemExit("provide --trace N or --trace-file PATH")
+    return make_trace(args.trace, scale=args.scale)
+
+
+def _add_trace_args(p: argparse.ArgumentParser) -> None:
+    p.add_argument(
+        "--trace", type=int, default=None,
+        help="job-trace analogue index (1..11)",
+    )
+    p.add_argument(
+        "--trace-file", type=str, default=None,
+        help="path to a trace JSON file",
+    )
+    p.add_argument(
+        "--scale", type=float, default=1.0,
+        help="shrink factor for generated traces (default 1.0)",
+    )
+
+
+def cmd_stats(args) -> int:
+    """``repro stats``: print the Table-I statistics of a trace."""
+    trace = _load_trace(args)
+    st = trace_stats(trace)
+    rows = [
+        ["nodes", st.n_nodes],
+        ["edges", st.n_edges],
+        ["initial tasks", st.n_initial],
+        ["active jobs", st.n_active_jobs],
+        ["levels", st.n_levels],
+        ["task nodes", st.n_task_nodes],
+        ["descendants of update", st.n_descendants],
+        ["total active work", f"{st.total_active_work:.3f}"],
+    ]
+    print(render_table(["quantity", "value"], rows, title=trace.name))
+    return 0
+
+
+def cmd_simulate(args) -> int:
+    """``repro simulate``: run one scheduler and print the result."""
+    trace = _load_trace(args)
+    if args.scheduler.startswith("lbl:"):
+        try:
+            k = int(args.scheduler.split(":", 1)[1])
+        except ValueError:
+            raise SystemExit(
+                f"bad look-ahead depth in {args.scheduler!r}; use lbl:<k>"
+            ) from None
+        scheduler = LookaheadScheduler(k)
+    else:
+        factory = SCHEDULERS.get(args.scheduler)
+        if factory is None:
+            raise SystemExit(
+                f"unknown scheduler {args.scheduler!r}; "
+                f"choose from {sorted(SCHEDULERS)} or lbl:<k>"
+            )
+        scheduler = factory()
+    res = simulate(trace, scheduler, processors=args.processors)
+    print(res.summary())
+    return 0
+
+
+def cmd_compare(args) -> int:
+    """``repro compare``: run the Table-III scheduler trio."""
+    trace = _load_trace(args)
+    rows = []
+    for name in ("logicblox", "levelbased", "hybrid"):
+        res = simulate(
+            trace, SCHEDULERS[name](), processors=args.processors
+        )
+        rows.append(
+            [res.scheduler_name, format_seconds(res.makespan),
+             format_seconds(res.scheduling_overhead),
+             res.scheduling_ops,
+             res.precompute_memory_cells]
+        )
+    print(
+        render_table(
+            ["scheduler", "makespan", "overhead", "ops", "precomp cells"],
+            rows,
+            title=f"{trace.name} (P={args.processors})",
+        )
+    )
+    return 0
+
+
+def cmd_generate(args) -> int:
+    """``repro generate``: write a trace analogue to a JSON file."""
+    trace = make_trace(args.trace, scale=args.scale)
+    out = Path(args.output)
+    with out.open("w") as fh:
+        trace.dump(fh)
+    st = trace_stats(trace)
+    print(
+        f"wrote {out} — {st.n_nodes} nodes, {st.n_edges} edges, "
+        f"{st.n_active_jobs} active jobs, {st.n_levels} levels"
+    )
+    return 0
+
+
+def cmd_datalog(args) -> int:
+    """``repro datalog``: evaluate a program file, print relations."""
+    from .datalog import parse_program, seminaive_evaluate
+
+    text = Path(args.program).read_text()
+    program = parse_program(text)
+    db, _ = seminaive_evaluate(program)
+    for name in sorted(db.relations):
+        rel = db.relations[name]
+        print(f"{name}/{rel.arity} ({len(rel)} facts)")
+        for t in sorted(rel):
+            print(f"  {name}{t}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The argparse tree for ``python -m repro``."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Reproduction of 'A Scheduling Approach to Incremental "
+            "Maintenance of Datalog Programs' (IPDPS 2020)"
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("stats", help="print Table-I statistics")
+    _add_trace_args(p)
+    p.set_defaults(fn=cmd_stats)
+
+    p = sub.add_parser("simulate", help="run one scheduler")
+    _add_trace_args(p)
+    p.add_argument("--scheduler", default="hybrid",
+                   help=f"one of {sorted(SCHEDULERS)}")
+    p.add_argument("-P", "--processors", type=int, default=8)
+    p.set_defaults(fn=cmd_simulate)
+
+    p = sub.add_parser("compare", help="run the Table-III trio")
+    _add_trace_args(p)
+    p.add_argument("-P", "--processors", type=int, default=8)
+    p.set_defaults(fn=cmd_compare)
+
+    p = sub.add_parser("generate", help="write a trace JSON file")
+    p.add_argument("--trace", type=int, required=True)
+    p.add_argument("--scale", type=float, default=1.0)
+    p.add_argument("-o", "--output", required=True)
+    p.set_defaults(fn=cmd_generate)
+
+    p = sub.add_parser("datalog", help="evaluate a Datalog program file")
+    p.add_argument("program")
+    p.set_defaults(fn=cmd_datalog)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,55 @@
+"""DAG substrate: graphs, levels, traversal, interval-list ancestor index.
+
+The computation DAG ``G = (V, E)`` of Section II-A and the indexes the
+schedulers precompute over it.
+"""
+
+from .builder import DagBuilder
+from .graph import Dag
+from .intervals import IntervalIndex, merge_intervals
+from .levels import (
+    compute_levels,
+    level_histogram,
+    level_spans,
+    nodes_by_level,
+    num_levels,
+)
+from .random_dags import chain, diamond_mesh, layered_dag, random_dag
+from .reduction import reduction_stats, redundant_edges, transitive_reduction
+from .traversal import (
+    ancestors,
+    critical_path,
+    critical_path_length,
+    descendants,
+    is_ancestor,
+    reachable_mask,
+    topological_order,
+    transitive_closure_sets,
+)
+
+__all__ = [
+    "Dag",
+    "DagBuilder",
+    "IntervalIndex",
+    "merge_intervals",
+    "compute_levels",
+    "num_levels",
+    "level_histogram",
+    "nodes_by_level",
+    "level_spans",
+    "topological_order",
+    "reachable_mask",
+    "descendants",
+    "ancestors",
+    "is_ancestor",
+    "critical_path",
+    "critical_path_length",
+    "transitive_closure_sets",
+    "redundant_edges",
+    "transitive_reduction",
+    "reduction_stats",
+    "chain",
+    "layered_dag",
+    "random_dag",
+    "diamond_mesh",
+]

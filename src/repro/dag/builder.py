@@ -1,0 +1,91 @@
+"""Mutable builder for :class:`repro.dag.Dag`.
+
+Workload generators and the Datalog compiler build DAGs incrementally —
+adding named nodes and edges as they discover rules/iterations — and then
+freeze them. The builder deduplicates edges, supports name-based lookup,
+and performs a single validation pass at :meth:`DagBuilder.build` time.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable
+
+import numpy as np
+
+from .graph import Dag
+
+__all__ = ["DagBuilder"]
+
+
+class DagBuilder:
+    """Accumulates nodes and edges, then freezes into an immutable Dag.
+
+    Nodes may be added anonymously (:meth:`add_node`) or keyed by an
+    arbitrary hashable (:meth:`node`), which is convenient when the
+    natural identity of a task is e.g. ``("rule", 3, "iter", 7)``.
+    """
+
+    def __init__(self) -> None:
+        self._names: list[str] = []
+        self._by_key: dict[Hashable, int] = {}
+        self._edges: set[tuple[int, int]] = set()
+
+    # ------------------------------------------------------------------
+    @property
+    def n_nodes(self) -> int:
+        """Nodes added so far."""
+        return len(self._names)
+
+    @property
+    def n_edges(self) -> int:
+        """Distinct edges added so far."""
+        return len(self._edges)
+
+    def add_node(self, name: str | None = None) -> int:
+        """Add a fresh node; returns its id."""
+        nid = len(self._names)
+        self._names.append(name if name is not None else f"n{nid}")
+        return nid
+
+    def node(self, key: Hashable, name: str | None = None) -> int:
+        """Get-or-create the node identified by ``key``."""
+        nid = self._by_key.get(key)
+        if nid is None:
+            nid = self.add_node(name if name is not None else str(key))
+            self._by_key[key] = nid
+        return nid
+
+    def has_key(self, key: Hashable) -> bool:
+        """Whether ``key`` already names a node."""
+        return key in self._by_key
+
+    def id_of(self, key: Hashable) -> int:
+        """Node id for ``key``; raises ``KeyError`` if absent."""
+        return self._by_key[key]
+
+    def add_edge(self, u: int, v: int) -> bool:
+        """Add edge ``(u, v)``. Returns False if it already existed.
+
+        Endpoint validity is checked eagerly; acyclicity is deferred to
+        :meth:`build` (checking per-edge would be quadratic).
+        """
+        n = len(self._names)
+        if not (0 <= u < n and 0 <= v < n):
+            raise ValueError(f"edge ({u}, {v}) out of range for {n} nodes")
+        if u == v:
+            raise ValueError(f"self-loop at node {u}")
+        if (u, v) in self._edges:
+            return False
+        self._edges.add((u, v))
+        return True
+
+    def add_edge_by_key(self, ukey: Hashable, vkey: Hashable) -> bool:
+        """Add an edge between keyed nodes, creating them as needed."""
+        return self.add_edge(self.node(ukey), self.node(vkey))
+
+    def build(self, validate: bool = True) -> Dag:
+        """Freeze into an immutable, validated :class:`Dag`."""
+        edges = np.array(sorted(self._edges), dtype=np.int64).reshape(-1, 2)
+        return Dag(
+            len(self._names), edges, node_names=self._names, validate=validate
+        )

@@ -1,0 +1,112 @@
+"""Seeded random DAG constructions used by tests and workloads.
+
+All generators take a :class:`numpy.random.Generator` (or a seed) and are
+fully deterministic given it, so experiments are reproducible and
+hypothesis-style tests can shrink failures.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .graph import Dag
+
+__all__ = [
+    "layered_dag",
+    "random_dag",
+    "chain",
+    "diamond_mesh",
+    "as_rng",
+]
+
+
+def as_rng(seed: int | np.random.Generator | None) -> np.random.Generator:
+    """Coerce an int/None/Generator to a Generator."""
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(seed)
+
+
+def layered_dag(
+    layer_sizes: list[int],
+    edge_prob: float = 0.3,
+    rng: int | np.random.Generator | None = 0,
+    skip_prob: float = 0.0,
+    max_skip: int = 3,
+) -> Dag:
+    """Random layered DAG: nodes in layers, edges between layers.
+
+    Every non-first-layer node gets at least one parent in the previous
+    layer (so levels match layer indices and there are no spurious
+    sources). ``edge_prob`` adds extra previous-layer parents;
+    ``skip_prob`` adds skip edges reaching up to ``max_skip`` layers back
+    (these never increase a node's level, they only densify ancestry —
+    which is what fragments interval lists).
+    """
+    rng = as_rng(rng)
+    if any(s <= 0 for s in layer_sizes):
+        raise ValueError("layer sizes must be positive")
+    offsets = np.concatenate(([0], np.cumsum(layer_sizes))).astype(np.int64)
+    edges: list[tuple[int, int]] = []
+    for li in range(1, len(layer_sizes)):
+        prev_lo, prev_hi = int(offsets[li - 1]), int(offsets[li])
+        cur_lo, cur_hi = int(offsets[li]), int(offsets[li + 1])
+        prev_ids = np.arange(prev_lo, prev_hi)
+        for v in range(cur_lo, cur_hi):
+            # mandatory parent keeps levels == layer index
+            p = int(rng.integers(prev_lo, prev_hi))
+            parents = {p}
+            extra = prev_ids[rng.random(prev_ids.size) < edge_prob]
+            parents.update(int(x) for x in extra)
+            for u in parents:
+                edges.append((u, v))
+            if skip_prob > 0 and li >= 2:
+                back = int(rng.integers(2, min(max_skip, li) + 1))
+                s_lo, s_hi = int(offsets[li - back]), int(offsets[li - back + 1])
+                if rng.random() < skip_prob:
+                    edges.append((int(rng.integers(s_lo, s_hi)), v))
+    return Dag(int(offsets[-1]), sorted(set(edges)))
+
+
+def random_dag(
+    n: int,
+    edge_prob: float = 0.1,
+    rng: int | np.random.Generator | None = 0,
+) -> Dag:
+    """Erdős–Rényi-style DAG: edge (i, j) with i < j kept w.p. ``edge_prob``.
+
+    Vectorized over the upper triangle; O(n²) candidate pairs, so keep
+    ``n`` modest (tests use n ≤ a few hundred).
+    """
+    rng = as_rng(rng)
+    if n == 0:
+        return Dag(0, [])
+    iu = np.triu_indices(n, k=1)
+    keep = rng.random(iu[0].size) < edge_prob
+    edges = np.column_stack((iu[0][keep], iu[1][keep]))
+    return Dag(n, edges)
+
+
+def chain(n: int) -> Dag:
+    """A simple path 0 → 1 → … → n-1 (L = n levels)."""
+    if n == 0:
+        return Dag(0, [])
+    ids = np.arange(n - 1, dtype=np.int64)
+    return Dag(n, np.column_stack((ids, ids + 1)))
+
+
+def diamond_mesh(width: int, depth: int) -> Dag:
+    """Dense layered mesh: ``depth`` layers of ``width`` nodes, complete
+    bipartite edges between consecutive layers.
+
+    The classic interval-list fragmenter: with w=width, every node's
+    descendant set interleaves across the DFS forest, so lists grow to
+    Θ(w) intervals and the index mass is Θ(w²·depth).
+    """
+    edges: list[tuple[int, int]] = []
+    for d in range(depth - 1):
+        base, nxt = d * width, (d + 1) * width
+        for i in range(width):
+            for j in range(width):
+                edges.append((base + i, nxt + j))
+    return Dag(width * depth, edges)

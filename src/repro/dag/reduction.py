@@ -1,0 +1,85 @@
+"""Transitive reduction and redundancy analysis for computation DAGs.
+
+A dataflow edge ``(u, v)`` is *redundant for scheduling* when another
+``u → … → v`` path exists: precedence is already implied, so removing
+the edge changes neither levels nor the ancestor relation. Production
+DAGs carry many such shortcut edges (a rule reads both a derived
+predicate and its inputs); the reduction quantifies how much of ``E``
+is pure precedence redundancy, and gives workload generators a way to
+produce minimal DAGs.
+
+Note that redundant-for-*scheduling* is not redundant-for-*dataflow*:
+the edge still carries values and change signals in the activation
+model, which is why :class:`~repro.tasks.JobTrace` always keeps the
+full edge set. The reduction is an analysis/debugging tool.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .graph import Dag
+from .traversal import topological_order
+
+__all__ = ["redundant_edges", "transitive_reduction", "reduction_stats"]
+
+
+def redundant_edges(dag: Dag) -> np.ndarray:
+    """Boolean mask over dense edge indices: edge implied by a longer path.
+
+    An edge ``(u, v)`` is redundant iff ``v`` is reachable from ``u``
+    through a path of length ≥ 2. Computed with one reverse-topological
+    sweep maintaining descendant bitsets — O(V·E/64) time, O(V²/8)
+    space; fine for analysis-scale graphs (≤ ~50k nodes).
+    """
+    n = dag.n_nodes
+    mask = np.zeros(dag.n_edges, dtype=bool)
+    if n == 0:
+        return mask
+    # bitset of nodes reachable via paths of length >= 1
+    words = (n + 63) // 64
+    reach = np.zeros((n, words), dtype=np.uint64)
+    order = topological_order(dag)
+    for u in reversed(order):
+        u = int(u)
+        row = reach[u]
+        for v in dag.out_neighbors(u):
+            v = int(v)
+            row |= reach[v]
+            row[v >> 6] |= np.uint64(1) << np.uint64(v & 63)
+    one = np.uint64(1)
+    for u in range(n):
+        lo, hi = dag.out_edge_range(u)
+        children = dag.out_neighbors(u)
+        for i, ei in enumerate(range(lo, hi)):
+            v = int(children[i])
+            word, bit = v >> 6, np.uint64(v & 63)
+            # redundant iff some *other* child of u reaches v
+            for w in children:
+                w = int(w)
+                if w != v and (reach[w][word] >> bit) & one:
+                    mask[ei] = True
+                    break
+    return mask
+
+
+def transitive_reduction(dag: Dag) -> Dag:
+    """The unique minimal DAG with the same reachability relation."""
+    mask = redundant_edges(dag)
+    edges = dag.edge_array()[~mask]
+    return Dag(dag.n_nodes, edges, node_names=(
+        list(dag.node_names) if dag.node_names else None
+    ))
+
+
+def reduction_stats(dag: Dag) -> dict[str, float]:
+    """Edge counts before/after reduction and the redundancy fraction."""
+    mask = redundant_edges(dag)
+    redundant = int(mask.sum())
+    return {
+        "edges": dag.n_edges,
+        "redundant": redundant,
+        "fraction_redundant": (
+            redundant / dag.n_edges if dag.n_edges else 0.0
+        ),
+    }

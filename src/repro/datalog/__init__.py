@@ -1,0 +1,58 @@
+"""A from-scratch Datalog engine: the substrate the paper's schedulers serve.
+
+Parsing → stratification → semi-naive materialization → incremental
+maintenance (delta insertion + DRed deletion) → compilation of an
+update into the computation-DAG job traces that :mod:`repro.schedulers`
+schedules.
+"""
+
+from .ast import (
+    Atom,
+    Comparison,
+    Constant,
+    Literal,
+    Program,
+    Rule,
+    Variable,
+)
+from .compiler import CompiledUpdate, compile_update
+from .counting import CountingEngine, RecursionError_
+from .database import Database, Relation
+from .depgraph import DependencyGraph, StratificationError
+from .incremental import Delta, IncrementalEngine, MaintenanceTrace
+from .parser import ParseError, parse_program, parse_rule
+from .provenance import Derivation, explain
+from .query import parse_goal, query, query_facts
+from .seminaive import EvaluationTrace, naive_evaluate, seminaive_evaluate
+
+__all__ = [
+    "Variable",
+    "Constant",
+    "Atom",
+    "Comparison",
+    "Literal",
+    "Rule",
+    "Program",
+    "parse_program",
+    "parse_rule",
+    "ParseError",
+    "Database",
+    "Relation",
+    "DependencyGraph",
+    "StratificationError",
+    "naive_evaluate",
+    "seminaive_evaluate",
+    "EvaluationTrace",
+    "Delta",
+    "IncrementalEngine",
+    "CountingEngine",
+    "RecursionError_",
+    "MaintenanceTrace",
+    "compile_update",
+    "CompiledUpdate",
+    "explain",
+    "Derivation",
+    "parse_goal",
+    "query",
+    "query_facts",
+]

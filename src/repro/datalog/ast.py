@@ -1,0 +1,378 @@
+"""Abstract syntax for Datalog programs.
+
+A program is a set of *rules* ``head :- body.`` and *facts*
+``pred(c1, …, cn).`` Terms are variables (capitalized identifiers) or
+constants (integers, quoted strings, or lowercase identifiers). Body
+literals may be negated (``!edge(X, Y)``) — programs must then be
+stratifiable — and may be comparison built-ins (``X < Y``, ``X != Y``).
+
+These classes are deliberately tiny immutable values: the evaluator
+(:mod:`repro.datalog.seminaive`), the incremental maintenance engine
+(:mod:`repro.datalog.incremental`), and the DAG compiler
+(:mod:`repro.datalog.compiler`) all pattern-match over them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, Union
+
+__all__ = [
+    "Variable",
+    "Constant",
+    "Term",
+    "Atom",
+    "Aggregate",
+    "Comparison",
+    "Assignment",
+    "ARITH_OPS",
+    "Literal",
+    "Rule",
+    "Program",
+    "COMPARISON_OPS",
+    "AGGREGATE_OPS",
+]
+
+
+@dataclass(frozen=True)
+class Variable:
+    """A logic variable (capitalized in the concrete syntax)."""
+
+    name: str
+
+    def __repr__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class Constant:
+    """A constant: int or string (symbols are stored as strings)."""
+
+    value: int | str
+
+    def __repr__(self) -> str:
+        if isinstance(self.value, str):
+            # only lowercase identifiers can print bare — anything else
+            # would re-parse as a variable or fail to lex
+            if (
+                self.value.isidentifier()
+                and self.value[0].islower()
+                and self.value[0] != "_"
+            ):
+                return self.value
+            return f'"{self.value}"'
+        return str(self.value)
+
+
+#: aggregation operators usable in rule heads
+AGGREGATE_OPS = ("count", "sum", "min", "max")
+
+
+@dataclass(frozen=True)
+class Aggregate:
+    """An aggregate head term ``op(Var)`` — e.g. ``total(C, sum(Q))``.
+
+    Allowed only in rule heads; the rule then computes one fact per
+    binding of its plain head variables (the group), aggregating the
+    multiset of ``var`` bindings within the group. Aggregation is
+    stratified exactly like negation: the rule's body predicates must
+    be fully materialized in earlier strata.
+    """
+
+    op: str
+    var: "Variable"
+
+    def __post_init__(self) -> None:
+        if self.op not in AGGREGATE_OPS:
+            raise ValueError(f"unknown aggregate {self.op!r}")
+
+    def __repr__(self) -> str:
+        return f"{self.op}({self.var!r})"
+
+
+Term = Union[Variable, Constant, Aggregate]
+
+
+@dataclass(frozen=True)
+class Atom:
+    """``predicate(t1, …, tn)``."""
+
+    predicate: str
+    terms: tuple[Term, ...]
+
+    @property
+    def arity(self) -> int:
+        return len(self.terms)
+
+    def variables(self) -> Iterator[Variable]:
+        for t in self.terms:
+            if isinstance(t, Variable):
+                yield t
+            elif isinstance(t, Aggregate):
+                yield t.var
+
+    def aggregates(self) -> Iterator["Aggregate"]:
+        for t in self.terms:
+            if isinstance(t, Aggregate):
+                yield t
+
+    def has_aggregate(self) -> bool:
+        return any(isinstance(t, Aggregate) for t in self.terms)
+
+    def is_ground(self) -> bool:
+        return all(isinstance(t, Constant) for t in self.terms)
+
+    def __repr__(self) -> str:
+        return f"{self.predicate}({', '.join(map(repr, self.terms))})"
+
+
+#: comparison operators usable in rule bodies
+COMPARISON_OPS = ("==", "!=", "<", "<=", ">", ">=")
+
+#: binary arithmetic operators usable in assignments
+ARITH_OPS = ("+", "-", "*")
+
+
+@dataclass(frozen=True)
+class Assignment:
+    """A body binding ``Target = Left op Right`` (or ``Target = Left``).
+
+    Evaluated once its input terms are bound: binds ``target`` if free,
+    or filters on equality if already bound. Note that recursive rules
+    generating fresh values through arithmetic (``D2 = D + 1``) can
+    diverge — Datalog with arithmetic is not guaranteed to terminate;
+    the evaluators accept a ``max_iterations`` guard for this reason.
+    """
+
+    target: "Variable"
+    left: "Term"
+    op: str | None = None
+    right: "Term | None" = None
+
+    def __post_init__(self) -> None:
+        if (self.op is None) != (self.right is None):
+            raise ValueError("op and right must be given together")
+        if self.op is not None and self.op not in ARITH_OPS:
+            raise ValueError(f"unknown arithmetic operator {self.op!r}")
+
+    def inputs(self) -> Iterator["Variable"]:
+        for t in (self.left, self.right):
+            if isinstance(t, Variable):
+                yield t
+
+    def variables(self) -> Iterator["Variable"]:
+        yield self.target
+        yield from self.inputs()
+
+    def __repr__(self) -> str:
+        expr = repr(self.left)
+        if self.op is not None:
+            expr += f" {self.op} {self.right!r}"
+        return f"{self.target!r} = {expr}"
+
+
+@dataclass(frozen=True)
+class Comparison:
+    """A built-in constraint ``left op right`` between two terms."""
+
+    op: str
+    left: Term
+    right: Term
+
+    def __post_init__(self) -> None:
+        if self.op not in COMPARISON_OPS:
+            raise ValueError(f"unknown comparison operator {self.op!r}")
+
+    def variables(self) -> Iterator[Variable]:
+        for t in (self.left, self.right):
+            if isinstance(t, Variable):
+                yield t
+
+    def __repr__(self) -> str:
+        return f"{self.left!r} {self.op} {self.right!r}"
+
+
+@dataclass(frozen=True)
+class Literal:
+    """A body element: an atom (possibly negated), a comparison, or an
+    arithmetic assignment."""
+
+    atom: Atom | None = None
+    comparison: Comparison | None = None
+    assignment: Assignment | None = None
+    negated: bool = False
+
+    def __post_init__(self) -> None:
+        payloads = sum(
+            x is not None
+            for x in (self.atom, self.comparison, self.assignment)
+        )
+        if payloads != 1:
+            raise ValueError(
+                "literal must hold exactly one of atom/comparison/assignment"
+            )
+        if self.atom is None and self.negated:
+            raise ValueError(
+                "only atoms can be negated; use the dual comparison op"
+            )
+
+    @property
+    def is_comparison(self) -> bool:
+        return self.comparison is not None
+
+    @property
+    def is_assignment(self) -> bool:
+        return self.assignment is not None
+
+    def variables(self) -> Iterator[Variable]:
+        src = self.atom or self.comparison or self.assignment
+        yield from src.variables()
+
+    def __repr__(self) -> str:
+        if self.comparison is not None:
+            return repr(self.comparison)
+        if self.assignment is not None:
+            return repr(self.assignment)
+        return ("!" if self.negated else "") + repr(self.atom)
+
+
+@dataclass(frozen=True)
+class Rule:
+    """``head :- body.`` — a fact when the body is empty."""
+
+    head: Atom
+    body: tuple[Literal, ...] = ()
+
+    @property
+    def is_fact(self) -> bool:
+        return not self.body
+
+    @property
+    def has_aggregate(self) -> bool:
+        return self.head.has_aggregate()
+
+    def __post_init__(self) -> None:
+        if self.is_fact and not self.head.is_ground():
+            raise ValueError(f"fact {self.head!r} must be ground")
+        for lit in self.body:
+            if lit.atom is not None and lit.atom.has_aggregate():
+                raise ValueError(
+                    f"aggregates are only allowed in rule heads: {lit!r}"
+                )
+        if sum(1 for _ in self.head.aggregates()) > 1:
+            raise ValueError(
+                f"at most one aggregate per head: {self.head!r}"
+            )
+        self._check_safety()
+
+    def _check_safety(self) -> None:
+        """Range restriction: every head/negated/comparison variable must
+        be bound by a positive body atom or an assignment whose inputs
+        are (transitively) bound."""
+        bound = {v.name for lit in self.body if not lit.negated and lit.atom
+                 for v in lit.variables()}
+        # assignments bind their targets once their inputs are bound
+        changed = True
+        while changed:
+            changed = False
+            for lit in self.body:
+                a = lit.assignment
+                if a is None or a.target.name in bound:
+                    continue
+                if all(v.name in bound for v in a.inputs()):
+                    bound.add(a.target.name)
+                    changed = True
+        for v in self.head.variables():
+            if v.name not in bound and self.body:
+                raise ValueError(
+                    f"unsafe rule: head variable {v.name} not bound in "
+                    f"a positive body atom: {self!r}"
+                )
+        for lit in self.body:
+            if lit.negated or lit.is_comparison:
+                for v in lit.variables():
+                    if v.name not in bound:
+                        raise ValueError(
+                            f"unsafe rule: variable {v.name} in "
+                            f"{lit!r} not bound in a positive body atom"
+                        )
+            elif lit.assignment is not None:
+                for v in lit.assignment.inputs():
+                    if v.name not in bound:
+                        raise ValueError(
+                            f"unsafe rule: assignment input {v.name} in "
+                            f"{lit!r} is never bound"
+                        )
+
+    def body_predicates(self) -> Iterator[tuple[str, bool]]:
+        """Yield (predicate, negated) for every body atom."""
+        for lit in self.body:
+            if lit.atom is not None:
+                yield lit.atom.predicate, lit.negated
+
+    def __repr__(self) -> str:
+        if self.is_fact:
+            return f"{self.head!r}."
+        return f"{self.head!r} :- {', '.join(map(repr, self.body))}."
+
+
+@dataclass
+class Program:
+    """An ordered collection of rules and facts."""
+
+    rules: list[Rule] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        self._check_consistent_arity()
+
+    def _check_consistent_arity(self) -> None:
+        arity: dict[str, int] = {}
+        for r in self.rules:
+            atoms = [r.head] + [l.atom for l in r.body if l.atom is not None]
+            for a in atoms:
+                prev = arity.setdefault(a.predicate, a.arity)
+                if prev != a.arity:
+                    raise ValueError(
+                        f"predicate {a.predicate} used with arities "
+                        f"{prev} and {a.arity}"
+                    )
+
+    @property
+    def facts(self) -> list[Rule]:
+        """Ground facts (empty-body rules)."""
+        return [r for r in self.rules if r.is_fact]
+
+    @property
+    def proper_rules(self) -> list[Rule]:
+        """Rules with a non-empty body."""
+        return [r for r in self.rules if not r.is_fact]
+
+    def predicates(self) -> set[str]:
+        """Every predicate mentioned in a head or body."""
+        out: set[str] = set()
+        for r in self.rules:
+            out.add(r.head.predicate)
+            for p, _ in r.body_predicates():
+                out.add(p)
+        return out
+
+    def idb_predicates(self) -> set[str]:
+        """Predicates defined by at least one proper rule."""
+        return {r.head.predicate for r in self.proper_rules}
+
+    def edb_predicates(self) -> set[str]:
+        """Predicates appearing only as facts / inputs."""
+        return self.predicates() - self.idb_predicates()
+
+    def rules_for(self, predicate: str) -> list[Rule]:
+        """Proper rules whose head is ``predicate``."""
+        return [r for r in self.proper_rules if r.head.predicate == predicate]
+
+    def __iter__(self) -> Iterator[Rule]:
+        return iter(self.rules)
+
+    def __len__(self) -> int:
+        return len(self.rules)
+
+    def __repr__(self) -> str:
+        return "\n".join(map(repr, self.rules))

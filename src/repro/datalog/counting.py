@@ -1,0 +1,354 @@
+"""Counting-based incremental maintenance (Gupta–Mumick–Subrahmanian).
+
+The classic alternative to DRed for **non-recursive** programs: every
+derived fact carries its number of distinct derivations. An insertion
+adds derivation counts; a deletion subtracts them; a fact disappears
+exactly when its count hits zero — no over-delete/re-derive phases and
+no second fixpoint.
+
+Counting is exact only when the number of derivations of a fact is
+finite and independent of evaluation order, which holds for
+non-recursive (stratified, possibly negated) programs; recursive
+programs can have infinitely many derivations, which is why the paper's
+setting (recursive Datalog) uses DRed. :class:`CountingEngine` refuses
+recursive programs so the two engines' domains are explicit, and the
+test suite property-checks it against :class:`IncrementalEngine` (DRed)
+on their common domain.
+
+Negation is handled per stratum: a negated literal contributes a
+*guard*, not a count — rules re-fire for the bindings whose guard
+flipped when the negated predicate changes. For simplicity and
+correctness we recompute the consumers of a changed negated predicate
+within their stratum (the same strategy the DRed engine uses), which is
+exact because strata are non-recursive here.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+
+from .ast import Program
+from .database import Database, Relation
+from .depgraph import DependencyGraph
+from .incremental import Delta
+from .unify import instantiate_head, join_body
+
+__all__ = ["CountingEngine", "RecursionError_"]
+
+
+class RecursionError_(ValueError):
+    """The counting algorithm requires a non-recursive program."""
+
+
+@dataclass
+class CountingTrace:
+    """Per-rule change counts, mirroring MaintenanceTrace's shape."""
+
+    events: list[tuple[str, int, int, int]] = field(default_factory=list)
+
+    def record(self, phase: str, stratum: int, rule: int, n: int) -> None:
+        """Log one maintenance step that changed ``n`` counts."""
+        if n:
+            self.events.append((phase, stratum, rule, n))
+
+    def total_changed(self) -> int:
+        """Total count adjustments across all steps."""
+        return sum(e[3] for e in self.events)
+
+
+class CountingEngine:
+    """Incremental maintenance via derivation counting.
+
+    Materializes the program once, keeping ``counts[pred][fact]`` — the
+    number of distinct rule-instantiation derivations of each derived
+    fact. Updates add/subtract counts along the stratification order.
+    """
+
+    def __init__(self, program: Program, edb: Database | None = None) -> None:
+        self.program = program
+        self.depgraph = DependencyGraph(program)
+        if self.depgraph.recursive_predicates():
+            raise RecursionError_(
+                "counting maintenance requires a non-recursive program; "
+                f"recursive: {sorted(self.depgraph.recursive_predicates())}"
+            )
+        for rule in program.proper_rules:
+            if rule.has_aggregate:
+                raise RecursionError_(
+                    "counting maintenance does not support aggregate "
+                    f"rules: {rule!r}"
+                )
+        self.strata = self.depgraph.stratify()
+        self.edb_predicates = program.edb_predicates()
+        self.db = edb.copy() if edb is not None else Database()
+        self.counts: dict[str, Counter] = {}
+        self._seed_program_facts()
+        self._materialize()
+
+    # ------------------------------------------------------------------
+    def _seed_program_facts(self) -> None:
+        for fact_rule in self.program.facts:
+            self.db.add_fact(
+                fact_rule.head.predicate,
+                tuple(t.value for t in fact_rule.head.terms),  # type: ignore[union-attr]
+            )
+        for rule in self.program.rules:
+            atoms = [rule.head] + [
+                l.atom for l in rule.body if l.atom is not None
+            ]
+            for a in atoms:
+                self.db.relation(a.predicate, a.arity)
+
+    def _stratum_rules(self, stratum: set[str]):
+        return [
+            (ri, r)
+            for ri, r in enumerate(self.program.proper_rules)
+            if r.head.predicate in stratum
+        ]
+
+    def _materialize(self) -> None:
+        self._rule_contrib: dict[int, Counter] = {}
+        for stratum in self.strata:
+            for ri, rule in self._stratum_rules(set(stratum)):
+                head = rule.head.predicate
+                counter = self.counts.setdefault(head, Counter())
+                contrib = Counter(
+                    instantiate_head(rule.head, s)
+                    for s in join_body(rule.body, self.db)
+                )
+                self._rule_contrib[ri] = contrib
+                for fact, k in contrib.items():
+                    counter[fact] += k
+                for fact in contrib:
+                    self.db.add_fact(head, fact)
+
+    # ------------------------------------------------------------------
+    def snapshot(self) -> dict[str, set[tuple]]:
+        """Current materialized facts (for oracle comparisons)."""
+        return self.db.as_dict()
+
+    def count_of(self, predicate: str, fact: tuple) -> int:
+        """Number of derivations of a derived fact (0 if absent)."""
+        return self.counts.get(predicate, Counter()).get(fact, 0)
+
+    def apply(self, delta: Delta) -> CountingTrace:
+        """Apply an EDB update by propagating derivation-count deltas."""
+        for pred in delta.touched_predicates():
+            if pred not in self.edb_predicates:
+                raise ValueError(
+                    f"cannot update derived predicate {pred!r}"
+                )
+        trace = CountingTrace()
+        if delta.is_empty:
+            return trace
+
+        # Counting has no re-derive safety net, so each pass must see an
+        # exact database state: first the deletion pass runs to
+        # completion (joins against the pre-deletion view), then the
+        # insertion pass runs on the settled intermediate state.
+        minus: dict[str, set[tuple]] = {}
+        for pred, facts in delta.deletions.items():
+            rel = self.db.relations.get(pred)
+            if rel is None:
+                continue
+            gone = {f for f in facts if rel.discard(f)}
+            if gone:
+                minus[pred] = gone
+        if minus:
+            self._one_pass(minus, sign=-1, trace=trace)
+
+        plus: dict[str, set[tuple]] = {}
+        for pred, facts in delta.insertions.items():
+            arity = len(next(iter(facts))) if facts else 0
+            rel = self.db.relation(pred, arity)
+            fresh = {f for f in facts if rel.add(f)}
+            if fresh:
+                plus[pred] = fresh
+        if plus:
+            self._one_pass(plus, sign=+1, trace=trace)
+        return trace
+
+    def _one_pass(
+        self,
+        changes: dict[str, set[tuple]],
+        sign: int,
+        trace: CountingTrace,
+    ) -> None:
+        """Propagate one signed wave of fact changes down all strata."""
+        for si, stratum in enumerate(self.strata):
+            stratum_set = set(stratum)
+            rules = self._stratum_rules(stratum_set)
+            if not rules:
+                continue
+            new_plus: dict[str, set[tuple]] = {}
+            new_minus: dict[str, set[tuple]] = {}
+            for ri, rule in rules:
+                head = rule.head.predicate
+                counter = self.counts.setdefault(head, Counter())
+                neg_changed = any(
+                    lit.negated
+                    and lit.atom is not None
+                    and lit.atom.predicate in changes
+                    for lit in rule.body
+                )
+                if neg_changed:
+                    n = self._refire_rule(ri, rule, counter, new_plus,
+                                          new_minus)
+                    trace.record("recount", si, ri, n)
+                    continue
+                n = self._propagate_signed(
+                    ri, rule, counter, changes, sign=sign,
+                    sink_plus=new_plus, sink_minus=new_minus,
+                )
+                trace.record("count", si, ri, n)
+            # a rule may flip facts in either direction (negation refire);
+            # both waves feed the remaining strata of this pass
+            for p, s in new_plus.items():
+                if sign > 0:
+                    changes.setdefault(p, set()).update(s)
+                elif s:
+                    # gained facts inside a deletion pass (negation
+                    # refire): propagate them exactly with a nested
+                    # positive pass over the remaining strata
+                    self._one_pass({p: set(s)}, sign=+1, trace=trace)
+            for p, s in new_minus.items():
+                if sign < 0:
+                    changes.setdefault(p, set()).update(s)
+                elif s:
+                    self._one_pass({p: set(s)}, sign=-1, trace=trace)
+
+    # ------------------------------------------------------------------
+    def _old_view(self, minus: dict[str, set[tuple]]) -> Database:
+        """Database view with deleted facts re-added (pre-update state
+        for predicates already processed)."""
+        if not any(minus.values()):
+            return self.db
+        view = Database(dict(self.db.relations))
+        for pred, gone in minus.items():
+            if not gone:
+                continue
+            arity = len(next(iter(gone)))
+            merged = Relation(pred, arity)
+            existing = self.db.relations.get(pred)
+            if existing is not None:
+                for f in existing:
+                    merged.add(f)
+            for f in gone:
+                merged.add(f)
+            view.relations[pred] = merged
+        return view
+
+    def _propagate_signed(
+        self,
+        ri: int,
+        rule,
+        counter: Counter,
+        delta_sets: dict[str, set[tuple]],
+        sign: int,
+        sink_plus: dict[str, set[tuple]],
+        sink_minus: dict[str, set[tuple]],
+    ) -> int:
+        """Count derivations involving at least one Δ-fact, with the
+        standard inclusion–exclusion ordering trick: position ``pos``
+        reads Δ, positions < pos read the state *without* Δ applied for
+        this sign, positions > pos read the state *with* it. We
+        approximate with the canonical two-view rule: for deletions the
+        join runs against the old view, for insertions against the new
+        one, each occurrence restricted to Δ once, positions before the
+        Δ-occurrence excluded from Δ via set subtraction.
+        """
+        head = rule.head.predicate
+        changed = 0
+        base_db = self._old_view(delta_sets) if sign < 0 else self.db
+        for pos, lit in enumerate(rule.body):
+            if lit.atom is None or lit.negated:
+                continue
+            pred = lit.atom.predicate
+            if pred not in delta_sets or not delta_sets[pred]:
+                continue
+            over = Relation(pred, lit.atom.arity)
+            for f in delta_sets[pred]:
+                over.add(f)
+            # exclude Δ from earlier occurrences of the same predicate:
+            # build a view where occurrences < pos see base minus Δ
+            derived = []
+            for subst in join_body(
+                rule.body,
+                base_db,
+                delta_overrides={pred: over},
+                delta_at=pos,
+            ):
+                # skip substitutions whose earlier same-pred occurrences
+                # also matched a Δ fact (counted once at their own pos)
+                double = False
+                for p2 in range(pos):
+                    lit2 = rule.body[p2]
+                    if (
+                        lit2.atom is not None
+                        and not lit2.negated
+                        and lit2.atom.predicate == pred
+                    ):
+                        fact2 = instantiate_head(lit2.atom, subst)
+                        if fact2 in delta_sets[pred]:
+                            double = True
+                            break
+                if not double:
+                    derived.append(instantiate_head(rule.head, subst))
+            contrib = self._rule_contrib.setdefault(ri, Counter())
+            for fact in derived:
+                contrib[fact] += sign
+                if contrib[fact] <= 0:
+                    del contrib[fact]
+                old = counter[fact]
+                counter[fact] = old + sign
+                changed += 1
+                if old == 0 and sign > 0:
+                    if self.db.add_fact(head, fact):
+                        sink_plus.setdefault(head, set()).add(fact)
+                elif old + sign == 0 and sign < 0:
+                    del counter[fact]
+                    rel = self.db.relations.get(head)
+                    if rel is not None and rel.discard(fact):
+                        sink_minus.setdefault(head, set()).add(fact)
+        return changed
+
+    def _refire_rule(
+        self,
+        ri: int,
+        rule,
+        counter: Counter,
+        sink_plus: dict[str, set[tuple]],
+        sink_minus: dict[str, set[tuple]],
+    ) -> int:
+        """A negated input changed: recompute this rule's contribution.
+
+        Exact for non-recursive rules: re-run the join, diff the
+        multiset of derivations against the rule's previous
+        contribution, and adjust counts.
+        """
+        head = rule.head.predicate
+        new_contrib = Counter(
+            instantiate_head(rule.head, s)
+            for s in join_body(rule.body, self.db)
+        )
+        old_contrib = self._rule_contrib.get(ri, Counter())
+        changed = 0
+        for fact in set(new_contrib) | set(old_contrib):
+            diff = new_contrib[fact] - old_contrib[fact]
+            if diff == 0:
+                continue
+            old = counter[fact]
+            counter[fact] = old + diff
+            changed += abs(diff)
+            if old == 0 and counter[fact] > 0:
+                if self.db.add_fact(head, fact):
+                    sink_plus.setdefault(head, set()).add(fact)
+            elif counter[fact] <= 0:
+                del counter[fact]
+                rel = self.db.relations.get(head)
+                if rel is not None and rel.discard(fact):
+                    sink_minus.setdefault(head, set()).add(fact)
+        self._rule_contrib[ri] = new_contrib
+        return changed
+

@@ -1,0 +1,153 @@
+"""Fact storage: relations, indexes, and the EDB/IDB database.
+
+A relation is a set of ground tuples plus hash indexes built lazily per
+bound-position pattern, so joins probe O(1) buckets instead of scanning.
+This is the storage layer under both from-scratch evaluation and
+incremental maintenance.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator
+
+__all__ = ["Relation", "Database"]
+
+Tuple_ = tuple  # ground tuples of int | str
+
+
+class Relation:
+    """A named set of ground tuples with lazy hash indexes.
+
+    Indexes map a tuple of bound positions, e.g. ``(0,)`` or ``(0, 2)``,
+    to buckets keyed by the values at those positions. They are built on
+    first use and maintained incrementally on insert/discard.
+    """
+
+    def __init__(self, name: str, arity: int) -> None:
+        self.name = name
+        self.arity = arity
+        self._tuples: set[Tuple_] = set()
+        self._indexes: dict[tuple[int, ...], dict[tuple, set[Tuple_]]] = {}
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._tuples)
+
+    def __iter__(self) -> Iterator[Tuple_]:
+        return iter(self._tuples)
+
+    def __contains__(self, t: Tuple_) -> bool:
+        return t in self._tuples
+
+    def add(self, t: Tuple_) -> bool:
+        """Insert; returns True if the tuple is new."""
+        if len(t) != self.arity:
+            raise ValueError(
+                f"{self.name}: tuple {t!r} has arity {len(t)}, "
+                f"expected {self.arity}"
+            )
+        if t in self._tuples:
+            return False
+        self._tuples.add(t)
+        for positions, index in self._indexes.items():
+            index[tuple(t[p] for p in positions)].add(t)
+        return True
+
+    def discard(self, t: Tuple_) -> bool:
+        """Remove; returns True if the tuple was present."""
+        if t not in self._tuples:
+            return False
+        self._tuples.remove(t)
+        for positions, index in self._indexes.items():
+            key = tuple(t[p] for p in positions)
+            bucket = index.get(key)
+            if bucket is not None:
+                bucket.discard(t)
+                if not bucket:
+                    del index[key]
+        return True
+
+    def _ensure_index(
+        self, positions: tuple[int, ...]
+    ) -> dict[tuple, set[Tuple_]]:
+        index = self._indexes.get(positions)
+        if index is None:
+            index = defaultdict(set)
+            for t in self._tuples:
+                index[tuple(t[p] for p in positions)].add(t)
+            self._indexes[positions] = index
+        return index
+
+    def match(
+        self, bound: dict[int, int | str] | None = None
+    ) -> Iterable[Tuple_]:
+        """Tuples whose values at the bound positions equal the given
+        values; full scan when ``bound`` is empty."""
+        if not bound:
+            return self._tuples
+        positions = tuple(sorted(bound))
+        index = self._ensure_index(positions)
+        return index.get(tuple(bound[p] for p in positions), ())
+
+    def copy(self) -> "Relation":
+        r = Relation(self.name, self.arity)
+        r._tuples = set(self._tuples)
+        return r
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Relation({self.name}/{self.arity}, {len(self)} tuples)"
+
+
+@dataclass
+class Database:
+    """A map predicate → relation, with convenience constructors."""
+
+    relations: dict[str, Relation] = field(default_factory=dict)
+
+    def relation(self, name: str, arity: int | None = None) -> Relation:
+        """Get-or-create a relation; checks arity consistency."""
+        rel = self.relations.get(name)
+        if rel is None:
+            if arity is None:
+                raise KeyError(f"unknown relation {name!r}")
+            rel = Relation(name, arity)
+            self.relations[name] = rel
+        elif arity is not None and rel.arity != arity:
+            raise ValueError(
+                f"relation {name} has arity {rel.arity}, requested {arity}"
+            )
+        return rel
+
+    def add_fact(self, name: str, t: Tuple_) -> bool:
+        """Insert a fact (creating the relation); True if new."""
+        return self.relation(name, len(t)).add(t)
+
+    def has_fact(self, name: str, t: Tuple_) -> bool:
+        """Membership test tolerant of missing relations."""
+        rel = self.relations.get(name)
+        return rel is not None and t in rel
+
+    def count(self, name: str) -> int:
+        """Fact count of a relation (0 if absent)."""
+        rel = self.relations.get(name)
+        return len(rel) if rel is not None else 0
+
+    def total_facts(self) -> int:
+        """Total facts across all relations."""
+        return sum(len(r) for r in self.relations.values())
+
+    def copy(self) -> "Database":
+        """Deep copy (relations are copied, tuples shared)."""
+        return Database({n: r.copy() for n, r in self.relations.items()})
+
+    def as_dict(self) -> dict[str, set[Tuple_]]:
+        """Snapshot: predicate → frozen set of tuples (for comparisons)."""
+        return {n: set(r) for n, r in self.relations.items()}
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        parts = ", ".join(
+            f"{n}/{r.arity}:{len(r)}" for n, r in sorted(self.relations.items())
+        )
+        return f"Database({parts})"

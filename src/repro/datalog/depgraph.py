@@ -1,0 +1,159 @@
+"""Predicate dependency graph, SCCs, and stratification.
+
+The *predicate dependency graph* has one node per predicate and an edge
+``p → q`` whenever ``p`` appears in the body of a rule with head ``q``
+(marked negative when the occurrence is negated). Strongly connected
+components (Tarjan, iterative) identify mutually recursive predicate
+groups; a program is *stratifiable* iff no negative edge lies inside an
+SCC. Strata are the SCCs in topological order — the evaluation and
+incremental-maintenance engines process them bottom-up, and the DAG
+compiler unrolls each recursive SCC's fixpoint iterations into levels
+of the computation DAG.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+
+from .ast import Program
+
+__all__ = ["DependencyGraph", "StratificationError", "condensation_sccs"]
+
+
+class StratificationError(ValueError):
+    """The program negates a predicate inside its own recursive clique."""
+
+
+def condensation_sccs(
+    nodes: list[str], edges: dict[str, set[str]]
+) -> list[list[str]]:
+    """Strongly connected components in *dependency order*: if any edge
+    runs from component A to component B, A appears before B.
+
+    Iterative Tarjan emits components sinks-first (a component completes
+    before anything that reaches it), so the emission order is reversed
+    before returning.
+    """
+    index: dict[str, int] = {}
+    low: dict[str, int] = {}
+    on_stack: set[str] = set()
+    stack: list[str] = []
+    sccs: list[list[str]] = []
+    counter = 0
+
+    for root in nodes:
+        if root in index:
+            continue
+        work: list[tuple[str, list[str], int]] = [
+            (root, sorted(edges.get(root, ())), 0)
+        ]
+        while work:
+            v, children, ci = work.pop()
+            if ci == 0:
+                index[v] = low[v] = counter
+                counter += 1
+                stack.append(v)
+                on_stack.add(v)
+            advanced = False
+            while ci < len(children):
+                w = children[ci]
+                ci += 1
+                if w not in index:
+                    work.append((v, children, ci))
+                    work.append((w, sorted(edges.get(w, ())), 0))
+                    advanced = True
+                    break
+                if w in on_stack:
+                    low[v] = min(low[v], index[w])
+            if advanced:
+                continue
+            if low[v] == index[v]:
+                comp = []
+                while True:
+                    w = stack.pop()
+                    on_stack.discard(w)
+                    comp.append(w)
+                    if w == v:
+                        break
+                sccs.append(sorted(comp))
+            if work:
+                parent = work[-1][0]
+                low[parent] = min(low[parent], low[v])
+    sccs.reverse()
+    return sccs
+
+
+@dataclass
+class DependencyGraph:
+    """Dependency structure of a :class:`~repro.datalog.ast.Program`."""
+
+    program: Program
+    #: body-pred → set of head-preds it feeds (positive or negative)
+    edges: dict[str, set[str]] = field(default_factory=dict)
+    #: (body-pred, head-pred) pairs where the body occurrence is negated
+    negative_edges: set[tuple[str, str]] = field(default_factory=set)
+
+    def __post_init__(self) -> None:
+        deps: dict[str, set[str]] = defaultdict(set)
+        for rule in self.program.proper_rules:
+            for pred, negated in rule.body_predicates():
+                deps[pred].add(rule.head.predicate)
+                # aggregation stratifies like negation: the aggregated
+                # body must be fully materialized before the rule runs
+                if negated or rule.has_aggregate:
+                    self.negative_edges.add((pred, rule.head.predicate))
+        self.edges = dict(deps)
+
+    # ------------------------------------------------------------------
+    def predicates(self) -> list[str]:
+        """All predicates, sorted (the SCC computation's node set)."""
+        return sorted(self.program.predicates())
+
+    def sccs(self) -> list[list[str]]:
+        """SCCs in dependency order (a predicate's inputs come first)."""
+        return condensation_sccs(self.predicates(), self.edges)
+
+    def recursive_predicates(self) -> set[str]:
+        """Predicates in a multi-node SCC or with a self-loop."""
+        out: set[str] = set()
+        for comp in self.sccs():
+            if len(comp) > 1:
+                out.update(comp)
+            else:
+                p = comp[0]
+                if p in self.edges.get(p, ()):  # pragma: no cover - guarded
+                    out.add(p)
+        for p, targets in self.edges.items():
+            if p in targets:
+                out.add(p)
+        return out
+
+    def stratify(self) -> list[list[str]]:
+        """Strata (SCCs in dependency order); raises on negation in a cycle.
+
+        Each stratum is one SCC. All predicates an SCC depends on appear
+        in strictly earlier strata, so negated bodies are fully
+        materialized before their consumers run — the standard
+        stratified-negation semantics.
+        """
+        comps = self.sccs()
+        comp_of: dict[str, int] = {}
+        for i, comp in enumerate(comps):
+            for p in comp:
+                comp_of[p] = i
+        for src, dst in self.negative_edges:
+            if comp_of.get(src) == comp_of.get(dst):
+                raise StratificationError(
+                    f"negation of {src!r} inside its own recursive "
+                    f"component {comps[comp_of[src]]!r}"
+                )
+        return comps
+
+    def is_stratifiable(self) -> bool:
+        """Whether :meth:`stratify` succeeds."""
+        try:
+            self.stratify()
+            return True
+        except StratificationError:
+            return False

@@ -1,0 +1,204 @@
+"""Recursive-descent parser: text → :class:`repro.datalog.ast.Program`.
+
+Grammar::
+
+    program    ::= clause*
+    clause     ::= head ( ":-" body )? "."
+    head       ::= IDENT "(" hterm ("," hterm)* ")" | IDENT
+    hterm      ::= term | AGG "(" VAR ")"            (AGG ∈ count|sum|min|max)
+    body       ::= literal ("," literal)*
+    literal    ::= "!"? atom
+                 | term cmp-op term                  (== != < <= > >=)
+                 | VAR "=" term (("+"|"-"|"*") term)?
+    atom       ::= IDENT "(" term ("," term)* ")" | IDENT
+    term       ::= VAR | INT | STRING | IDENT        (IDENT = symbol)
+
+Zero-arity atoms (``tick.``) are allowed. Comparisons use the body-term
+syntax directly (``path(X, Y), X != Y``); arithmetic appears only on
+the right side of an assignment, spaced (``D2 = D + 1`` — ``-5`` is a
+negative literal, ``D - 5`` a subtraction).
+"""
+
+from __future__ import annotations
+
+from .ast import (
+    AGGREGATE_OPS,
+    ARITH_OPS,
+    Aggregate,
+    Assignment,
+    Atom,
+    Comparison,
+    Constant,
+    Literal,
+    Program,
+    Rule,
+    Variable,
+)
+from .lexer import LexError, Token, tokenize
+
+__all__ = ["parse_program", "parse_rule", "ParseError"]
+
+
+class ParseError(ValueError):
+    """Raised on syntactically invalid input, with token context."""
+
+
+class _Parser:
+    def __init__(self, text: str) -> None:
+        try:
+            self.tokens = list(tokenize(text))
+        except LexError as exc:
+            raise ParseError(str(exc)) from exc
+        self.pos = 0
+
+    # ------------------------------------------------------------------
+    def peek(self) -> Token | None:
+        return self.tokens[self.pos] if self.pos < len(self.tokens) else None
+
+    def next(self) -> Token:
+        tok = self.peek()
+        if tok is None:
+            raise ParseError("unexpected end of input")
+        self.pos += 1
+        return tok
+
+    def expect(self, kind: str, text: str | None = None) -> Token:
+        tok = self.next()
+        if tok.kind != kind or (text is not None and tok.text != text):
+            want = f"{kind} {text!r}" if text else kind
+            raise ParseError(f"expected {want}, got {tok!r}")
+        return tok
+
+    def at(self, kind: str, text: str | None = None) -> bool:
+        tok = self.peek()
+        return (
+            tok is not None
+            and tok.kind == kind
+            and (text is None or tok.text == text)
+        )
+
+    # ------------------------------------------------------------------
+    def parse_term(self):
+        tok = self.next()
+        if tok.kind == "VAR":
+            return Variable(tok.text)
+        if tok.kind == "INT":
+            return Constant(int(tok.text))
+        if tok.kind == "STRING":
+            return Constant(tok.text)
+        if tok.kind == "IDENT":
+            return Constant(tok.text)  # lowercase symbol constant
+        raise ParseError(f"expected a term, got {tok!r}")
+
+    def parse_head_term(self):
+        """A head term: a plain term or an aggregate ``op(Var)``."""
+        tok = self.peek()
+        nxt = (
+            self.tokens[self.pos + 1]
+            if self.pos + 1 < len(self.tokens)
+            else None
+        )
+        if (
+            tok is not None
+            and tok.kind == "IDENT"
+            and tok.text in AGGREGATE_OPS
+            and nxt is not None
+            and nxt.kind == "PUNCT"
+            and nxt.text == "("
+        ):
+            op = self.next().text
+            self.expect("PUNCT", "(")
+            var_tok = self.expect("VAR")
+            self.expect("PUNCT", ")")
+            return Aggregate(op, Variable(var_tok.text))
+        return self.parse_term()
+
+    def parse_atom(self, allow_aggregates: bool = False) -> Atom:
+        name = self.expect("IDENT").text
+        terms: list = []
+        term = self.parse_head_term if allow_aggregates else self.parse_term
+        if self.at("PUNCT", "("):
+            self.next()
+            terms.append(term())
+            while self.at("PUNCT", ","):
+                self.next()
+                terms.append(term())
+            self.expect("PUNCT", ")")
+        return Atom(name, tuple(terms))
+
+    def parse_literal(self) -> Literal:
+        if self.at("BANG"):
+            self.next()
+            return Literal(atom=self.parse_atom(), negated=True)
+        # lookahead: "IDENT (" or bare IDENT is an atom; otherwise it must
+        # be a comparison whose left side is a term
+        tok = self.peek()
+        if tok is not None and tok.kind == "IDENT":
+            nxt = (
+                self.tokens[self.pos + 1]
+                if self.pos + 1 < len(self.tokens)
+                else None
+            )
+            if nxt is None or nxt.kind != "OP":
+                return Literal(atom=self.parse_atom())
+        left = self.parse_term()
+        op = self.expect("OP").text
+        if op == "=":
+            if not isinstance(left, Variable):
+                raise ParseError(
+                    f"assignment target must be a variable, got {left!r}"
+                )
+            expr_left = self.parse_term()
+            nxt = self.peek()
+            if nxt is not None and nxt.kind == "OP" and nxt.text in ARITH_OPS:
+                arith = self.next().text
+                expr_right = self.parse_term()
+                return Literal(
+                    assignment=Assignment(left, expr_left, arith, expr_right)
+                )
+            return Literal(assignment=Assignment(left, expr_left))
+        if op in ARITH_OPS:
+            raise ParseError(
+                f"unexpected arithmetic operator {op!r}; arithmetic is "
+                "only allowed on the right side of an assignment"
+            )
+        right = self.parse_term()
+        return Literal(comparison=Comparison(op, left, right))
+
+    def parse_clause(self) -> Rule:
+        head = self.parse_atom(allow_aggregates=True)
+        body: list[Literal] = []
+        if self.at("ARROW"):
+            self.next()
+            body.append(self.parse_literal())
+            while self.at("PUNCT", ","):
+                self.next()
+                body.append(self.parse_literal())
+        self.expect("PUNCT", ".")
+        try:
+            return Rule(head, tuple(body))
+        except ValueError as exc:
+            raise ParseError(str(exc)) from exc
+
+    def parse_program(self) -> Program:
+        rules: list[Rule] = []
+        while self.peek() is not None:
+            rules.append(self.parse_clause())
+        try:
+            return Program(rules)
+        except ValueError as exc:
+            raise ParseError(str(exc)) from exc
+
+
+def parse_program(text: str) -> Program:
+    """Parse a whole program (facts and rules)."""
+    return _Parser(text).parse_program()
+
+
+def parse_rule(text: str) -> Rule:
+    """Parse a single clause; raises if there is trailing input."""
+    p = _Parser(text)
+    rule = p.parse_clause()
+    if p.peek() is not None:
+        raise ParseError(f"trailing input after clause: {p.peek()!r}")
+    return rule

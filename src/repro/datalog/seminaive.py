@@ -1,0 +1,209 @@
+"""Stratified bottom-up evaluation: naive and semi-naive.
+
+Semi-naive evaluation is the workhorse of Datalog materialization and
+the source of the computation DAGs this paper schedules: each stratum's
+fixpoint is computed iteratively, and at iteration ``k`` each recursive
+rule is evaluated once per body occurrence of a recursive predicate,
+with that occurrence restricted to Δ\\ :sub:`k-1` (the facts newly
+derived in the previous iteration). The (rule, Δ-position, iteration)
+instances are exactly the *tasks* the DAG compiler emits.
+
+:func:`naive_evaluate` re-derives everything every iteration and serves
+as the test oracle for :func:`seminaive_evaluate`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .ast import Program, Rule
+from .database import Database, Relation
+from .depgraph import DependencyGraph
+from .unify import eval_rule, instantiate_head, join_body
+
+__all__ = ["naive_evaluate", "seminaive_evaluate", "EvaluationTrace"]
+
+
+@dataclass
+class EvaluationTrace:
+    """What semi-naive evaluation did — consumed by the DAG compiler.
+
+    ``iterations[stratum_idx]`` is a list of iteration records; each
+    record maps ``(rule_idx, delta_pos)`` to the set of *all* facts the
+    rule instance's join produced in that iteration. ``rule_idx``
+    indexes ``program.proper_rules`` (global, not stratum-local);
+    ``delta_pos`` is None for non-recursive rules, evaluated once in
+    iteration 0.
+    Recording the full join output — not only the facts that were new —
+    makes each record a pure function of the rule's input relations,
+    which the DAG compiler relies on to decide whether a task's output
+    *changed* between two materializations.
+    """
+
+    strata: list[list[str]] = field(default_factory=list)
+    iterations: list[list[dict]] = field(default_factory=list)
+
+    def total_tasks(self) -> int:
+        """Total (rule, Δ-position, iteration) instances recorded."""
+        return sum(len(it) for stratum in self.iterations for it in stratum)
+
+
+def _seed_facts(program: Program, db: Database) -> None:
+    for fact in program.facts:
+        db.add_fact(
+            fact.head.predicate,
+            tuple(t.value for t in fact.head.terms),  # type: ignore[union-attr]
+        )
+
+
+def _ensure_relations(program: Program, db: Database) -> None:
+    """Create empty relations for every predicate mentioned anywhere."""
+    for rule in program.rules:
+        atoms = [rule.head] + [
+            l.atom for l in rule.body if l.atom is not None
+        ]
+        for a in atoms:
+            db.relation(a.predicate, a.arity)
+
+
+def naive_evaluate(
+    program: Program,
+    db: Database | None = None,
+    max_iterations: int | None = None,
+) -> Database:
+    """Naive stratified fixpoint: re-run all rules until no change.
+
+    O(iterations × rules × join cost); the reference implementation.
+    ``max_iterations`` bounds the per-stratum passes — arithmetic
+    assignments can make fixpoints diverge, and the guard turns an
+    infinite loop into a :class:`RuntimeError`.
+    """
+    db = db.copy() if db is not None else Database()
+    _ensure_relations(program, db)
+    _seed_facts(program, db)
+    strata = DependencyGraph(program).stratify()
+    for stratum in strata:
+        rules = [
+            r for r in program.proper_rules if r.head.predicate in stratum
+        ]
+        changed = True
+        passes = 0
+        while changed:
+            passes += 1
+            if max_iterations is not None and passes > max_iterations:
+                raise RuntimeError(
+                    f"fixpoint for stratum {stratum} exceeded "
+                    f"{max_iterations} iterations (divergent arithmetic?)"
+                )
+            changed = False
+            for rule in rules:
+                # two-phase: never mutate a relation while joining over it
+                derived = eval_rule(rule, db)
+                for fact in derived:
+                    if db.add_fact(rule.head.predicate, fact):
+                        changed = True
+    return db
+
+
+def seminaive_evaluate(
+    program: Program,
+    db: Database | None = None,
+    record: bool = False,
+    max_iterations: int | None = None,
+) -> tuple[Database, EvaluationTrace]:
+    """Stratified semi-naive fixpoint.
+
+    Returns the materialized database and (when ``record``) the
+    per-iteration derivation trace used by the DAG compiler.
+    ``max_iterations`` bounds each stratum's Δ rounds (see
+    :func:`naive_evaluate`).
+    """
+    db = db.copy() if db is not None else Database()
+    _ensure_relations(program, db)
+    _seed_facts(program, db)
+    depgraph = DependencyGraph(program)
+    strata = depgraph.stratify()
+    recursive = depgraph.recursive_predicates()
+    trace = EvaluationTrace()
+
+    for stratum in strata:
+        stratum_set = set(stratum)
+        rules = [
+            (ri, r)
+            for ri, r in enumerate(program.proper_rules)
+            if r.head.predicate in stratum_set
+        ]
+        iteration_records: list[dict] = []
+
+        # iteration 0: every rule, full database
+        delta: dict[str, Relation] = {}
+        rec0: dict = {}
+        for ri, rule in rules:
+            produced = eval_rule(rule, db)
+            new_facts = {
+                fact
+                for fact in produced
+                if db.add_fact(rule.head.predicate, fact)
+            }
+            if produced or record:
+                rec0[(ri, None)] = produced
+            for fact in new_facts:
+                delta.setdefault(
+                    rule.head.predicate,
+                    Relation(rule.head.predicate, len(fact)),
+                ).add(fact)
+        iteration_records.append(rec0)
+
+        # iterations 1..: recursive rules with one Δ-occurrence each
+        rec_rules = [
+            (ri, rule)
+            for ri, rule in rules
+            if any(
+                p in stratum_set and p in recursive
+                for p, neg in rule.body_predicates()
+                if not neg
+            )
+        ]
+        rounds = 0
+        while delta:
+            rounds += 1
+            if max_iterations is not None and rounds > max_iterations:
+                raise RuntimeError(
+                    f"fixpoint for stratum {stratum} exceeded "
+                    f"{max_iterations} iterations (divergent arithmetic?)"
+                )
+            new_delta: dict[str, Relation] = {}
+            rec_k: dict = {}
+            for ri, rule in rec_rules:
+                for pos, lit in enumerate(rule.body):
+                    if (
+                        lit.atom is None
+                        or lit.negated
+                        or lit.atom.predicate not in delta
+                    ):
+                        continue
+                    produced = {
+                        instantiate_head(rule.head, subst)
+                        for subst in join_body(
+                            rule.body, db, delta_overrides=delta, delta_at=pos
+                        )
+                    }
+                    new_facts = {
+                        fact
+                        for fact in produced
+                        if db.add_fact(rule.head.predicate, fact)
+                    }
+                    if produced:
+                        rec_k[(ri, pos)] = produced
+                    for fact in new_facts:
+                        new_delta.setdefault(
+                            rule.head.predicate,
+                            Relation(rule.head.predicate, len(fact)),
+                        ).add(fact)
+            if rec_k:
+                iteration_records.append(rec_k)
+            delta = new_delta
+
+        trace.strata.append(stratum)
+        trace.iterations.append(iteration_records)
+    return db, trace

@@ -1,0 +1,28 @@
+"""The paper's scheduling algorithms and baselines."""
+
+from .base import ReadinessOracle, Scheduler, SchedulerContext
+from .hybrid import HybridScheduler
+from .levelbased import LevelBasedScheduler
+from .logicblox import LogicBloxScheduler
+from .lookahead import LookaheadScheduler
+from .meta import MetaResult, meta_schedule
+from .oracle import OracleScheduler, lower_bounds
+from .priority import CriticalPathScheduler, downstream_weight
+from .signalprop import SignalPropagationScheduler
+
+__all__ = [
+    "Scheduler",
+    "SchedulerContext",
+    "ReadinessOracle",
+    "LevelBasedScheduler",
+    "LookaheadScheduler",
+    "LogicBloxScheduler",
+    "SignalPropagationScheduler",
+    "HybridScheduler",
+    "OracleScheduler",
+    "CriticalPathScheduler",
+    "downstream_weight",
+    "lower_bounds",
+    "MetaResult",
+    "meta_schedule",
+]

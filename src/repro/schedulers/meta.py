@@ -1,0 +1,113 @@
+"""The meta-scheduler A′ of Theorem 10 and Corollary 11.
+
+Given any scheduler ``A``, the paper constructs A′:
+
+* split the processors — ``A`` simulates on P/2 cores, LevelBased on the
+  other P/2, fully independently (a task may execute twice);
+* if ``A``'s memory consumption reaches ζ/2, kill ``A`` and continue
+  with LevelBased on all processors;
+* A′ finishes as soon as *either* sub-schedule finishes.
+
+Guarantees: memory O(ζ) (with ζ = Ω(V)), makespan ≤ 2·min{T_a, T_b}
+when ``A`` stays within budget and ≤ 2·T_b otherwise — because each
+sub-scheduler runs on half the processors, at most doubling its
+makespan, and A′ takes the earlier finisher.
+
+Because the two sub-schedules share nothing, we emulate A′ exactly by
+running two independent simulations and composing their results, rather
+than interleaving them inside one engine. The composition reproduces
+the construction in the proof of Theorem 10 step for step:
+``makespan = min(T_a(P/2), T_b(P/2))`` if ``A``'s memory stayed under
+ζ/2, else LevelBased's completion bound ``T_b(P/2)`` (a conservative
+stand-in for "switch mid-run", which can only finish earlier).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..sim.engine import simulate
+from ..sim.overhead import OverheadModel
+from ..sim.result import SimulationResult
+from ..tasks.trace import JobTrace
+from .base import Scheduler
+from .levelbased import LevelBasedScheduler
+
+__all__ = ["MetaResult", "meta_schedule"]
+
+
+@dataclass
+class MetaResult:
+    """Outcome of running A′ = Meta(A, LevelBased) on a trace."""
+
+    makespan: float
+    memory_cells: int
+    #: whether A exceeded ζ/2 and was killed
+    a_killed: bool
+    #: which sub-scheduler finished first ("A" or "LevelBased")
+    winner: str
+    result_a: SimulationResult | None
+    result_b: SimulationResult
+    zeta: int
+
+    def summary(self) -> str:
+        """One-line human-readable outcome."""
+        status = "killed (memory)" if self.a_killed else "within budget"
+        return (
+            f"Meta: makespan={self.makespan:.4f}s, winner={self.winner}, "
+            f"A {status}, memory={self.memory_cells} <= O(zeta={self.zeta})"
+        )
+
+
+def meta_schedule(
+    trace: JobTrace,
+    scheduler_a: Scheduler,
+    processors: int,
+    zeta: int,
+    overhead: OverheadModel | None = None,
+) -> MetaResult:
+    """Run the Theorem 10 meta-scheduler construction.
+
+    ``zeta`` is the total memory budget in cells; the theorem requires
+    ζ = Ω(V) — we enforce ζ ≥ V because LevelBased alone needs one level
+    entry per node.
+    """
+    if processors < 2:
+        raise ValueError("meta-scheduler needs at least 2 processors to split")
+    v = trace.dag.n_nodes
+    if zeta < v:
+        raise ValueError(f"zeta={zeta} must be at least V={v} (zeta = Omega(V))")
+    half = processors // 2
+    overhead = overhead or OverheadModel()
+
+    result_b = simulate(
+        trace, LevelBasedScheduler(), processors=half, overhead=overhead
+    )
+    result_a = simulate(trace, scheduler_a, processors=half, overhead=overhead)
+
+    a_memory = result_a.total_memory_cells
+    a_killed = a_memory > zeta // 2
+    if a_killed:
+        # A is stopped; LevelBased continues on all processors. Its
+        # makespan on P/2 bounds the switch-over completion from above.
+        makespan = result_b.makespan
+        winner = "LevelBased"
+        memory = min(a_memory, zeta // 2) + result_b.total_memory_cells
+        result_a_out: SimulationResult | None = result_a
+    else:
+        if result_a.makespan <= result_b.makespan:
+            makespan, winner = result_a.makespan, "A"
+        else:
+            makespan, winner = result_b.makespan, "LevelBased"
+        memory = a_memory + result_b.total_memory_cells
+        result_a_out = result_a
+
+    return MetaResult(
+        makespan=makespan,
+        memory_cells=memory,
+        a_killed=a_killed,
+        winner=winner,
+        result_a=result_a_out,
+        result_b=result_b,
+        zeta=zeta,
+    )

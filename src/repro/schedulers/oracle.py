@@ -1,0 +1,100 @@
+"""Clairvoyant greedy scheduler and schedule lower bounds.
+
+The *oracle* scheduler dispatches a task the moment it becomes
+ground-truth ready — it is greedy list scheduling on the realized active
+graph ``H``, the best any online scheduler can do without reordering
+long jobs. Figure 2's "optimal" schedule (run each ``k_i`` as soon as
+``j_{i-1}`` finishes) is exactly what this scheduler produces, so the
+Theorem 9 bench compares LevelBased's Θ(ML) against it.
+
+:func:`lower_bounds` returns the two classic makespan lower bounds used
+throughout Section IV: total-work ``w/P`` and the critical path of the
+realized ``H`` (computed over ``G``-paths restricted to executing
+nodes, because readiness is defined by ancestors in ``G``).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+import numpy as np
+
+from ..tasks.trace import JobTrace
+from .base import Scheduler, SchedulerContext
+
+__all__ = ["OracleScheduler", "lower_bounds"]
+
+
+class OracleScheduler(Scheduler):
+    """Greedy clairvoyant dispatch: run anything the oracle says is ready.
+
+    Not a contribution of the paper — a reference point for benches and
+    tests. Charged one op per readiness check so its overhead is
+    realistic for an O(n)-scan implementation.
+    """
+
+    name = "Oracle"
+
+    def prepare(self, ctx: SchedulerContext) -> None:
+        self._oracle = ctx.oracle
+        self._waiting: deque[int] = deque()
+        self.precompute_ops = 0
+        self.precompute_memory_cells = 0
+
+    def on_activate(self, v: int, t: float) -> None:
+        self._waiting.append(v)
+        self.ops += 1
+        self.note_runtime_memory(len(self._waiting))
+
+    def on_complete(self, v: int, t: float) -> None:
+        self.ops += 1
+
+    def select(self, max_tasks: int, t: float) -> list[int]:
+        out: list[int] = []
+        still: deque[int] = deque()
+        while self._waiting:
+            v = self._waiting.popleft()
+            self.ops += 1
+            if len(out) < max_tasks and self._oracle.is_ready(v):
+                out.append(v)
+            else:
+                still.append(v)
+        self._waiting = still
+        return out
+
+
+def lower_bounds(trace: JobTrace, processors: int) -> dict[str, float]:
+    """Makespan lower bounds for ``trace`` on ``processors`` cores.
+
+    Returns ``{"work": w/P, "critical_path": C, "combined": max}`` where
+    ``C`` is the heaviest ``G``-path through executing nodes, weighting
+    each node by its span (the irreducible sequential part).
+    """
+    executed = trace.propagation.executed
+    w_over_p = float(trace.work[executed].sum()) / processors
+
+    # longest span-weighted path through executed nodes, in topo order
+    dag = trace.dag
+    span = np.where(executed, trace.span, 0.0)
+    dist = span.copy()
+    indeg = dag.in_degrees().copy()
+    frontier = [int(u) for u in np.flatnonzero(indeg == 0)]
+    best = 0.0
+    while frontier:
+        u = frontier.pop()
+        du = float(dist[u])
+        if du > best:
+            best = du
+        for v in dag.out_neighbors(u):
+            v = int(v)
+            cand = du + float(span[v])
+            if cand > dist[v]:
+                dist[v] = cand
+            indeg[v] -= 1
+            if indeg[v] == 0:
+                frontier.append(v)
+    return {
+        "work": w_over_p,
+        "critical_path": best,
+        "combined": max(w_over_p, best),
+    }

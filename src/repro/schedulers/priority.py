@@ -1,0 +1,85 @@
+"""Critical-path-first heuristic scheduler.
+
+A classic list-scheduling heuristic used as a second "any heuristic A"
+for the hybrid/meta constructions of Section V: among ready tasks,
+dispatch the one with the largest *downstream weight* — the heaviest
+work-weighted path from the task to any sink, precomputed over ``G``
+in O(V + E).
+
+Ready discovery mirrors the oracle scheduler (the engine's readiness
+feed with one op charged per candidate check); the contribution here is
+the *order*, which helps when long chains hide behind short fan-outs —
+and can lose to plain greedy on other shapes, which is exactly the
+"heuristics have no worst-case guarantees" premise the paper's
+meta-scheduler addresses.
+"""
+
+from __future__ import annotations
+
+import heapq
+
+import numpy as np
+
+from ..dag.traversal import topological_order
+from .base import Scheduler, SchedulerContext
+
+__all__ = ["CriticalPathScheduler", "downstream_weight"]
+
+
+def downstream_weight(dag, work: np.ndarray) -> np.ndarray:
+    """Heaviest work-weighted path from each node to any sink.
+
+    ``weight[u] = work[u] + max(weight over children, default 0)`` —
+    one reverse-topological sweep, O(V + E).
+    """
+    weight = np.asarray(work, dtype=np.float64).copy()
+    for u in reversed(topological_order(dag)):
+        u = int(u)
+        best = 0.0
+        for v in dag.out_neighbors(u):
+            if weight[v] > best:
+                best = float(weight[v])
+        weight[u] += best
+    return weight
+
+
+class CriticalPathScheduler(Scheduler):
+    """Ready tasks dispatched in decreasing downstream-weight order."""
+
+    name = "CriticalPath"
+
+    def prepare(self, ctx: SchedulerContext) -> None:
+        dag = ctx.dag
+        self._oracle = ctx.oracle
+        self._priority = downstream_weight(dag, ctx.trace.work)
+        self.precompute_ops = dag.n_nodes + dag.n_edges
+        self.precompute_memory_cells = dag.n_nodes
+        self._waiting: list[int] = []
+        self._ready_heap: list[tuple[float, int]] = []
+
+    def on_activate(self, v: int, t: float) -> None:
+        self._waiting.append(v)
+        self.ops += 1
+        self.note_runtime_memory(
+            len(self._waiting) + len(self._ready_heap)
+        )
+
+    def on_complete(self, v: int, t: float) -> None:
+        self.ops += 1
+
+    def select(self, max_tasks: int, t: float) -> list[int]:
+        # move newly-ready tasks into the priority heap
+        still: list[int] = []
+        for v in self._waiting:
+            self.ops += 1
+            if self._oracle.is_ready(v):
+                heapq.heappush(self._ready_heap, (-self._priority[v], v))
+            else:
+                still.append(v)
+        self._waiting = still
+        out: list[int] = []
+        while self._ready_heap and len(out) < max_tasks:
+            _, v = heapq.heappop(self._ready_heap)
+            out.append(v)
+            self.ops += 1
+        return out

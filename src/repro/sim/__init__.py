@@ -1,0 +1,32 @@
+"""Discrete-event scheduling simulator with overhead/memory accounting."""
+
+from .batch import ComparisonGrid, compare
+from .engine import InvalidDispatchError, SchedulerStallError, simulate
+from .overhead import MemoryStats, OverheadModel
+from .result import DispatchRecord, SimulationResult
+from .timeline import (
+    LevelEnvelope,
+    average_utilization,
+    busy_profile,
+    idle_gaps,
+    level_envelopes,
+    render_gantt,
+)
+
+__all__ = [
+    "simulate",
+    "compare",
+    "ComparisonGrid",
+    "SchedulerStallError",
+    "InvalidDispatchError",
+    "OverheadModel",
+    "MemoryStats",
+    "SimulationResult",
+    "DispatchRecord",
+    "busy_profile",
+    "average_utilization",
+    "level_envelopes",
+    "LevelEnvelope",
+    "idle_gaps",
+    "render_gantt",
+]

@@ -1,0 +1,119 @@
+"""Batch experiment runner: scheduler × trace comparison matrices.
+
+The evaluation pattern used everywhere in the paper — run a set of
+schedulers over a set of traces, tabulate makespan and overhead — in
+one call:
+
+>>> grid = compare(traces, [LevelBasedScheduler, HybridScheduler], P=8)
+>>> print(grid.render())
+
+Scheduler entries may be classes, zero-argument factories, or
+instances (instances are reset between runs by ``simulate`` itself).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Sequence
+
+from ..analysis.tables import format_seconds, render_table
+from ..schedulers.base import Scheduler
+from ..tasks.trace import JobTrace
+from .engine import simulate
+from .overhead import OverheadModel
+from .result import SimulationResult
+
+__all__ = ["ComparisonGrid", "compare"]
+
+SchedulerSpec = Callable[[], Scheduler]
+
+
+def _as_factory(spec) -> SchedulerSpec:
+    if isinstance(spec, Scheduler):
+        return lambda: spec
+    return spec  # class or factory
+
+
+@dataclass
+class ComparisonGrid:
+    """Results of one scheduler × trace sweep."""
+
+    processors: int
+    #: results[trace_name][scheduler_name]
+    results: dict[str, dict[str, SimulationResult]] = field(
+        default_factory=dict
+    )
+
+    def schedulers(self) -> list[str]:
+        """Scheduler names, in first-seen column order."""
+        names: list[str] = []
+        for row in self.results.values():
+            for name in row:
+                if name not in names:
+                    names.append(name)
+        return names
+
+    def makespans(self, trace_name: str) -> dict[str, float]:
+        """Makespan per scheduler on one trace."""
+        return {
+            name: r.makespan
+            for name, r in self.results[trace_name].items()
+        }
+
+    def best(self, trace_name: str) -> str:
+        """Scheduler with the smallest makespan on ``trace_name``."""
+        row = self.makespans(trace_name)
+        return min(row, key=row.get)
+
+    def win_counts(self) -> dict[str, int]:
+        """How many traces each scheduler wins (smallest makespan)."""
+        wins: dict[str, int] = {name: 0 for name in self.schedulers()}
+        for t in self.results:
+            wins[self.best(t)] += 1
+        return wins
+
+    def render(self, quantity: str = "makespan") -> str:
+        """ASCII table: one row per trace, one column per scheduler."""
+        if quantity not in ("makespan", "overhead", "ops"):
+            raise ValueError(f"unknown quantity {quantity!r}")
+        names = self.schedulers()
+        rows = []
+        for tname, row in self.results.items():
+            cells: list[str] = [tname]
+            for n in names:
+                r = row.get(n)
+                if r is None:
+                    cells.append("—")
+                elif quantity == "makespan":
+                    cells.append(format_seconds(r.makespan))
+                elif quantity == "overhead":
+                    cells.append(format_seconds(r.scheduling_overhead))
+                else:
+                    cells.append(str(r.scheduling_ops))
+            rows.append(cells)
+        return render_table(
+            ["trace", *names],
+            rows,
+            title=f"{quantity} (P={self.processors})",
+        )
+
+
+def compare(
+    traces: Iterable[JobTrace],
+    schedulers: Sequence,
+    processors: int = 8,
+    overhead: OverheadModel | None = None,
+) -> ComparisonGrid:
+    """Run every scheduler over every trace and collect the grid."""
+    grid = ComparisonGrid(processors=processors)
+    factories = [(_as_factory(s)) for s in schedulers]
+    for trace in traces:
+        row: dict[str, SimulationResult] = {}
+        for factory in factories:
+            scheduler = factory()
+            res = simulate(
+                trace, scheduler, processors=processors, overhead=overhead
+            )
+            row[res.scheduler_name] = res
+        grid.results[trace.name] = row
+    return grid

@@ -1,0 +1,305 @@
+"""Discrete-event scheduling simulator.
+
+Plays one :class:`~repro.tasks.trace.JobTrace` against one
+:class:`~repro.schedulers.base.Scheduler` on ``P`` processors:
+
+1. The update dirties the initial tasks; the engine notifies the
+   scheduler of every activation and asks it for dispatchable work
+   whenever processors are idle.
+2. Every dispatch is validated against the ground-truth
+   :class:`~repro.tasks.activation.ActivationState` — a scheduler that
+   releases a task before its activated ancestors finish aborts the run.
+3. Completions deliver realized change signals, revealing the active
+   graph ``H`` to the scheduler incrementally (Section II-A's
+   "dynamically revealed over time").
+4. Scheduler operations are charged inline (see
+   :class:`~repro.sim.overhead.OverheadModel`), so makespans include
+   scheduling overhead exactly as Tables II/III report them.
+
+Malleable tasks are supported with dynamic processor re-allotment:
+leftover idle processors join running malleable tasks, and remaining
+work is re-rated — the divisible-load model under which Lemma 5's
+``w/P + L`` bound is exact.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..schedulers.base import ReadinessOracle, Scheduler, SchedulerContext
+from ..tasks.model import ExecutionModel, max_useful_processors
+from ..tasks.trace import JobTrace
+from .overhead import OverheadModel
+from .result import DispatchRecord, SimulationResult
+
+__all__ = ["simulate", "SchedulerStallError", "InvalidDispatchError"]
+
+
+class SchedulerStallError(RuntimeError):
+    """Scheduler found no work while tasks remain and nothing runs."""
+
+
+class InvalidDispatchError(RuntimeError):
+    """Scheduler released a task that is not ground-truth ready."""
+
+
+@dataclass
+class _Running:
+    node: int
+    model: int
+    alloc: int
+    start: float
+    span_end: float  # earliest legal finish (start + span)
+    work_remaining: float
+    last_update: float
+    version: int = 0
+
+    def finish_estimate(self, now: float) -> float:
+        if self.model == ExecutionModel.MALLEABLE:
+            rem = self.work_remaining - self.alloc * (now - self.last_update)
+            rem = max(rem, 0.0)
+            return max(self.span_end, now + rem / self.alloc)
+        return self.span_end  # sequential/unit: span_end holds the finish
+
+
+def simulate(
+    trace: JobTrace,
+    scheduler: Scheduler,
+    processors: int = 8,
+    overhead: OverheadModel | None = None,
+    record_schedule: bool = False,
+    reallot: bool = True,
+) -> SimulationResult:
+    """Run ``scheduler`` on ``trace`` with ``processors`` cores.
+
+    Returns a :class:`SimulationResult`. Raises
+    :class:`InvalidDispatchError` / :class:`SchedulerStallError` on
+    scheduler misbehavior — these are correctness checks, not expected
+    outcomes.
+    """
+    if processors <= 0:
+        raise ValueError(f"processors must be positive, got {processors}")
+    overhead = overhead or OverheadModel()
+
+    state = trace.fresh_activation_state()
+    scheduler.reset_counters()
+    oracle = ReadinessOracle(state.is_ready)
+    ctx = SchedulerContext(
+        trace=trace,
+        processors=processors,
+        oracle=oracle,
+    )
+    scheduler.prepare(ctx)
+
+    work = trace.work
+    span = trace.span
+    models = trace.models
+
+    t = 0.0
+    charged_overhead = 0.0
+    idle = processors
+    busy_proc_seconds = 0.0
+    tasks_executed = 0
+    total_work_done = 0.0
+    select_calls = 0
+    schedule: list[DispatchRecord] = []
+
+    running: dict[int, _Running] = {}
+    event_heap: list[tuple[float, int, int, int]] = []  # (finish, seq, node, ver)
+    seq = 0
+
+    def push_event(rec: _Running, finish: float) -> None:
+        nonlocal seq
+        heapq.heappush(event_heap, (finish, seq, rec.node, rec.version))
+        seq += 1
+
+    def charge(ops_delta: int) -> None:
+        nonlocal t, charged_overhead
+        cost = overhead.time_for(ops_delta)
+        charged_overhead += cost
+        if overhead.charge_inline:
+            t += cost
+
+    def update_malleable(rec: _Running, now: float) -> None:
+        """Advance a malleable task's remaining work to ``now``."""
+        if rec.model == ExecutionModel.MALLEABLE:
+            rec.work_remaining = max(
+                0.0, rec.work_remaining - rec.alloc * (now - rec.last_update)
+            )
+            rec.last_update = now
+
+    def dispatch(node: int, alloc: int, now: float) -> None:
+        nonlocal idle
+        try:
+            state.mark_dispatched(node)
+        except RuntimeError as exc:
+            raise InvalidDispatchError(
+                f"{scheduler.name} dispatched task {node} illegally: {exc}"
+            ) from exc
+        idle -= alloc
+        m = int(models[node])
+        if m == ExecutionModel.MALLEABLE:
+            rec = _Running(
+                node=node,
+                model=m,
+                alloc=alloc,
+                start=now,
+                span_end=now + float(span[node]),
+                work_remaining=float(work[node]),
+                last_update=now,
+            )
+            push_event(rec, rec.finish_estimate(now))
+        else:
+            dur = 1.0 if m == ExecutionModel.UNIT else float(work[node])
+            rec = _Running(
+                node=node,
+                model=m,
+                alloc=alloc,
+                start=now,
+                span_end=now + dur,
+                work_remaining=0.0,
+                last_update=now,
+            )
+            push_event(rec, rec.span_end)
+        running[node] = rec
+
+    def reallot_idle(now: float) -> None:
+        """Give leftover idle processors to running malleable tasks."""
+        nonlocal idle
+        if idle <= 0:
+            return
+        grew = True
+        while idle > 0 and grew:
+            grew = False
+            for rec in running.values():
+                if idle <= 0:
+                    break
+                if rec.model != ExecutionModel.MALLEABLE:
+                    continue
+                update_malleable(rec, now)
+                cap = max_useful_processors(
+                    rec.work_remaining, max(0.0, rec.span_end - now), rec.model
+                )
+                if rec.alloc < cap:
+                    rec.alloc += 1
+                    rec.version += 1
+                    idle -= 1
+                    grew = True
+                    push_event(rec, rec.finish_estimate(now))
+
+    # ------------------------------------------------------------------
+    # bootstrap: reveal the update
+    # ------------------------------------------------------------------
+    dispatchable0, activated0 = state.bootstrap()
+    oracle.push_ready_events(dispatchable0)
+    ops_before = scheduler.ops
+    for v in activated0:
+        scheduler.on_activate(v, t)
+    charge(scheduler.ops - ops_before)
+
+    # ------------------------------------------------------------------
+    # main loop
+    # ------------------------------------------------------------------
+    while True:
+        # dispatch phase: keep asking while the scheduler produces work
+        while idle > 0:
+            ops_before = scheduler.ops
+            chosen = scheduler.select(idle, t)
+            select_calls += 1
+            charge(scheduler.ops - ops_before)
+            if not chosen:
+                break
+            if len(chosen) > idle:
+                raise InvalidDispatchError(
+                    f"{scheduler.name} returned {len(chosen)} tasks for "
+                    f"{idle} idle processors"
+                )
+            # first pass: one processor each; extras go to malleable tasks
+            mall = [v for v in chosen if models[v] == ExecutionModel.MALLEABLE]
+            allocs = {v: 1 for v in chosen}
+            spare = idle - len(chosen)
+            while spare > 0 and mall:
+                progressed = False
+                for v in mall:
+                    if spare <= 0:
+                        break
+                    cap = max_useful_processors(
+                        float(work[v]), float(span[v]), int(models[v])
+                    )
+                    if allocs[v] < cap:
+                        allocs[v] += 1
+                        spare -= 1
+                        progressed = True
+                if not progressed:
+                    break
+            for v in chosen:
+                dispatch(v, allocs[v], t)
+
+        if reallot:
+            reallot_idle(t)
+
+        if not running:
+            if state.all_done():
+                break
+            raise SchedulerStallError(
+                f"{scheduler.name} stalled on {trace.name}: "
+                f"{state.pending_count()} task(s) pending, none running, "
+                "none selected"
+            )
+
+        # completion phase: pop the next valid event
+        while True:
+            finish, _, node, ver = heapq.heappop(event_heap)
+            rec = running.get(node)
+            if rec is not None and rec.version == ver:
+                break
+        t = max(t, finish)
+        update_malleable(rec, t)
+        del running[node]
+        idle += rec.alloc
+        duration = t - rec.start
+        busy_proc_seconds += duration * rec.alloc
+        tasks_executed += 1
+        total_work_done += float(work[node])
+        if record_schedule:
+            schedule.append(
+                DispatchRecord(
+                    node=node, start=rec.start, finish=t, processors=rec.alloc
+                )
+            )
+
+        dispatchable, newly_activated = state.complete(node)
+        oracle.push_ready_events(dispatchable)
+        ops_before = scheduler.ops
+        for v in newly_activated:
+            scheduler.on_activate(v, t)
+        scheduler.on_complete(node, t)
+        charge(scheduler.ops - ops_before)
+
+    makespan = t
+    exec_makespan = max(0.0, makespan - (charged_overhead if overhead.charge_inline else 0.0))
+    util = (
+        busy_proc_seconds / (processors * exec_makespan)
+        if exec_makespan > 0
+        else 1.0
+    )
+    return SimulationResult(
+        scheduler_name=scheduler.name,
+        trace_name=trace.name,
+        processors=processors,
+        makespan=makespan,
+        execution_makespan=exec_makespan,
+        scheduling_overhead=charged_overhead,
+        scheduling_ops=scheduler.ops,
+        precompute_ops=scheduler.precompute_ops,
+        precompute_memory_cells=scheduler.precompute_memory_cells,
+        runtime_peak_memory_cells=scheduler.runtime_peak_memory_cells,
+        tasks_executed=tasks_executed,
+        total_work=total_work_done,
+        utilization=min(util, 1.0),
+        schedule=schedule,
+        extras={"select_calls": select_calls},
+    )

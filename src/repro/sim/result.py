@@ -1,0 +1,76 @@
+"""Simulation outcomes: the quantities Tables II and III report."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+__all__ = ["SimulationResult", "DispatchRecord"]
+
+
+@dataclass(frozen=True)
+class DispatchRecord:
+    """One task execution in the realized schedule (for timelines/tests).
+
+    ``processors`` is the task's *final* allotment: with dynamic
+    re-allotment a malleable task may have started narrower and grown
+    as processors freed up (simulate with ``reallot=False`` when an
+    analysis needs a constant per-record width).
+    """
+
+    node: int
+    start: float
+    finish: float
+    processors: int
+
+
+@dataclass
+class SimulationResult:
+    """Everything measured from one (trace, scheduler, P) run.
+
+    ``makespan`` includes the scheduling overhead charged inline but not
+    pre-processing, matching the paper's reporting convention.
+    """
+
+    scheduler_name: str
+    trace_name: str
+    processors: int
+    #: total simulated time from update to last completion (incl. overhead)
+    makespan: float
+    #: simulated time spent executing tasks' critical path (excl. overhead)
+    execution_makespan: float
+    #: simulated seconds of scheduler work (ops × op_cost)
+    scheduling_overhead: float
+    #: raw scheduler operation count at runtime
+    scheduling_ops: int
+    #: scheduler operation count during precomputation (levels, intervals)
+    precompute_ops: int
+    #: precomputed + runtime peak memory cells
+    precompute_memory_cells: int
+    runtime_peak_memory_cells: int
+    #: number of tasks executed
+    tasks_executed: int
+    #: total task work executed
+    total_work: float
+    #: busy processor-seconds / (P × execution_makespan)
+    utilization: float
+    #: per-task schedule, populated when ``record_schedule=True``
+    schedule: list[DispatchRecord] = field(default_factory=list)
+    #: free-form extras (component breakdowns for hybrid/meta, etc.)
+    extras: dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def total_memory_cells(self) -> int:
+        """Precompute plus runtime peak cells."""
+        return self.precompute_memory_cells + self.runtime_peak_memory_cells
+
+    def summary(self) -> str:
+        """One-line human-readable summary."""
+        return (
+            f"{self.scheduler_name:>14s} on {self.trace_name}: "
+            f"makespan={self.makespan:.4f}s "
+            f"(exec={self.execution_makespan:.4f}s, "
+            f"overhead={self.scheduling_overhead:.4f}s, "
+            f"ops={self.scheduling_ops}), tasks={self.tasks_executed}, "
+            f"util={self.utilization:.2%}"
+        )

@@ -1,0 +1,136 @@
+"""Schedule timeline analysis: utilization profiles and level progress.
+
+Post-processing over a recorded schedule (``simulate(...,
+record_schedule=True)``): busy-processor step functions, per-level
+start/finish envelopes (which make the LevelBased barrier visible), idle
+gaps, and a textual Gantt rendering for small schedules. Used by the
+examples and handy when debugging a scheduler's behavior.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..tasks.trace import JobTrace
+from .result import SimulationResult
+
+__all__ = [
+    "busy_profile",
+    "average_utilization",
+    "level_envelopes",
+    "idle_gaps",
+    "render_gantt",
+    "LevelEnvelope",
+]
+
+
+def busy_profile(result: SimulationResult) -> tuple[np.ndarray, np.ndarray]:
+    """Step function of busy processors: ``(times, busy_after_time)``.
+
+    ``times`` is sorted; ``busy[i]`` holds between ``times[i]`` and
+    ``times[i+1]``. Empty schedule yields empty arrays.
+    """
+    if not result.schedule:
+        return np.zeros(0), np.zeros(0, dtype=np.int64)
+    events: dict[float, int] = {}
+    for rec in result.schedule:
+        events[rec.start] = events.get(rec.start, 0) + rec.processors
+        events[rec.finish] = events.get(rec.finish, 0) - rec.processors
+    times = np.array(sorted(events))
+    deltas = np.array([events[t] for t in times], dtype=np.int64)
+    return times, np.cumsum(deltas)
+
+
+def average_utilization(result: SimulationResult) -> float:
+    """Busy processor-time / (P × span of the recorded schedule)."""
+    times, busy = busy_profile(result)
+    if times.size < 2:
+        return 0.0
+    span = times[-1] - times[0]
+    if span <= 0:
+        return 1.0
+    area = float(np.sum(busy[:-1] * np.diff(times)))
+    return area / (result.processors * span)
+
+
+@dataclass(frozen=True)
+class LevelEnvelope:
+    """Execution envelope of one DAG level."""
+
+    level: int
+    n_tasks: int
+    first_start: float
+    last_finish: float
+
+    @property
+    def width(self) -> float:
+        return self.last_finish - self.first_start
+
+
+def level_envelopes(
+    trace: JobTrace, result: SimulationResult
+) -> list[LevelEnvelope]:
+    """Per-level (first start, last finish) envelopes, sorted by level.
+
+    Under LevelBased the envelopes never interleave (level ℓ+1 starts
+    after level ℓ finishes); dependency-exact schedulers overlap them.
+    """
+    levels = trace.levels
+    acc: dict[int, list[tuple[float, float]]] = {}
+    for rec in result.schedule:
+        acc.setdefault(int(levels[rec.node]), []).append(
+            (rec.start, rec.finish)
+        )
+    out = []
+    for lvl in sorted(acc):
+        spans = acc[lvl]
+        out.append(
+            LevelEnvelope(
+                level=lvl,
+                n_tasks=len(spans),
+                first_start=min(s for s, _ in spans),
+                last_finish=max(f for _, f in spans),
+            )
+        )
+    return out
+
+
+def idle_gaps(result: SimulationResult) -> list[tuple[float, float]]:
+    """Maximal intervals where *all* processors idle mid-schedule."""
+    times, busy = busy_profile(result)
+    gaps = []
+    for i in range(len(times) - 1):
+        if busy[i] == 0 and times[i + 1] > times[i]:
+            gaps.append((float(times[i]), float(times[i + 1])))
+    return gaps
+
+
+def render_gantt(
+    trace: JobTrace,
+    result: SimulationResult,
+    width: int = 64,
+    max_rows: int = 40,
+) -> str:
+    """Textual Gantt chart of a small recorded schedule.
+
+    One row per task (earliest start first), ``#`` marking its busy
+    span on a ``width``-column time axis. Truncates to ``max_rows``.
+    """
+    if not result.schedule:
+        return "(empty schedule)"
+    recs = sorted(result.schedule, key=lambda r: (r.start, r.node))
+    t_end = max(r.finish for r in recs)
+    if t_end <= 0:
+        t_end = 1.0
+    lines = [f"time 0 .. {t_end:.3f}  ({len(recs)} tasks)"]
+    for rec in recs[:max_rows]:
+        a = int(rec.start / t_end * (width - 1))
+        b = max(a + 1, int(np.ceil(rec.finish / t_end * (width - 1))))
+        bar = " " * a + "#" * (b - a)
+        name = trace.dag.name_of(rec.node)[:14]
+        lines.append(f"{name:>14s} |{bar.ljust(width)}|")
+    if len(recs) > max_rows:
+        lines.append(f"... {len(recs) - max_rows} more tasks")
+    return "\n".join(lines)

@@ -1,0 +1,21 @@
+"""Task substrate: execution models, activation semantics, job traces."""
+
+from .activation import ActivationState, PropagationResult, propagate_changes
+from .model import ExecutionModel, execution_time, max_useful_processors
+from .serialize import load_npz, save_npz
+from .stats import TraceStats, trace_stats
+from .trace import JobTrace
+
+__all__ = [
+    "ActivationState",
+    "PropagationResult",
+    "propagate_changes",
+    "ExecutionModel",
+    "execution_time",
+    "max_useful_processors",
+    "JobTrace",
+    "TraceStats",
+    "trace_stats",
+    "save_npz",
+    "load_npz",
+]

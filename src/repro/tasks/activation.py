@@ -1,0 +1,235 @@
+"""Activation semantics: the active graph ``H`` (Section II-A).
+
+An update to the base data activates some *initial tasks*. When an
+activated node executes, each of its out-edges either delivers a changed
+output (activating the target) or delivers "no change". A node that
+receives at least one change must re-execute; a node all of whose
+incoming signals resolve to "no change" is *deactivated* — it never
+runs, and its own out-edges deliver no change either. This is why, in
+Figure 1, only 532 of the 1,680 descendants of the five initial tasks
+re-execute.
+
+A trace fixes the realized outcome per edge with a boolean
+``changed_edges`` array: edge ``e = (u, v)`` delivers a change *iff*
+``changed_edges[e]`` and ``u`` actually executes. From those flags this
+module derives the ground truth:
+
+* :func:`propagate_changes` — the executed set ``W`` (the paper's
+  active-node set) and the realized active-edge set ``F``.
+* :class:`ActivationState` — the incremental, event-driven form used by
+  the simulator: resolution counters per node, yielding dispatchable
+  tasks and deactivation cascades as executions complete.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..dag.graph import Dag
+
+__all__ = ["propagate_changes", "ActivationState", "PropagationResult"]
+
+
+@dataclass(frozen=True)
+class PropagationResult:
+    """Ground-truth outcome of an update, computed in one topo sweep."""
+
+    #: boolean (V,): node will (re-)execute — the active set ``W``
+    executed: np.ndarray
+    #: boolean (E,): edge carries a realized change — the edge set ``F``
+    active_edges: np.ndarray
+    #: boolean (V,): node receives at least one changed input or is initial
+    activated: np.ndarray
+
+    @property
+    def n_active(self) -> int:
+        """``|W|`` — how many nodes (re-)execute."""
+        return int(self.executed.sum())
+
+
+def propagate_changes(
+    dag: Dag, initial: np.ndarray, changed_edges: np.ndarray
+) -> PropagationResult:
+    """Forward-propagate change flags to obtain the realized ``H``.
+
+    ``initial`` is an array of node ids that execute unconditionally
+    (the updated base predicates / redefined rules). ``changed_edges``
+    is boolean over dense edge indices (see :meth:`Dag.edge_index`).
+    O(V + E).
+    """
+    n = dag.n_nodes
+    executed = np.zeros(n, dtype=bool)
+    executed[np.asarray(initial, dtype=np.int64)] = True
+    activated = executed.copy()
+    active_edges = np.zeros(dag.n_edges, dtype=bool)
+
+    indeg = dag.in_degrees().copy()
+    frontier = list(np.flatnonzero(indeg == 0))
+    while frontier:
+        u = frontier.pop()
+        if executed[u]:
+            lo, hi = dag.out_edge_range(u)
+            for ei in range(lo, hi):
+                if changed_edges[ei]:
+                    v = dag._out_adj[ei]  # noqa: SLF001 - hot path, package-internal
+                    active_edges[ei] = True
+                    activated[v] = True
+                    executed[v] = True
+        for v in dag.out_neighbors(u):
+            indeg[v] -= 1
+            if indeg[v] == 0:
+                frontier.append(int(v))
+    return PropagationResult(
+        executed=executed, active_edges=active_edges, activated=activated
+    )
+
+
+@dataclass
+class ActivationState:
+    """Event-driven ground truth used by the simulation engine.
+
+    Tracks, per node, how many parents are still *unresolved*. A node is
+    resolved when it has executed, or when all its parents resolved
+    without delivering it a change (deactivation). Newly dispatchable
+    tasks (resolved-parents + activated) surface via the lists returned
+    from :meth:`complete` / :meth:`start`.
+
+    The state is pure bookkeeping — O(1) amortized per edge over the
+    whole run — and is *not* charged to any scheduler's overhead. Each
+    scheduler must rediscover readiness with its own machinery; this
+    class exists so the simulator can validate those discoveries.
+    """
+
+    dag: Dag
+    initial: np.ndarray
+    changed_edges: np.ndarray
+    unresolved_parents: np.ndarray = field(init=False)
+    activated: np.ndarray = field(init=False)
+    will_execute: np.ndarray = field(init=False)
+    executed: np.ndarray = field(init=False)
+    resolved: np.ndarray = field(init=False)
+    dispatched: np.ndarray = field(init=False)
+
+    def __post_init__(self) -> None:
+        n = self.dag.n_nodes
+        self.unresolved_parents = self.dag.in_degrees().copy()
+        self.activated = np.zeros(n, dtype=bool)
+        self.will_execute = np.zeros(n, dtype=bool)
+        self.executed = np.zeros(n, dtype=bool)
+        self.resolved = np.zeros(n, dtype=bool)
+        self.dispatched = np.zeros(n, dtype=bool)
+        init = np.asarray(self.initial, dtype=np.int64)
+        self.activated[init] = True
+        self.will_execute[init] = True
+
+    # ------------------------------------------------------------------
+    def bootstrap(self) -> tuple[list[int], list[int]]:
+        """Resolve all nodes reachable without any execution.
+
+        Returns ``(dispatchable, newly_activated)``: the initially
+        runnable tasks and every node activated so far (for t=0
+        scheduler notification). Must be called exactly once, before
+        any :meth:`complete`.
+        """
+        dispatchable: list[int] = []
+        newly_activated = [int(u) for u in np.flatnonzero(self.activated)]
+        cascade = [
+            int(u) for u in np.flatnonzero(self.unresolved_parents == 0)
+        ]
+        self._drain(cascade, dispatchable, newly_activated)
+        return dispatchable, newly_activated
+
+    def complete(self, u: int) -> tuple[list[int], list[int]]:
+        """Record that task ``u`` finished executing.
+
+        Delivers ``u``'s realized change signals, resolves ``u``, and
+        cascades deactivations. Returns ``(dispatchable,
+        newly_activated)`` — tasks that just became ground-truth ready,
+        and nodes that just received their first change signal.
+        """
+        if not self.dispatched[u]:
+            raise RuntimeError(f"complete({u}) before dispatch")
+        if self.executed[u]:
+            raise RuntimeError(f"task {u} completed twice")
+        self.executed[u] = True
+        self.resolved[u] = True
+
+        dispatchable: list[int] = []
+        newly_activated: list[int] = []
+        lo, hi = self.dag.out_edge_range(u)
+        cascade: list[int] = []
+        for ei in range(lo, hi):
+            v = int(self.dag._out_adj[ei])  # noqa: SLF001
+            if self.changed_edges[ei]:
+                if not self.activated[v]:
+                    self.activated[v] = True
+                    newly_activated.append(v)
+                self.will_execute[v] = True
+            self.unresolved_parents[v] -= 1
+            if self.unresolved_parents[v] == 0:
+                cascade.append(v)
+        self._drain(cascade, dispatchable, newly_activated)
+        return dispatchable, newly_activated
+
+    def _drain(
+        self,
+        cascade: list[int],
+        dispatchable: list[int],
+        newly_activated: list[int],
+    ) -> None:
+        """Process nodes whose parents have all resolved."""
+        while cascade:
+            v = cascade.pop()
+            if self.resolved[v] or self.dispatched[v]:
+                continue
+            if self.will_execute[v]:
+                dispatchable.append(v)  # ready to run; resolves on completion
+                continue
+            # deactivation: all inputs settled, none changed
+            self.resolved[v] = True
+            lo, hi = self.dag.out_edge_range(v)
+            for ei in range(lo, hi):
+                w = int(self.dag._out_adj[ei])  # noqa: SLF001
+                self.unresolved_parents[w] -= 1
+                if self.unresolved_parents[w] == 0:
+                    cascade.append(w)
+
+    # ------------------------------------------------------------------
+    def mark_dispatched(self, u: int) -> None:
+        """Validate and record a scheduler's dispatch of ``u``.
+
+        Raises :class:`RuntimeError` if ``u`` is not ground-truth ready —
+        this is the simulator's schedule-validity check (no task may run
+        before its activated ancestors are done, Section II-A).
+        """
+        if self.dispatched[u]:
+            raise RuntimeError(f"task {u} dispatched twice")
+        if not self.will_execute[u]:
+            raise RuntimeError(
+                f"task {u} dispatched but never activated (spurious re-run)"
+            )
+        if self.unresolved_parents[u] != 0:
+            raise RuntimeError(
+                f"task {u} dispatched with {self.unresolved_parents[u]} "
+                "unresolved parent(s) — an activated ancestor may still "
+                "change its input"
+            )
+        self.dispatched[u] = True
+
+    def is_ready(self, u: int) -> bool:
+        """Ground-truth readiness (without dispatching)."""
+        return (
+            bool(self.will_execute[u])
+            and not self.dispatched[u]
+            and self.unresolved_parents[u] == 0
+        )
+
+    def all_done(self) -> bool:
+        """True when every node that must execute has executed."""
+        return bool(np.all(~self.will_execute | self.executed))
+
+    def pending_count(self) -> int:
+        """Number of tasks that must still execute."""
+        return int(np.sum(self.will_execute & ~self.executed))

@@ -1,0 +1,78 @@
+"""Task execution models (Section IV's three task classes).
+
+The paper analyzes LevelBased under three task regimes:
+
+* **unit-length** tasks (Lemma 3): every task takes one time step.
+* **fully parallelizable** tasks (Lemma 5): arbitrary work, no internal
+  span — on ``p`` processors a task with work ``w`` runs in ``w/p``.
+* **arbitrary** tasks (Lemma 7 / Theorem 9): each task is internally a
+  DAG ``D_u`` with work ``w_u`` and span ``S^T_u``; on ``p`` processors
+  greedy scheduling takes between ``max(S^T_u, w_u/p)`` and
+  ``w_u/p + S^T_u`` (Brent). We model the execution time with the lower
+  Brent bound ``max(span, work/p)``, which is exact for the two shapes
+  the paper's analyses exercise (pure chains: ``work == span``; and flat
+  fans: ``span ∈ {0, 1}``).
+
+A *sequential* task — the shape of the LogicBlox production traces,
+which record one processing time per task — is the special case
+``span == work`` (runs on one processor for its duration).
+
+All per-task attributes live in NumPy arrays owned by the
+:class:`repro.tasks.trace.JobTrace`; this module defines the scalar
+model and the vectorized helpers over those arrays.
+"""
+
+from __future__ import annotations
+
+import enum
+
+import numpy as np
+
+__all__ = ["ExecutionModel", "execution_time", "max_useful_processors"]
+
+
+class ExecutionModel(enum.IntEnum):
+    """How a task's duration responds to the processors allotted to it."""
+
+    #: one unit of work on one processor (Lemma 3's regime)
+    UNIT = 0
+    #: fixed duration on exactly one processor (``span == work``)
+    SEQUENTIAL = 1
+    #: divisible work with a span floor: ``max(span, work / p)``
+    MALLEABLE = 2
+
+
+def execution_time(
+    work: float, span: float, model: int, processors: int
+) -> float:
+    """Time for one task on ``processors`` processors.
+
+    ``model`` is an :class:`ExecutionModel` value. Raises on a
+    non-positive processor count — dispatching a task to zero processors
+    is always a scheduler bug.
+    """
+    if processors <= 0:
+        raise ValueError(f"task needs >= 1 processor, got {processors}")
+    if model == ExecutionModel.UNIT:
+        return 1.0
+    if model == ExecutionModel.SEQUENTIAL:
+        return float(work)
+    if model == ExecutionModel.MALLEABLE:
+        return float(max(span, work / processors))
+    raise ValueError(f"unknown execution model {model!r}")
+
+
+def max_useful_processors(work: float, span: float, model: int) -> int:
+    """Largest allotment that still reduces a task's execution time.
+
+    Greedy dispatch uses this to avoid starving other ready tasks: a
+    malleable task with span ``s > 0`` gains nothing beyond
+    ``ceil(work / span)`` processors; sequential and unit tasks use one.
+    """
+    if model in (ExecutionModel.UNIT, ExecutionModel.SEQUENTIAL):
+        return 1
+    if model == ExecutionModel.MALLEABLE:
+        if span <= 0.0:
+            return np.iinfo(np.int32).max  # perfectly divisible work
+        return max(1, int(np.ceil(work / span)))
+    raise ValueError(f"unknown execution model {model!r}")

@@ -1,0 +1,89 @@
+"""Binary trace serialization (NumPy ``.npz``).
+
+The JSON schema in :mod:`repro.tasks.trace` is the interchange format;
+it is human-diffable but a full-scale trace #11 (465k nodes) costs tens
+of megabytes and seconds to parse. This module stores the same schema
+as a compressed ``.npz`` bundle — one array per field — loading in
+milliseconds. Both formats round-trip through the same
+:class:`~repro.tasks.JobTrace` value.
+
+Format (schema v1):
+
+* ``edges``        — (E, 2) int64
+* ``work``/``span``— (V,) float64
+* ``models``       — (V,) int8
+* ``is_task``      — (V,) bool
+* ``initial``      — int64 ids
+* ``changed``      — (E,) bool
+* ``meta_json``    — one JSON string holding name/metadata/n_nodes
+* ``names_json``   — optional JSON list of node names
+"""
+
+from __future__ import annotations
+
+import io
+import json
+from pathlib import Path
+
+import numpy as np
+
+from ..dag.graph import Dag
+from .trace import JobTrace
+
+__all__ = ["save_npz", "load_npz"]
+
+_SCHEMA = 1
+
+
+def save_npz(trace: JobTrace, path: str | Path) -> None:
+    """Write ``trace`` to a compressed ``.npz`` file."""
+    meta = {
+        "schema": _SCHEMA,
+        "name": trace.name,
+        "metadata": trace.metadata,
+        "n_nodes": trace.dag.n_nodes,
+    }
+    arrays = {
+        "edges": trace.dag.edge_array(),
+        "work": trace.work,
+        "span": trace.span,
+        "models": trace.models,
+        "is_task": trace.is_task,
+        "initial": trace.initial_tasks,
+        "changed": trace.changed_edges,
+        "meta_json": np.array(json.dumps(meta)),
+    }
+    if trace.dag.node_names is not None:
+        arrays["names_json"] = np.array(json.dumps(trace.dag.node_names))
+    with open(path, "wb") as fh:
+        np.savez_compressed(fh, **arrays)
+
+
+def load_npz(path: str | Path | io.BytesIO) -> JobTrace:
+    """Load a trace written by :func:`save_npz`."""
+    with np.load(path, allow_pickle=False) as data:
+        meta = json.loads(str(data["meta_json"]))
+        if meta.get("schema") != _SCHEMA:
+            raise ValueError(f"unsupported npz schema {meta.get('schema')!r}")
+        names = (
+            json.loads(str(data["names_json"]))
+            if "names_json" in data
+            else None
+        )
+        dag = Dag(
+            int(meta["n_nodes"]),
+            data["edges"],
+            node_names=names,
+            validate=False,  # written from a validated trace
+        )
+        return JobTrace(
+            dag=dag,
+            work=data["work"],
+            span=data["span"],
+            models=data["models"],
+            is_task=data["is_task"],
+            initial_tasks=data["initial"],
+            changed_edges=data["changed"],
+            name=meta.get("name", "trace"),
+            metadata=meta.get("metadata", {}),
+        )

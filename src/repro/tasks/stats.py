@@ -1,0 +1,55 @@
+"""Trace statistics — the columns of Table I and Figure 1's caption."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..dag.traversal import reachable_mask
+from .trace import JobTrace
+
+__all__ = ["TraceStats", "trace_stats"]
+
+
+@dataclass(frozen=True)
+class TraceStats:
+    """One row of Table I, plus Figure 1's descendant counts."""
+
+    name: str
+    n_nodes: int
+    n_edges: int
+    n_initial: int
+    n_active_jobs: int
+    n_levels: int
+    n_task_nodes: int
+    n_descendants: int  # descendants of the initial tasks (Figure 1's 1,680)
+    total_active_work: float
+
+    def table1_row(self) -> tuple[int, int, int, int, int]:
+        """(nodes, edges, initial tasks, active jobs, levels)."""
+        return (
+            self.n_nodes,
+            self.n_edges,
+            self.n_initial,
+            self.n_active_jobs,
+            self.n_levels,
+        )
+
+
+def trace_stats(trace: JobTrace) -> TraceStats:
+    """Compute the Table I row for ``trace`` (one BFS + cached props)."""
+    desc_mask = reachable_mask(trace.dag, trace.initial_tasks)
+    desc_mask[trace.initial_tasks] = False
+    n_desc = int(np.sum(desc_mask & trace.is_task))
+    return TraceStats(
+        name=trace.name,
+        n_nodes=trace.dag.n_nodes,
+        n_edges=trace.dag.n_edges,
+        n_initial=int(trace.initial_tasks.size),
+        n_active_jobs=trace.n_active_jobs,
+        n_levels=trace.n_levels,
+        n_task_nodes=int(trace.is_task.sum()),
+        n_descendants=n_desc,
+        total_active_work=trace.total_active_work,
+    )

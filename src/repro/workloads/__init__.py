@@ -1,0 +1,29 @@
+"""Experiment workloads: synthetic generators, pathological instances,
+job-trace analogues (#1–#11), and Datalog-derived workloads."""
+
+from . import pathological, synthetic, tables
+from .pathological import interval_fragmenter, logicblox_killer, theorem9_example
+from .synthetic import (
+    assign_durations,
+    grow_active_set,
+    layered_structure,
+    make_synthetic_trace,
+)
+from .tables import PAPER_TABLE1, TRACE_CONFIGS, TraceConfig, make_trace
+
+__all__ = [
+    "synthetic",
+    "pathological",
+    "tables",
+    "make_synthetic_trace",
+    "layered_structure",
+    "grow_active_set",
+    "assign_durations",
+    "theorem9_example",
+    "logicblox_killer",
+    "interval_fragmenter",
+    "make_trace",
+    "TraceConfig",
+    "TRACE_CONFIGS",
+    "PAPER_TABLE1",
+]

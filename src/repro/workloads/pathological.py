@@ -1,0 +1,148 @@
+"""Pathological instances from the paper's analysis and evaluation.
+
+* :func:`theorem9_example` — Figure 2's tight example, where LevelBased
+  achieves Θ(ML) against the optimal Θ(M + L).
+* :func:`logicblox_killer` — the spirit of Section VI's synthetic
+  instance (the "100×" anecdote and job trace #11): a shallow DAG with
+  a huge activated queue that the production scheduler rescans over and
+  over while LevelBased identifies the same ready tasks in O(1).
+* :func:`interval_fragmenter` — a dense layered mesh whose DFS interval
+  lists fragment to Θ(width) intervals per node, exhibiting the O(V²)
+  preprocessing-space worst case of the interval-list scheme.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..dag.builder import DagBuilder
+from ..dag.random_dags import diamond_mesh
+from ..tasks.trace import JobTrace
+
+__all__ = ["theorem9_example", "logicblox_killer", "interval_fragmenter"]
+
+
+def theorem9_example(L: int, unit: float = 1.0) -> JobTrace:
+    """Figure 2's construction with M = L.
+
+    Tasks ``j_1 … j_L`` form a unit-length chain; for each ``i ≥ 2`` a
+    side task ``k_i`` hangs off ``j_{i-1}`` with work *and span*
+    ``L − i + 1`` (a sequential inner chain — not parallelizable).
+
+    * Optimal/greedy: start each ``k_i`` the moment ``j_{i-1}`` ends —
+      makespan Θ(M + L) = Θ(L).
+    * LevelBased: will not advance past level ``i`` until ``k_{i+1}``
+      finishes — makespan Σ (L − i + 1) = Θ(L²).
+
+    ``unit`` scales all durations. Everything is activated
+    (``j_1`` initial, every edge carries a change), matching the
+    theorem's setting where the whole instance must re-run.
+    """
+    if L < 2:
+        raise ValueError(f"need L >= 2, got {L}")
+    b = DagBuilder()
+    j = [b.add_node(f"j{i}") for i in range(1, L + 1)]
+    for i in range(L - 1):
+        b.add_edge(j[i], j[i + 1])
+    for i in range(2, L + 1):  # k_i depends on j_{i-1}
+        k = b.add_node(f"k{i}")
+        b.add_edge(j[i - 2], k)
+    dag = b.build()
+
+    work = np.empty(dag.n_nodes, dtype=np.float64)
+    work[:L] = unit  # the j chain
+    for i in range(2, L + 1):
+        work[L + i - 2] = (L - i + 1) * unit  # k_i, sequential (span == work)
+    changed = np.ones(dag.n_edges, dtype=bool)
+    return JobTrace(
+        dag=dag,
+        work=work,
+        initial_tasks=np.array([j[0]]),
+        changed_edges=changed,
+        name=f"theorem9(L={L})",
+        metadata={"L": L, "M": L, "unit": unit},
+    )
+
+
+def logicblox_killer(
+    m: int,
+    width_per_step: int = 1,
+    task_work: float = 1e-3,
+    compact_index: bool = False,
+) -> JobTrace:
+    """A chain that drip-unblocks a huge pre-activated queue.
+
+    Structure: source ``s`` feeds a chain ``c_1 → … → c_m`` *and* every
+    wide task ``t_{i,r}``; additionally ``c_i → t_{i,r}``. The update
+    dirties ``s``, whose execution changes **all** of its out-edges, so
+    after one step the active queue holds the full chain head plus all
+    ``m·width`` wide tasks — but ``t_{i,·}`` stays blocked until ``c_i``
+    completes.
+
+    The production scheduler's ready queue drains after every chain
+    step, forcing a fresh scan of the still-huge active queue: Θ(m²)
+    interval probes overall. LevelBased keeps one bucket per level and
+    spends Θ(m) total. Makespans are nearly identical (the chain is the
+    critical path), so the entire gap is scheduling overhead — the
+    "100×" synthetic instance of Section VI.
+
+    The family exhibits a *second*, independent pathology: the riders'
+    DFS postorders interleave with the chain's, fragmenting the
+    ancestor interval lists to Θ(i) entries each — Θ(m²) index cells,
+    the Section II-C space worst case. ``compact_index=True`` disables
+    it by appending a probe sink under ``c_m`` whose node id precedes
+    every rider's: the reversed-DAG DFS then claims the whole chain in
+    one contiguous descent and every ancestor list collapses to O(1)
+    intervals. Use it to study the rescan pathology in isolation.
+    """
+    if m < 1:
+        raise ValueError(f"need m >= 1, got {m}")
+    b = DagBuilder()
+    s = b.add_node("s")
+    c = [b.add_node(f"c{i}") for i in range(1, m + 1)]
+    b.add_edge(s, c[0])
+    for i in range(m - 1):
+        b.add_edge(c[i], c[i + 1])
+    if compact_index:
+        probe = b.add_node("probe")
+        b.add_edge(c[m - 1], probe)
+    wide: list[int] = []
+    for i in range(m):
+        for r in range(width_per_step):
+            tnode = b.add_node(f"t{i + 1}_{r}")
+            wide.append(tnode)
+            b.add_edge(s, tnode)
+            b.add_edge(c[i], tnode)
+    dag = b.build()
+    work = np.full(dag.n_nodes, task_work, dtype=np.float64)
+    changed = np.ones(dag.n_edges, dtype=bool)
+    return JobTrace(
+        dag=dag,
+        work=work,
+        initial_tasks=np.array([s]),
+        changed_edges=changed,
+        name=f"logicblox_killer(m={m})",
+        metadata={"m": m, "width_per_step": width_per_step},
+    )
+
+
+def interval_fragmenter(
+    width: int, depth: int, task_work: float = 1.0
+) -> JobTrace:
+    """Complete-bipartite layered mesh; interval lists fragment to Θ(width).
+
+    Used by the memory ablation: the interval index over this DAG costs
+    Θ(width² · depth) cells, against the level table's Θ(width · depth).
+    The whole mesh is activated.
+    """
+    dag = diamond_mesh(width, depth)
+    work = np.full(dag.n_nodes, task_work, dtype=np.float64)
+    changed = np.ones(dag.n_edges, dtype=bool)
+    return JobTrace(
+        dag=dag,
+        work=work,
+        initial_tasks=np.arange(width),
+        changed_edges=changed,
+        name=f"interval_fragmenter({width}x{depth})",
+        metadata={"width": width, "depth": depth},
+    )

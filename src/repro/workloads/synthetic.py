@@ -1,0 +1,394 @@
+"""Generic synthetic workload machinery.
+
+The paper's job traces are proprietary, but Table I publishes their
+structural statistics and Tables II/III pin down duration scales. This
+module provides the three building blocks the calibrated generators in
+:mod:`repro.workloads.tables` compose:
+
+* :func:`layered_structure` — a DAG with an exact node count, edge
+  count, and level count (levels coincide with layers by construction);
+* :func:`grow_active_set` — select which nodes the update activates by
+  growing the activation frontier downstream of the initial tasks until
+  a target count of *task* nodes is hit ("bushy" growth spreads across
+  branches, "chain" growth follows single paths — job traces #7 vs #8
+  differ exactly this way);
+* :func:`assign_durations` — log-normal work with a chosen mean and
+  shape; the heavy tail is what separates LevelBased's per-level
+  barrier (makespan ≈ Σ_ℓ max duration at ℓ) from the production
+  scheduler's dependency-exact overlap (makespan ≈ heaviest active
+  chain), reproducing Table II's ratios.
+
+All functions are deterministic given their RNG.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..dag.graph import Dag
+from ..dag.levels import compute_levels
+from ..dag.random_dags import as_rng
+from ..tasks.trace import JobTrace
+
+__all__ = [
+    "layered_structure",
+    "grow_active_set",
+    "assign_durations",
+    "make_synthetic_trace",
+]
+
+
+def layered_structure(
+    n_nodes: int,
+    n_edges: int,
+    n_levels: int,
+    rng: int | np.random.Generator | None = 0,
+    level_profile: str = "uniform",
+    locality: float = 0.9,
+) -> tuple[Dag, np.ndarray]:
+    """Build a DAG with exactly the requested nodes, edges, and levels.
+
+    Nodes are distributed over ``n_levels`` layers. Every non-source
+    node gets one mandatory parent in the previous layer (which fixes
+    its level to its layer index); the remaining edge budget is spent on
+    random cross-layer edges from strictly lower layers (which can never
+    raise a level). Returns ``(dag, layer_of_node)``.
+
+    ``level_profile``:
+      * ``"uniform"`` — layers of (nearly) equal size;
+      * ``"wide-top"`` — geometric decay: most nodes near the sources,
+        the shape of the shallow production DAGs (#6, #11).
+
+    ``locality`` in [0, 1] controls how *tree-like* the wiring is: with
+    probability ``locality`` a node's parents are drawn from a small
+    window around its own relative position in the lower layer (so
+    sibling subtrees stay disjoint, the regime where the interval-list
+    encoding is compact — "usually, but not always", Section II-C);
+    otherwise parents are uniform over the lower layer. Production
+    dataflow DAGs are strongly local (a rule reads a handful of nearby
+    predicates), which is why the LogicBlox preprocessing is viable on
+    them at all.
+    """
+    rng = as_rng(rng)
+    if n_levels <= 0 or n_nodes < n_levels:
+        raise ValueError(
+            f"need n_nodes ({n_nodes}) >= n_levels ({n_levels}) >= 1"
+        )
+    if level_profile == "uniform":
+        weights = np.ones(n_levels)
+    elif level_profile == "wide-top":
+        weights = 0.55 ** np.arange(n_levels)
+    else:
+        raise ValueError(f"unknown level_profile {level_profile!r}")
+    sizes = np.maximum(
+        1, np.round(weights / weights.sum() * n_nodes).astype(np.int64)
+    )
+    # fix rounding drift while keeping every layer non-empty
+    drift = int(n_nodes - sizes.sum())
+    i = 0
+    while drift != 0:
+        j = i % n_levels
+        if drift > 0:
+            sizes[j] += 1
+            drift -= 1
+        elif sizes[j] > 1:
+            sizes[j] -= 1
+            drift += 1
+        i += 1
+
+    offsets = np.concatenate(([0], np.cumsum(sizes)))
+    layer_of = np.empty(n_nodes, dtype=np.int32)
+    for li in range(n_levels):
+        layer_of[offsets[li] : offsets[li + 1]] = li
+
+    mandatory = n_nodes - int(sizes[0])
+    if n_edges < mandatory:
+        raise ValueError(
+            f"n_edges={n_edges} below the {mandatory} edges needed to give "
+            "every non-source node a parent"
+        )
+
+    edges = set()
+
+    def pick_parent(v: int, child_lo: int, child_hi: int,
+                    par_lo: int, par_hi: int) -> int:
+        """A parent for v: aligned-with-jitter (local) or uniform."""
+        width = par_hi - par_lo
+        if locality > 0.0 and rng.random() < locality:
+            frac = (v - child_lo) / max(1, child_hi - child_lo)
+            center = par_lo + frac * width
+            jitter = rng.normal(0.0, max(1.0, 0.02 * width))
+            u = int(np.clip(center + jitter, par_lo, par_hi - 1))
+        else:
+            u = int(rng.integers(par_lo, par_hi))
+        return u
+
+    # mandatory parents keep level == layer index; remember the tree
+    tree_parent = np.full(n_nodes, -1, dtype=np.int64)
+    for li in range(1, n_levels):
+        lo, hi = int(offsets[li]), int(offsets[li + 1])
+        plo, phi = int(offsets[li - 1]), int(offsets[li])
+        for v in range(lo, hi):
+            u = pick_parent(v, lo, hi, plo, phi)
+            tree_parent[v] = u
+            edges.add((u, v))
+
+    # Extra edges. Real dataflow DAGs are dominated by *transitive
+    # shortcuts* — a rule reads both a derived predicate and predicates
+    # further up the same derivation — so most extra edges here jump a
+    # geometric number of steps up the node's own mandatory-parent
+    # chain. Shortcuts keep the ancestor interval lists compact (the
+    # new parent's ancestor set is already contained in the chain's),
+    # matching the paper's "usually, but not always, compact". A
+    # ``1 - locality`` fraction are genuinely cross-cutting random
+    # edges, which is what fragmentation there is comes from.
+    budget = n_edges - len(edges)
+    tries = 0
+    while budget > 0 and tries < 50 * n_edges:
+        tries += 1
+        v = int(rng.integers(offsets[1], n_nodes))
+        lv = int(layer_of[v])
+        if locality > 0.0 and rng.random() < locality:
+            hops = 1 + int(rng.geometric(0.5))
+            u = v
+            for _ in range(hops):
+                if tree_parent[u] < 0:
+                    break
+                u = int(tree_parent[u])
+            if u == v or u == tree_parent[v]:
+                continue
+        else:
+            src_layer = max(0, lv - int(rng.geometric(0.5)))
+            lo, hi = int(offsets[lv]), int(offsets[lv + 1])
+            u = pick_parent(
+                v, lo, hi, int(offsets[src_layer]), int(offsets[src_layer + 1])
+            )
+        if (u, v) not in edges:
+            edges.add((u, v))
+            budget -= 1
+    if budget > 0:
+        raise RuntimeError(
+            f"could not place {budget} extra edges; graph too dense"
+        )
+    dag = Dag(
+        n_nodes, np.array(sorted(edges), dtype=np.int64), validate=False
+    )
+    return dag, layer_of
+
+
+def grow_active_set(
+    dag: Dag,
+    initial: np.ndarray,
+    target_active_tasks: int,
+    is_task: np.ndarray,
+    rng: int | np.random.Generator | None = 0,
+    style: str = "bushy",
+    depth_bias: float = 0.0,
+    unit_steps: bool = False,
+) -> np.ndarray:
+    """Choose the realized change flags so exactly the grown set executes.
+
+    Grows the executing set ``W`` downstream from ``initial`` until it
+    contains ``target_active_tasks`` task nodes (or the frontier dries
+    up), then returns boolean change flags per dense edge index: for
+    each non-initial member one (or more) incoming edge from a member
+    parent is flagged changed; all other edges are unchanged. By
+    construction :func:`repro.tasks.activation.propagate_changes`
+    recovers exactly ``W``.
+
+    ``style="bushy"`` expands the frontier breadth-first with random
+    tie-breaking (many parallel branches — LevelBased pays the level
+    barrier). ``style="chain"`` depth-first follows single paths (one
+    active task per level — LevelBased is optimal). ``depth_bias`` in
+    [0, 1] interpolates: with that probability the *most recent*
+    frontier node is extended (driving the activation tree deep, so the
+    active set spreads over many levels with only a few tasks per
+    level — the regime of job traces #1–#4), otherwise a uniformly
+    random frontier node branches. ``unit_steps=True`` restricts growth
+    to edges that advance exactly one level whenever possible, keeping
+    the active set level-homogeneous — the updates on which LevelBased
+    matches the production scheduler (job traces #8, #9).
+    """
+    rng = as_rng(rng)
+    levels = compute_levels(dag) if unit_steps else None
+    heights: np.ndarray | None = None
+    if style == "chain":
+        # longest downward path per node, so chains can steer around
+        # dead subtrees and run the full depth of the DAG
+        from ..schedulers.priority import downstream_weight
+
+        heights = downstream_weight(dag, np.ones(dag.n_nodes))
+    initial = np.asarray(initial, dtype=np.int64)
+    in_w = np.zeros(dag.n_nodes, dtype=bool)
+    in_w[initial] = True
+    count = int(np.sum(is_task[initial]))
+    chosen_edge: dict[int, int] = {}  # member -> the in-edge that activated it
+
+    if style == "chain":
+        # true dependency paths: one tip per initial, extended until it
+        # dead-ends, never branching mid-path — so the active set's
+        # level order coincides with its dependency order and the
+        # LevelBased barrier costs nothing (traces #8/#9's regime)
+        pending = [int(x) for x in initial[::-1]]
+        tip = pending.pop() if pending else None
+        while count < target_active_tasks and tip is not None:
+            children = [
+                int(c) for c in dag.out_neighbors(tip) if not in_w[c]
+            ]
+            if not children:
+                tip = pending.pop() if pending else None
+                continue
+            # steer down the tallest subtree so the chain survives,
+            # preferring task nodes (dense chains keep the active set's
+            # level footprint close to the chain length) and unit level
+            # steps among equally tall options
+            tallest = max(heights[c] for c in children)
+            children = [c for c in children if heights[c] == tallest]
+            tasky = [c for c in children if is_task[c]]
+            if tasky:
+                children = tasky
+            if levels is not None:
+                stepped = [
+                    c for c in children if levels[c] == levels[tip] + 1
+                ]
+                if stepped:
+                    children = stepped
+            v = children[int(rng.integers(0, len(children)))]
+            in_w[v] = True
+            chosen_edge[v] = dag.edge_index(tip, v)
+            if is_task[v]:
+                count += 1
+            tip = v
+        if count < target_active_tasks:
+            # every chain dried up: top up with short branches off the
+            # existing chains so the target activation count is met
+            frontier = [int(x) for x in np.flatnonzero(in_w)]
+            while count < target_active_tasks and frontier:
+                i = int(rng.integers(0, len(frontier)))
+                u = frontier[i]
+                children = [
+                    int(c) for c in dag.out_neighbors(u) if not in_w[c]
+                ]
+                if not children:
+                    frontier.pop(i)
+                    continue
+                v = children[int(rng.integers(0, len(children)))]
+                in_w[v] = True
+                chosen_edge[v] = dag.edge_index(u, v)
+                if is_task[v]:
+                    count += 1
+                frontier.append(v)
+    elif style == "bushy":
+        frontier: list[int] = list(initial)
+        while count < target_active_tasks and frontier:
+            if depth_bias > 0.0 and rng.random() < depth_bias:
+                i = len(frontier) - 1
+            else:
+                i = int(rng.integers(0, len(frontier)))
+            u = frontier[i]
+            children = [int(c) for c in dag.out_neighbors(u) if not in_w[c]]
+            if not children:
+                frontier.pop(i)
+                continue
+            if levels is not None:
+                stepped = [
+                    c for c in children if levels[c] == levels[u] + 1
+                ]
+                if stepped:
+                    children = stepped
+            v = children[int(rng.integers(0, len(children)))]
+            in_w[v] = True
+            chosen_edge[v] = dag.edge_index(u, v)
+            if is_task[v]:
+                count += 1
+            frontier.append(v)
+    else:
+        raise ValueError(f"unknown growth style {style!r}")
+
+    changed = np.zeros(dag.n_edges, dtype=bool)
+    for ei in chosen_edge.values():
+        changed[ei] = True
+    return changed
+
+
+def assign_durations(
+    n_nodes: int,
+    is_task: np.ndarray,
+    mean_work: float,
+    sigma: float = 1.0,
+    rng: int | np.random.Generator | None = 0,
+) -> np.ndarray:
+    """Log-normal work per task node; plumbing nodes get zero.
+
+    ``mean_work`` is the arithmetic mean of the distribution (we solve
+    for the underlying μ), ``sigma`` its log-space shape: σ ≈ 1.0–1.3
+    yields the straggler-per-level tail behind Table II's LevelBased
+    ratios; σ → 0 degenerates to constant durations.
+    """
+    rng = as_rng(rng)
+    if mean_work < 0:
+        raise ValueError("mean_work must be non-negative")
+    work = np.zeros(n_nodes, dtype=np.float64)
+    if mean_work > 0:
+        mu = np.log(mean_work) - sigma**2 / 2.0
+        draws = rng.lognormal(mean=mu, sigma=sigma, size=int(is_task.sum()))
+        work[is_task] = draws
+    return work
+
+
+def make_synthetic_trace(
+    n_nodes: int,
+    n_edges: int,
+    n_levels: int,
+    n_initial: int,
+    target_active_tasks: int,
+    mean_work: float,
+    sigma: float = 1.0,
+    frac_task: float = 1.0,
+    level_profile: str = "uniform",
+    growth: str = "bushy",
+    depth_bias: float = 0.0,
+    seed: int = 0,
+    name: str = "synthetic",
+) -> JobTrace:
+    """One-call composition of the three building blocks."""
+    rng = as_rng(seed)
+    dag, layer_of = layered_structure(
+        n_nodes, n_edges, n_levels, rng=rng, level_profile=level_profile
+    )
+    if frac_task >= 1.0:
+        is_task = np.ones(n_nodes, dtype=bool)
+    else:
+        is_task = rng.random(n_nodes) < frac_task
+        is_task[layer_of == 0] = True  # initial tasks must be tasks
+    sources = dag.sources()
+    if n_initial > sources.size:
+        raise ValueError(
+            f"n_initial={n_initial} exceeds {sources.size} sources"
+        )
+    initial = rng.choice(sources, size=n_initial, replace=False)
+    changed = grow_active_set(
+        dag,
+        initial,
+        target_active_tasks,
+        is_task,
+        rng=rng,
+        style=growth,
+        depth_bias=depth_bias,
+    )
+    work = assign_durations(n_nodes, is_task, mean_work, sigma, rng=rng)
+    return JobTrace(
+        dag=dag,
+        work=work,
+        initial_tasks=initial,
+        changed_edges=changed,
+        is_task=is_task,
+        name=name,
+        metadata={
+            "generator": "make_synthetic_trace",
+            "seed": seed,
+            "mean_work": mean_work,
+            "sigma": sigma,
+            "growth": growth,
+        },
+    )

@@ -1,0 +1,36 @@
+"""Tests for shape comparisons."""
+
+import pytest
+
+from repro.analysis import compare_pair, ratio
+
+
+def test_ratio_guards_zero():
+    assert ratio(1.0, 0.0) == float("inf")
+    assert ratio(0.0, 0.0) == 1.0
+    assert ratio(4.0, 2.0) == 2.0
+
+
+def test_same_winner_detection():
+    c = compare_pair("makespan", paper=(57.74, 26.5), measured=(40.0, 20.0))
+    assert c.same_winner
+    assert c.paper_ratio == pytest.approx(2.179, abs=1e-3)
+    flipped = compare_pair("makespan", paper=(57.74, 26.5), measured=(10, 20))
+    assert not flipped.same_winner
+
+
+def test_tie_band():
+    c = compare_pair("m", paper=(1.0, 1.05), measured=(1.02, 1.0))
+    assert c.same_winner  # both within the 10% tie band
+
+
+def test_factor_agreement():
+    exact = compare_pair("m", paper=(2.0, 1.0), measured=(4.0, 2.0))
+    assert exact.factor_agreement() == pytest.approx(1.0)
+    off2x = compare_pair("m", paper=(2.0, 1.0), measured=(4.0, 1.0))
+    assert off2x.factor_agreement() == pytest.approx(0.5)
+
+
+def test_describe_mentions_flip():
+    c = compare_pair("overhead", paper=(10, 1), measured=(1, 10))
+    assert "FLIPPED" in c.describe()

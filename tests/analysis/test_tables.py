@@ -1,0 +1,28 @@
+"""Tests for the table renderer."""
+
+from repro.analysis import format_seconds, render_table
+
+
+def test_format_seconds_ranges():
+    assert format_seconds(None) == "—"
+    assert format_seconds(0) == "0 s"
+    assert format_seconds(9736) == "9,736 s"
+    assert format_seconds(26.5) == "26.50 s"
+    assert format_seconds(0.0107) == "10.7 ms"
+    assert format_seconds(3.2e-5) == "32.0 µs"
+    assert format_seconds(5e-9) == "5.0 ns"
+
+
+def test_render_table_alignment():
+    out = render_table(
+        ["trace", "makespan"],
+        [["#1", "26.5 s"], ["#10", "9,893 s"]],
+        title="Table II",
+    )
+    lines = out.splitlines()
+    assert lines[0] == "Table II"
+    assert "trace" in lines[1]
+    assert set(lines[2]) <= {"-", " "}
+    assert len(lines) == 5
+    # right-aligned columns: every row has the same width
+    assert len(set(len(l) for l in lines[1:])) == 1

@@ -1,0 +1,49 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.dag import Dag
+from repro.tasks import JobTrace
+
+
+@pytest.fixture
+def diamond() -> Dag:
+    """0 → {1, 2} → 3."""
+    return Dag(4, [(0, 1), (0, 2), (1, 3), (2, 3)])
+
+
+@pytest.fixture
+def two_chains() -> Dag:
+    """Two independent chains 0→1→2 and 3→4."""
+    return Dag(5, [(0, 1), (1, 2), (3, 4)])
+
+
+@pytest.fixture
+def diamond_trace(diamond: Dag) -> JobTrace:
+    """Diamond with unit work, everything activated."""
+    return JobTrace(
+        dag=diamond,
+        work=np.ones(4),
+        initial_tasks=np.array([0]),
+        changed_edges=np.ones(diamond.n_edges, dtype=bool),
+        name="diamond",
+    )
+
+
+def random_job_trace(seed: int, layers=(3, 5, 8, 8, 5, 3)) -> JobTrace:
+    """A small random trace; helper importable by test modules."""
+    from repro.dag import layered_dag
+
+    rng = np.random.default_rng(seed)
+    dag = layered_dag(list(layers), edge_prob=0.3, rng=rng, skip_prob=0.3)
+    n_init = 1 + int(rng.integers(0, min(3, dag.sources().size)))
+    return JobTrace(
+        dag=dag,
+        work=rng.uniform(0.5, 3.0, dag.n_nodes),
+        initial_tasks=dag.sources()[:n_init],
+        changed_edges=rng.random(dag.n_edges) < 0.6,
+        name=f"rand{seed}",
+    )

@@ -1,0 +1,65 @@
+"""Tests for DagBuilder."""
+
+import pytest
+
+from repro.dag import DagBuilder
+
+
+def test_add_nodes_and_edges():
+    b = DagBuilder()
+    a = b.add_node("a")
+    c = b.add_node()
+    assert (a, c) == (0, 1)
+    assert b.add_edge(a, c)
+    assert not b.add_edge(a, c)  # dedup
+    dag = b.build()
+    assert dag.n_nodes == 2
+    assert dag.n_edges == 1
+    assert dag.name_of(0) == "a"
+    assert dag.name_of(1) == "n1"
+
+
+def test_keyed_nodes():
+    b = DagBuilder()
+    x = b.node(("rule", 1))
+    y = b.node(("rule", 2), name="second")
+    assert b.node(("rule", 1)) == x  # get-or-create
+    assert b.has_key(("rule", 2))
+    assert not b.has_key("missing")
+    assert b.id_of(("rule", 2)) == y
+    with pytest.raises(KeyError):
+        b.id_of("missing")
+    assert b.build().name_of(y) == "second"
+
+
+def test_add_edge_by_key():
+    b = DagBuilder()
+    assert b.add_edge_by_key("a", "b")
+    assert not b.add_edge_by_key("a", "b")
+    dag = b.build()
+    assert dag.has_edge(0, 1)
+
+
+def test_edge_validation():
+    b = DagBuilder()
+    u = b.add_node()
+    with pytest.raises(ValueError, match="out of range"):
+        b.add_edge(u, 5)
+    with pytest.raises(ValueError, match="self-loop"):
+        b.add_edge(u, u)
+
+
+def test_cycle_detected_at_build():
+    b = DagBuilder()
+    u, v = b.add_node(), b.add_node()
+    b.add_edge(u, v)
+    b.add_edge(v, u)
+    with pytest.raises(ValueError, match="cycle"):
+        b.build()
+
+
+def test_counts():
+    b = DagBuilder()
+    assert (b.n_nodes, b.n_edges) == (0, 0)
+    b.add_edge_by_key("x", "y")
+    assert (b.n_nodes, b.n_edges) == (2, 1)

@@ -1,0 +1,51 @@
+"""Tests for the DOT exporter (Figure 1 rendering support)."""
+
+import io
+
+from repro.dag import Dag
+from repro.dag.dot import roles_from_trace_sets, to_dot, write_dot
+
+
+def test_basic_dot_output(diamond):
+    dot = to_dot(diamond)
+    assert dot.startswith("digraph computation_dag {")
+    assert dot.rstrip().endswith("}")
+    assert "n0 -> n1;" in dot
+    assert "n2 -> n3;" in dot
+    assert dot.count("->") == diamond.n_edges
+
+
+def test_roles_colored(diamond):
+    dot = to_dot(diamond, roles={0: "source", 3: "activated"})
+    assert "fillcolor" in dot
+    assert dot.count("fillcolor") == 2
+
+
+def test_max_nodes_truncates(diamond):
+    dot = to_dot(diamond, max_nodes=2)
+    assert "n3" not in dot
+    assert "n0 -> n1;" in dot
+    assert "n1 -> n3;" not in dot
+
+
+def test_custom_names():
+    dag = Dag(2, [(0, 1)], node_names=["edge", "path"])
+    dot = to_dot(dag)
+    assert 'label="edge"' in dot
+    assert 'label="path"' in dot
+
+
+def test_write_dot(diamond):
+    buf = io.StringIO()
+    write_dot(diamond, buf)
+    assert buf.getvalue() == to_dot(diamond)
+
+
+def test_roles_from_trace_sets_priority():
+    roles = roles_from_trace_sets(
+        sources=[0], activated=[1, 2], executed=[2], descendants=[1, 2, 3]
+    )
+    assert roles[0] == "source"
+    assert roles[1] == "activated"
+    assert roles[2] == "executed"  # executed wins over activated
+    assert roles[3] == "descendant"

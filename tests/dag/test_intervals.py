@@ -1,0 +1,182 @@
+"""Tests for the interval-list ancestor index (LogicBlox's data structure)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dag import (
+    Dag,
+    IntervalIndex,
+    chain,
+    diamond_mesh,
+    is_ancestor,
+    merge_intervals,
+    random_dag,
+    transitive_closure_sets,
+)
+
+
+class TestMergeIntervals:
+    def test_empty(self):
+        assert merge_intervals([]) == []
+
+    def test_disjoint_kept(self):
+        assert merge_intervals([(5, 6), (1, 2)]) == [(1, 2), (5, 6)]
+
+    def test_overlap_merged(self):
+        assert merge_intervals([(1, 4), (3, 7)]) == [(1, 7)]
+
+    def test_adjacent_integers_merged(self):
+        assert merge_intervals([(1, 3), (4, 6)]) == [(1, 6)]
+
+    def test_contained_absorbed(self):
+        assert merge_intervals([(1, 10), (3, 5)]) == [(1, 10)]
+
+    @given(
+        st.lists(
+            st.tuples(st.integers(0, 50), st.integers(0, 50)).map(
+                lambda t: (min(t), max(t))
+            ),
+            max_size=20,
+        )
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_merge_preserves_covered_set(self, intervals):
+        merged = merge_intervals(intervals)
+        covered = {
+            x for lo, hi in intervals for x in range(lo, hi + 1)
+        }
+        covered_m = {
+            x for lo, hi in merged for x in range(lo, hi + 1)
+        }
+        assert covered == covered_m
+        # result is sorted, disjoint, non-adjacent
+        for (l1, h1), (l2, h2) in zip(merged, merged[1:]):
+            assert h1 + 1 < l2
+
+
+class TestIndexBasics:
+    def test_chain_descendants(self):
+        dag = chain(6)
+        idx = IntervalIndex(dag)
+        # every node's list covers exactly its suffix of the chain
+        for u in range(6):
+            covered = {
+                d
+                for d in range(6)
+                if any(
+                    lo <= idx.postorder(d) <= hi
+                    for lo, hi in idx.intervals(u)
+                )
+            }
+            assert covered == set(range(u, 6))
+
+    def test_chain_lists_are_single_interval(self):
+        idx = IntervalIndex(chain(10))
+        assert idx.max_list_length() == 1
+        assert idx.total_intervals == 10
+
+    def test_is_ancestor_diamond(self, diamond):
+        idx = IntervalIndex(diamond)
+        assert idx.is_ancestor(0, 3)
+        assert idx.is_ancestor(0, 1)
+        assert not idx.is_ancestor(1, 2)
+        assert not idx.is_ancestor(3, 0)
+        assert not idx.is_ancestor(2, 2)  # proper
+
+    def test_binary_search_mode_matches_scan(self, diamond):
+        idx = IntervalIndex(diamond)
+        for a in range(4):
+            for d in range(4):
+                assert idx.is_ancestor(a, d, scan=True) == idx.is_ancestor(
+                    a, d, scan=False
+                )
+
+    def test_ops_counted(self, diamond):
+        idx = IntervalIndex(diamond)
+        idx.reset_ops()
+        idx.is_ancestor(0, 3)
+        assert idx.ops >= 1
+        idx.reset_ops()
+        assert idx.ops == 0
+
+    def test_memory_cells_accounting(self):
+        idx = IntervalIndex(chain(10))
+        assert idx.memory_cells == 2 * idx.total_intervals + 10
+
+    def test_empty_graph(self):
+        idx = IntervalIndex(Dag(0, []))
+        assert idx.total_intervals == 0
+        assert idx.max_list_length() == 0
+
+    def test_interval_array_view(self, diamond):
+        idx = IntervalIndex(diamond)
+        arr = idx.interval_array(0)
+        assert arr.shape[1] == 2
+        assert idx.list_lengths()[0] == arr.shape[0]
+
+
+class TestIndexAgainstOracle:
+    @given(st.integers(0, 500), st.floats(0.02, 0.3))
+    @settings(max_examples=30, deadline=None)
+    def test_matches_bfs_reachability(self, seed, p):
+        dag = random_dag(25, edge_prob=p, rng=seed)
+        idx = IntervalIndex(dag)
+        closure = transitive_closure_sets(dag)
+        for a in range(dag.n_nodes):
+            for d in range(dag.n_nodes):
+                expected = a != d and d in closure[a]
+                assert idx.is_ancestor(a, d) == expected, (a, d)
+
+    @given(st.integers(0, 200))
+    @settings(max_examples=15, deadline=None)
+    def test_matches_is_ancestor_on_layered(self, seed):
+        from repro.dag import layered_dag
+
+        dag = layered_dag([3, 4, 4, 3], edge_prob=0.4, rng=seed, skip_prob=0.4)
+        idx = IntervalIndex(dag)
+        for a in range(dag.n_nodes):
+            for d in range(dag.n_nodes):
+                assert idx.is_ancestor(a, d) == is_ancestor(dag, a, d)
+
+
+class TestFragmentation:
+    @staticmethod
+    def _chain_with_riders(m: int) -> Dag:
+        """Descending chain c_m → … → c_1 → s with a rider t_i → c_i per
+        link: descendants(t_i) = {c_i, …, c_1, s}, whose postorders
+        interleave with the riders' — Θ(i) fragments each, Θ(m²) mass.
+        This is the O(V²)-space worst case of Section II-C."""
+        s = 0
+        c = list(range(1, m + 1))
+        t = list(range(m + 1, 2 * m + 1))
+        edges = [(c[0], s)]
+        edges += [(c[i], c[i - 1]) for i in range(1, m)]
+        edges += [(t[i], c[i]) for i in range(m)]
+        edges += [(t[i], s) for i in range(m)]
+        return Dag(2 * m + 1, edges)
+
+    def test_chain_with_riders_fragments_quadratically(self):
+        small = IntervalIndex(self._chain_with_riders(16))
+        big = IntervalIndex(self._chain_with_riders(32))
+        # doubling m should roughly quadruple the mass
+        assert big.total_intervals > 3 * small.total_intervals
+        assert big.max_list_length() >= 16
+
+    def test_mesh_stays_compact(self):
+        """Counterpoint: a complete layered mesh has 'everything below'
+        as each descendant set — near-contiguous, so the encoding stays
+        small despite Θ(w²) edges ("usually compact")."""
+        idx = IntervalIndex(diamond_mesh(8, 4))
+        assert idx.max_list_length() <= 3
+
+    def test_tree_stays_linear(self):
+        """Tree-like DAGs keep the encoding compact ("usually compact")."""
+        edges = [(i, 2 * i + 1) for i in range(31)] + [
+            (i, 2 * i + 2) for i in range(31)
+        ]
+        edges = [(u, v) for u, v in edges if v < 63]
+        dag = Dag(63, edges)
+        idx = IntervalIndex(dag)
+        assert idx.max_list_length() == 1  # forward tree: perfect intervals

@@ -1,0 +1,105 @@
+"""Tests for level computation (the LevelBased precomputation)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dag import (
+    Dag,
+    chain,
+    compute_levels,
+    layered_dag,
+    level_histogram,
+    level_spans,
+    nodes_by_level,
+    num_levels,
+    random_dag,
+)
+
+
+def test_diamond_levels(diamond):
+    assert list(compute_levels(diamond)) == [0, 1, 1, 2]
+
+
+def test_chain_levels():
+    dag = chain(5)
+    assert list(compute_levels(dag)) == [0, 1, 2, 3, 4]
+    assert num_levels(compute_levels(dag)) == 5
+
+
+def test_level_is_longest_path_not_shortest():
+    # 0→3 directly, but also 0→1→2→3: level(3) must be 3, not 1
+    dag = Dag(4, [(0, 1), (1, 2), (2, 3), (0, 3)])
+    assert list(compute_levels(dag)) == [0, 1, 2, 3]
+
+
+def test_isolated_nodes_are_level_zero():
+    assert list(compute_levels(Dag(3, []))) == [0, 0, 0]
+
+
+def test_empty_graph():
+    levels = compute_levels(Dag(0, []))
+    assert levels.size == 0
+    assert num_levels(levels) == 0
+    assert level_histogram(levels).size == 0
+    assert nodes_by_level(levels) == []
+
+
+def test_histogram(diamond):
+    hist = level_histogram(compute_levels(diamond))
+    assert list(hist) == [1, 2, 1]
+
+
+def test_nodes_by_level(diamond):
+    buckets = nodes_by_level(compute_levels(diamond))
+    assert [sorted(b.tolist()) for b in buckets] == [[0], [1, 2], [3]]
+
+
+def test_level_spans():
+    levels = np.array([0, 0, 1, 1, 2])
+    spans = np.array([1.0, 5.0, 2.0, 3.0, 7.0])
+    assert list(level_spans(levels, spans)) == [5.0, 3.0, 7.0]
+
+
+def test_level_spans_empty():
+    assert level_spans(np.array([], dtype=np.int32), np.array([])).size == 0
+
+
+def test_layered_dag_levels_match_layers():
+    sizes = [4, 6, 5, 3]
+    dag = layered_dag(sizes, edge_prob=0.5, rng=7)
+    levels = compute_levels(dag)
+    expected = np.repeat(np.arange(len(sizes)), sizes)
+    assert np.array_equal(levels, expected)
+
+
+@given(st.integers(0, 400), st.floats(0.01, 0.3))
+@settings(max_examples=25, deadline=None)
+def test_levels_match_networkx(seed, p):
+    """Oracle: networkx longest-path from sources."""
+    nx = pytest.importorskip("networkx")
+    dag = random_dag(30, edge_prob=p, rng=seed)
+    levels = compute_levels(dag)
+    g = nx.DiGraph()
+    g.add_nodes_from(range(dag.n_nodes))
+    g.add_edges_from(dag.edges())
+    expected = np.zeros(dag.n_nodes, dtype=int)
+    for u in nx.topological_sort(g):
+        for v in g.successors(u):
+            expected[v] = max(expected[v], expected[u] + 1)
+    assert np.array_equal(levels, expected)
+
+
+@given(st.integers(0, 1000))
+@settings(max_examples=25, deadline=None)
+def test_level_parent_invariant(seed):
+    """Every node's level is exactly 1 + max parent level."""
+    dag = random_dag(40, edge_prob=0.15, rng=seed)
+    levels = compute_levels(dag)
+    for v in range(dag.n_nodes):
+        parents = dag.in_neighbors(v)
+        if parents.size == 0:
+            assert levels[v] == 0
+        else:
+            assert levels[v] == 1 + max(levels[p] for p in parents)

@@ -1,0 +1,71 @@
+"""Tests for the random DAG constructions."""
+
+import numpy as np
+import pytest
+
+from repro.dag import (
+    chain,
+    compute_levels,
+    diamond_mesh,
+    layered_dag,
+    random_dag,
+)
+from repro.dag.random_dags import as_rng
+
+
+def test_as_rng_accepts_seed_none_and_generator():
+    g = np.random.default_rng(1)
+    assert as_rng(g) is g
+    assert isinstance(as_rng(5), np.random.Generator)
+    assert isinstance(as_rng(None), np.random.Generator)
+
+
+def test_chain_structure():
+    dag = chain(4)
+    assert sorted(dag.edges()) == [(0, 1), (1, 2), (2, 3)]
+    assert chain(0).n_nodes == 0
+    assert chain(1).n_edges == 0
+
+
+def test_layered_every_nonsource_has_parent():
+    dag = layered_dag([3, 4, 5], edge_prob=0.2, rng=0)
+    indeg = dag.in_degrees()
+    assert (indeg[3:] >= 1).all()
+    assert (indeg[:3] == 0).all()
+
+
+def test_layered_deterministic_given_seed():
+    a = layered_dag([3, 4, 5], edge_prob=0.5, rng=42)
+    b = layered_dag([3, 4, 5], edge_prob=0.5, rng=42)
+    assert a == b
+
+
+def test_layered_rejects_empty_layer():
+    with pytest.raises(ValueError):
+        layered_dag([3, 0, 2])
+
+
+def test_layered_skip_edges_do_not_change_levels():
+    sizes = [4, 4, 4, 4, 4]
+    dag = layered_dag(sizes, edge_prob=0.3, rng=1, skip_prob=0.8)
+    levels = compute_levels(dag)
+    expected = np.repeat(np.arange(5), 4)
+    assert np.array_equal(levels, expected)
+
+
+def test_random_dag_edges_point_forward():
+    dag = random_dag(30, 0.2, rng=0)
+    for u, v in dag.edges():
+        assert u < v
+
+
+def test_random_dag_empty():
+    assert random_dag(0, 0.5).n_nodes == 0
+
+
+def test_diamond_mesh_shape():
+    dag = diamond_mesh(3, 4)
+    assert dag.n_nodes == 12
+    assert dag.n_edges == 3 * 3 * 3
+    levels = compute_levels(dag)
+    assert list(levels) == [0] * 3 + [1] * 3 + [2] * 3 + [3] * 3

@@ -1,0 +1,78 @@
+"""Tests for transitive reduction."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dag import Dag, chain, compute_levels, random_dag
+from repro.dag.reduction import (
+    reduction_stats,
+    redundant_edges,
+    transitive_reduction,
+)
+from repro.dag.traversal import transitive_closure_sets
+
+
+def test_shortcut_edge_detected():
+    dag = Dag(3, [(0, 1), (1, 2), (0, 2)])
+    mask = redundant_edges(dag)
+    assert mask[dag.edge_index(0, 2)]
+    assert not mask[dag.edge_index(0, 1)]
+    assert not mask[dag.edge_index(1, 2)]
+
+
+def test_diamond_keeps_all_edges(diamond):
+    assert not redundant_edges(diamond).any()
+
+
+def test_chain_is_already_minimal():
+    dag = chain(6)
+    assert transitive_reduction(dag) == dag
+
+
+def test_empty_graph():
+    dag = Dag(0, [])
+    assert redundant_edges(dag).size == 0
+    assert transitive_reduction(dag).n_nodes == 0
+
+
+def test_reduction_preserves_names():
+    dag = Dag(3, [(0, 1), (1, 2), (0, 2)], node_names=["a", "b", "c"])
+    red = transitive_reduction(dag)
+    assert red.node_names == ("a", "b", "c")
+    assert red.n_edges == 2
+
+
+def test_stats():
+    dag = Dag(3, [(0, 1), (1, 2), (0, 2)])
+    s = reduction_stats(dag)
+    assert s == {
+        "edges": 3,
+        "redundant": 1,
+        "fraction_redundant": pytest.approx(1 / 3),
+    }
+
+
+@given(seed=st.integers(0, 10**6), p=st.floats(0.05, 0.4))
+@settings(max_examples=30, deadline=None)
+def test_reduction_preserves_reachability_and_levels(seed, p):
+    dag = random_dag(25, edge_prob=p, rng=seed)
+    red = transitive_reduction(dag)
+    assert red.n_edges <= dag.n_edges
+    assert transitive_closure_sets(red) == transitive_closure_sets(dag)
+    assert np.array_equal(compute_levels(red), compute_levels(dag))
+    # the reduction is a fixpoint
+    assert not redundant_edges(red).any()
+
+
+@given(seed=st.integers(0, 10**6))
+@settings(max_examples=15, deadline=None)
+def test_matches_networkx(seed):
+    nx = pytest.importorskip("networkx")
+    dag = random_dag(20, edge_prob=0.25, rng=seed)
+    g = nx.DiGraph()
+    g.add_nodes_from(range(dag.n_nodes))
+    g.add_edges_from(dag.edges())
+    expected = set(nx.transitive_reduction(g).edges())
+    assert set(transitive_reduction(dag).edges()) == expected

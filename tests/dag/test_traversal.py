@@ -1,0 +1,107 @@
+"""Tests for traversal utilities."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dag import (
+    Dag,
+    ancestors,
+    chain,
+    critical_path,
+    critical_path_length,
+    descendants,
+    is_ancestor,
+    random_dag,
+    reachable_mask,
+    topological_order,
+    transitive_closure_sets,
+)
+
+
+class TestTopologicalOrder:
+    def test_respects_edges(self, diamond):
+        order = topological_order(diamond)
+        pos = {int(u): i for i, u in enumerate(order)}
+        for u, v in diamond.edges():
+            assert pos[u] < pos[v]
+
+    def test_covers_all_nodes(self):
+        dag = random_dag(50, 0.1, rng=3)
+        assert sorted(topological_order(dag)) == list(range(50))
+
+    def test_empty(self):
+        assert topological_order(Dag(0, [])).size == 0
+
+
+class TestReachability:
+    def test_descendants(self, diamond):
+        assert list(descendants(diamond, 0)) == [1, 2, 3]
+        assert list(descendants(diamond, 1)) == [3]
+        assert list(descendants(diamond, 3)) == []
+
+    def test_ancestors(self, diamond):
+        assert list(ancestors(diamond, 3)) == [0, 1, 2]
+        assert list(ancestors(diamond, 0)) == []
+
+    def test_reachable_mask_includes_starts(self, diamond):
+        mask = reachable_mask(diamond, [1])
+        assert mask[1] and mask[3]
+        assert not mask[0] and not mask[2]
+
+    def test_reachable_multiple_starts(self, two_chains):
+        mask = reachable_mask(two_chains, [0, 3])
+        assert mask.all()
+
+    def test_is_ancestor(self, diamond):
+        assert is_ancestor(diamond, 0, 3)
+        assert is_ancestor(diamond, 1, 3)
+        assert not is_ancestor(diamond, 1, 2)
+        assert not is_ancestor(diamond, 3, 0)
+        assert not is_ancestor(diamond, 0, 0)  # proper ancestry only
+
+
+class TestCriticalPath:
+    def test_unit_weights(self, diamond):
+        assert critical_path_length(diamond) == 3.0  # 0,1,3
+
+    def test_weighted(self):
+        dag = Dag(4, [(0, 1), (0, 2), (1, 3), (2, 3)])
+        w = np.array([1.0, 10.0, 1.0, 1.0])
+        assert critical_path_length(dag, w) == 12.0
+
+    def test_path_nodes(self, diamond):
+        path = critical_path(diamond)
+        assert len(path) == 3
+        assert path[0] == 0 and path[-1] == 3
+        for a, b in zip(path, path[1:]):
+            assert diamond.has_edge(a, b)
+
+    def test_chain(self):
+        assert critical_path_length(chain(7)) == 7.0
+        assert critical_path(chain(7)) == list(range(7))
+
+    def test_empty(self):
+        assert critical_path_length(Dag(0, [])) == 0.0
+        assert critical_path(Dag(0, [])) == []
+
+
+class TestTransitiveClosure:
+    def test_diamond(self, diamond):
+        sets = transitive_closure_sets(diamond)
+        assert sets[0] == {0, 1, 2, 3}
+        assert sets[1] == {1, 3}
+        assert sets[3] == {3}
+
+    @given(st.integers(0, 500))
+    @settings(max_examples=20, deadline=None)
+    def test_matches_networkx(self, seed):
+        nx = pytest.importorskip("networkx")
+        dag = random_dag(25, 0.15, rng=seed)
+        sets = transitive_closure_sets(dag)
+        g = nx.DiGraph()
+        g.add_nodes_from(range(dag.n_nodes))
+        g.add_edges_from(dag.edges())
+        for u in range(dag.n_nodes):
+            assert sets[u] == nx.descendants(g, u) | {u}

@@ -1,0 +1,141 @@
+"""Tests for arithmetic assignments (``X = Y + 1``)."""
+
+import pytest
+
+from repro.datalog import (
+    Database,
+    ParseError,
+    naive_evaluate,
+    parse_program,
+    parse_rule,
+    seminaive_evaluate,
+)
+from repro.datalog.ast import Assignment, Constant, Variable
+
+
+class TestParsing:
+    def test_assignment_with_op(self):
+        r = parse_rule("next(X, Y) :- num(X), Y = X + 1.")
+        a = r.body[1].assignment
+        assert a.target == Variable("Y")
+        assert a.op == "+"
+        assert a.right == Constant(1)
+
+    def test_plain_copy_assignment(self):
+        r = parse_rule("c(X, Y) :- v(X), Y = X.")
+        assert r.body[1].assignment.op is None
+
+    def test_all_arith_ops(self):
+        for op in ("+", "-", "*"):
+            r = parse_rule(f"t(X, Y) :- v(X), Y = X {op} 2.")
+            assert r.body[1].assignment.op == op
+
+    def test_negative_literal_still_lexes(self):
+        r = parse_rule("p(-5).")
+        assert r.head.terms == (Constant(-5),)
+
+    def test_subtraction_requires_spacing(self):
+        # "X - 5" is subtraction; "-5" is a negative literal
+        r = parse_rule("t(X, Y) :- v(X), Y = X - 5.")
+        assert r.body[1].assignment.op == "-"
+
+    def test_constant_target_rejected(self):
+        with pytest.raises(ParseError, match="target"):
+            parse_rule("t(X) :- v(X), 3 = X.")
+
+    def test_unbound_input_rejected(self):
+        with pytest.raises(ParseError, match="unsafe"):
+            parse_rule("t(X, Y) :- v(X), Y = Z + 1.")
+
+    def test_bare_arith_rejected(self):
+        with pytest.raises(ParseError, match="arithmetic"):
+            parse_rule("t(X) :- v(X), X + 1.")
+
+    def test_repr_roundtrip(self):
+        text = "next(X, Y) :- num(X), Y = X + 1."
+        assert repr(parse_rule(text)) == text
+
+    def test_ast_validation(self):
+        with pytest.raises(ValueError, match="together"):
+            Assignment(Variable("X"), Constant(1), op="+")
+        with pytest.raises(ValueError, match="unknown arithmetic"):
+            Assignment(Variable("X"), Constant(1), "/", Constant(2))
+
+
+class TestEvaluation:
+    def test_successor(self):
+        prog = parse_program(
+            """
+            num(1). num(2).
+            next(X, Y) :- num(X), Y = X + 1.
+            """
+        )
+        db, _ = seminaive_evaluate(prog)
+        assert db.as_dict()["next"] == {(1, 2), (2, 3)}
+
+    def test_assignment_as_equality_filter(self):
+        # Y already bound by an atom: the assignment filters
+        prog = parse_program(
+            """
+            e(1, 2). e(2, 4). e(3, 4).
+            double(X, Y) :- e(X, Y), Y = X * 2.
+            """
+        )
+        db, _ = seminaive_evaluate(prog)
+        assert db.as_dict()["double"] == {(1, 2), (2, 4)}
+
+    def test_chained_assignments(self):
+        prog = parse_program(
+            """
+            v(3).
+            t(X, Z) :- v(X), Y = X + 1, Z = Y * 2.
+            """
+        )
+        db, _ = seminaive_evaluate(prog)
+        assert db.as_dict()["t"] == {(3, 8)}
+
+    def test_distance_counting(self):
+        """Path lengths via arithmetic — bounded by a comparison."""
+        prog = parse_program(
+            """
+            edge(a, b). edge(b, c). edge(c, d).
+            dist(a, 0).
+            dist(Y, D2) :- dist(X, D), edge(X, Y), D2 = D + 1, D < 10.
+            """
+        )
+        db, _ = seminaive_evaluate(prog)
+        assert ("d", 3) in db.as_dict()["dist"]
+
+    def test_naive_matches_seminaive(self):
+        prog = parse_program(
+            """
+            edge(1, 2). edge(2, 3).
+            dist(1, 0).
+            dist(Y, D2) :- dist(X, D), edge(X, Y), D2 = D + 1, D < 5.
+            """
+        )
+        edb = Database()
+        assert (
+            naive_evaluate(prog, edb).as_dict()
+            == seminaive_evaluate(prog, edb)[0].as_dict()
+        )
+
+    def test_divergent_fixpoint_guard(self):
+        prog = parse_program(
+            """
+            n(0).
+            n(Y) :- n(X), Y = X + 1.
+            """
+        )
+        with pytest.raises(RuntimeError, match="exceeded"):
+            seminaive_evaluate(prog, max_iterations=50)
+        with pytest.raises(RuntimeError, match="exceeded"):
+            naive_evaluate(prog, max_iterations=50)
+
+    def test_query_with_assignment(self):
+        from repro.datalog import query_facts
+
+        prog = parse_program("num(2). num(5).")
+        db, _ = seminaive_evaluate(prog)
+        rows = query_facts(db, "num(X), Y = X * 10")
+        assert {(r["X"], r["Y"]) for r in rows} == {(2, 20), (5, 50)}

@@ -1,0 +1,67 @@
+"""Tests for the Datalog AST value classes."""
+
+import pytest
+
+from repro.datalog import Atom, Comparison, Constant, Literal, Rule, Variable
+
+
+def test_atom_helpers():
+    a = Atom("p", (Variable("X"), Constant(1)))
+    assert a.arity == 2
+    assert [v.name for v in a.variables()] == ["X"]
+    assert not a.is_ground()
+    assert Atom("q", (Constant("a"),)).is_ground()
+
+
+def test_comparison_validates_op():
+    with pytest.raises(ValueError):
+        Comparison("<>", Variable("X"), Constant(1))
+
+
+def test_literal_exactly_one_payload():
+    with pytest.raises(ValueError):
+        Literal()
+    with pytest.raises(ValueError):
+        Literal(
+            atom=Atom("p", ()),
+            comparison=Comparison("==", Constant(1), Constant(1)),
+        )
+
+
+def test_negated_comparison_rejected():
+    with pytest.raises(ValueError, match="dual"):
+        Literal(
+            comparison=Comparison("==", Constant(1), Constant(1)),
+            negated=True,
+        )
+
+
+def test_rule_safety_checked_on_construction():
+    q = Literal(atom=Atom("q", (Variable("X"),)))
+    Rule(Atom("p", (Variable("X"),)), (q,))  # fine
+    with pytest.raises(ValueError, match="unsafe"):
+        Rule(Atom("p", (Variable("Y"),)), (q,))
+
+
+def test_body_predicates():
+    r = Rule(
+        Atom("p", (Variable("X"),)),
+        (
+            Literal(atom=Atom("q", (Variable("X"),))),
+            Literal(atom=Atom("r", (Variable("X"),)), negated=True),
+            Literal(
+                comparison=Comparison("<", Variable("X"), Constant(3))
+            ),
+        ),
+    )
+    assert list(r.body_predicates()) == [("q", False), ("r", True)]
+
+
+def test_reprs():
+    r = Rule(
+        Atom("p", (Variable("X"),)),
+        (Literal(atom=Atom("q", (Variable("X"),))),),
+    )
+    assert repr(r) == "p(X) :- q(X)."
+    assert repr(Rule(Atom("f", (Constant(1),)))) == "f(1)."
+    assert repr(Constant("has space")) == '"has space"'

@@ -1,0 +1,155 @@
+"""Tests for counting-based incremental maintenance."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.datalog import Database, Delta, IncrementalEngine, parse_program
+from repro.datalog.counting import CountingEngine, RecursionError_
+
+JOIN2 = """
+t(X, Z) :- e(X, Y), e(Y, Z).
+"""
+
+DIAMOND = """
+left(X, Y) :- e(X, Y), color(X).
+right(X, Y) :- e(X, Y), color(Y).
+both(X, Y) :- left(X, Y), right(X, Y).
+"""
+
+NEG = """
+lit(X) :- node(X), flag(X).
+dark(X) :- node(X), !lit(X).
+"""
+
+
+def edb_from(**preds):
+    db = Database()
+    for name, facts in preds.items():
+        for f in facts:
+            db.add_fact(name, f)
+    return db
+
+
+class TestBasics:
+    def test_recursive_program_rejected(self):
+        prog = parse_program(
+            "p(X, Y) :- e(X, Y). p(X, Z) :- p(X, Y), e(Y, Z)."
+        )
+        with pytest.raises(RecursionError_):
+            CountingEngine(prog)
+
+    def test_updating_idb_rejected(self):
+        eng = CountingEngine(parse_program(JOIN2), edb_from(e={(1, 2)}))
+        with pytest.raises(ValueError, match="derived"):
+            eng.apply(Delta().insert("t", (0, 0)))
+
+    def test_counts_multiple_derivations(self):
+        # t(1,3) via y=2 and via y=9: two derivations
+        eng = CountingEngine(
+            parse_program(JOIN2),
+            edb_from(e={(1, 2), (2, 3), (1, 9), (9, 3)}),
+        )
+        assert eng.count_of("t", (1, 3)) == 2
+        # deleting one derivation keeps the fact
+        eng.apply(Delta().delete("e", (1, 2)))
+        assert eng.count_of("t", (1, 3)) == 1
+        assert (1, 3) in eng.db.relations["t"]
+        # deleting the second removes it
+        eng.apply(Delta().delete("e", (9, 3)))
+        assert eng.count_of("t", (1, 3)) == 0
+        assert (1, 3) not in eng.db.relations["t"]
+
+    def test_self_join_no_double_count(self):
+        # e(1,1): t(1,1) derived once through the self-pair
+        eng = CountingEngine(parse_program(JOIN2), edb_from(e={(1, 1)}))
+        assert eng.count_of("t", (1, 1)) == 1
+        eng.apply(Delta().delete("e", (1, 1)))
+        assert eng.snapshot()["t"] == set()
+
+    def test_empty_delta(self):
+        eng = CountingEngine(parse_program(JOIN2), edb_from(e={(1, 2)}))
+        assert eng.apply(Delta()).total_changed() == 0
+
+
+class TestAgainstDRed:
+    edge_sets = st.sets(
+        st.tuples(st.integers(0, 5), st.integers(0, 5)), max_size=10
+    )
+
+    @given(initial=edge_sets, ins=edge_sets, dels=edge_sets)
+    @settings(max_examples=40, deadline=None)
+    def test_join2_matches_dred(self, initial, ins, dels):
+        prog = parse_program(JOIN2)
+        ce = CountingEngine(prog, edb_from(e=initial))
+        de = IncrementalEngine(prog, edb_from(e=initial))
+        d = Delta()
+        for f in dels:
+            d.delete("e", f)
+        for f in ins:
+            d.insert("e", f)
+        if d.is_empty:
+            return
+        ce.apply(d)
+        de.apply(d)
+        assert ce.snapshot() == de.snapshot()
+
+    @given(
+        edges=edge_sets,
+        colors=st.sets(st.integers(0, 5), max_size=4),
+        update=st.tuples(
+            st.booleans(),
+            st.sampled_from(["e", "color"]),
+            st.integers(0, 5),
+            st.integers(0, 5),
+        ),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_diamond_matches_dred(self, edges, colors, update):
+        prog = parse_program(DIAMOND)
+        edb = edb_from(e=edges, color={(c,) for c in colors})
+        ce = CountingEngine(prog, edb)
+        de = IncrementalEngine(prog, edb)
+        is_insert, pred, a, b = update
+        fact = (a, b) if pred == "e" else (a,)
+        d = Delta()
+        (d.insert if is_insert else d.delete)(pred, fact)
+        ce.apply(d)
+        de.apply(d)
+        assert ce.snapshot() == de.snapshot()
+
+    @given(
+        nodes=st.sets(st.integers(0, 5), min_size=1, max_size=6),
+        flags=st.sets(st.integers(0, 5), max_size=4),
+        update=st.tuples(st.booleans(), st.integers(0, 5)),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_negation_matches_dred(self, nodes, flags, update):
+        prog = parse_program(NEG)
+        edb = edb_from(
+            node={(n,) for n in nodes}, flag={(f,) for f in flags}
+        )
+        ce = CountingEngine(prog, edb)
+        de = IncrementalEngine(prog, edb)
+        is_insert, x = update
+        d = Delta()
+        (d.insert if is_insert else d.delete)("flag", (x,))
+        ce.apply(d)
+        de.apply(d)
+        assert ce.snapshot() == de.snapshot()
+
+    @given(initial=edge_sets, seq=st.lists(
+        st.tuples(st.booleans(), st.integers(0, 5), st.integers(0, 5)),
+        max_size=6,
+    ))
+    @settings(max_examples=25, deadline=None)
+    def test_update_sequences_match(self, initial, seq):
+        prog = parse_program(JOIN2)
+        ce = CountingEngine(prog, edb_from(e=initial))
+        de = IncrementalEngine(prog, edb_from(e=initial))
+        for is_insert, a, b in seq:
+            d = Delta()
+            (d.insert if is_insert else d.delete)("e", (a, b))
+            ce.apply(d)
+            de.apply(d)
+            assert ce.snapshot() == de.snapshot()

@@ -1,0 +1,87 @@
+"""Tests for relation storage and indexing."""
+
+import pytest
+
+from repro.datalog import Database, Relation
+
+
+class TestRelation:
+    def test_add_and_contains(self):
+        r = Relation("edge", 2)
+        assert r.add((1, 2))
+        assert not r.add((1, 2))  # dedup
+        assert (1, 2) in r
+        assert len(r) == 1
+
+    def test_arity_enforced(self):
+        r = Relation("edge", 2)
+        with pytest.raises(ValueError, match="arity"):
+            r.add((1, 2, 3))
+
+    def test_discard(self):
+        r = Relation("edge", 2)
+        r.add((1, 2))
+        assert r.discard((1, 2))
+        assert not r.discard((1, 2))
+        assert len(r) == 0
+
+    def test_match_full_scan(self):
+        r = Relation("e", 2)
+        r.add((1, 2))
+        r.add((3, 4))
+        assert set(r.match()) == {(1, 2), (3, 4)}
+        assert set(r.match(None)) == {(1, 2), (3, 4)}
+
+    def test_match_with_index(self):
+        r = Relation("e", 2)
+        for t in [(1, 2), (1, 3), (2, 3)]:
+            r.add(t)
+        assert set(r.match({0: 1})) == {(1, 2), (1, 3)}
+        assert set(r.match({1: 3})) == {(1, 3), (2, 3)}
+        assert set(r.match({0: 1, 1: 3})) == {(1, 3)}
+        assert set(r.match({0: 99})) == set()
+
+    def test_index_maintained_after_build(self):
+        r = Relation("e", 2)
+        r.add((1, 2))
+        assert set(r.match({0: 1})) == {(1, 2)}  # builds the index
+        r.add((1, 5))
+        r.discard((1, 2))
+        assert set(r.match({0: 1})) == {(1, 5)}
+
+    def test_copy_is_independent(self):
+        r = Relation("e", 1)
+        r.add((1,))
+        c = r.copy()
+        c.add((2,))
+        assert len(r) == 1 and len(c) == 2
+
+
+class TestDatabase:
+    def test_relation_get_or_create(self):
+        db = Database()
+        r = db.relation("p", 2)
+        assert db.relation("p") is r
+        with pytest.raises(ValueError, match="arity"):
+            db.relation("p", 3)
+        with pytest.raises(KeyError):
+            db.relation("unknown")
+
+    def test_facts_and_counts(self):
+        db = Database()
+        db.add_fact("p", (1,))
+        db.add_fact("p", (2,))
+        assert db.count("p") == 2
+        assert db.count("missing") == 0
+        assert db.total_facts() == 2
+        assert db.has_fact("p", (1,))
+        assert not db.has_fact("p", (9,))
+        assert not db.has_fact("missing", (1,))
+
+    def test_copy_and_as_dict(self):
+        db = Database()
+        db.add_fact("p", (1,))
+        c = db.copy()
+        c.add_fact("p", (2,))
+        assert db.as_dict() == {"p": {(1,)}}
+        assert c.as_dict() == {"p": {(1,), (2,)}}

@@ -1,0 +1,111 @@
+"""Tests for the predicate dependency graph and stratification."""
+
+import pytest
+
+from repro.datalog import DependencyGraph, StratificationError, parse_program
+from repro.datalog.depgraph import condensation_sccs
+
+
+class TestSccs:
+    def test_linear_chain(self):
+        sccs = condensation_sccs(
+            ["a", "b", "c"], {"a": {"b"}, "b": {"c"}}
+        )
+        assert sccs == [["a"], ["b"], ["c"]]
+
+    def test_cycle_grouped(self):
+        sccs = condensation_sccs(
+            ["a", "b", "c"], {"a": {"b"}, "b": {"a", "c"}}
+        )
+        assert ["a", "b"] in sccs
+        assert sccs.index(["a", "b"]) < sccs.index(["c"])
+
+    def test_dependency_order(self):
+        # x -> y, x -> z, y -> z
+        sccs = condensation_sccs(
+            ["x", "y", "z"], {"x": {"y", "z"}, "y": {"z"}}
+        )
+        order = {c[0]: i for i, c in enumerate(sccs)}
+        assert order["x"] < order["y"] < order["z"]
+
+    def test_matches_networkx(self):
+        nx = pytest.importorskip("networkx")
+        import random
+
+        rnd = random.Random(0)
+        for _ in range(20):
+            n = rnd.randint(2, 12)
+            nodes = [f"n{i}" for i in range(n)]
+            edges: dict[str, set[str]] = {}
+            for _e in range(rnd.randint(0, 3 * n)):
+                u, v = rnd.choice(nodes), rnd.choice(nodes)
+                if u != v:
+                    edges.setdefault(u, set()).add(v)
+            ours = condensation_sccs(nodes, edges)
+            g = nx.DiGraph()
+            g.add_nodes_from(nodes)
+            for u, vs in edges.items():
+                g.add_edges_from((u, v) for v in vs)
+            theirs = {frozenset(c) for c in nx.strongly_connected_components(g)}
+            assert {frozenset(c) for c in ours} == theirs
+            # dependency order: every edge goes to same-or-later SCC
+            pos = {p: i for i, c in enumerate(ours) for p in c}
+            for u, vs in edges.items():
+                for v in vs:
+                    assert pos[u] <= pos[v]
+
+
+class TestStratification:
+    def test_tc_strata(self):
+        prog = parse_program(
+            """
+            path(X, Y) :- edge(X, Y).
+            path(X, Z) :- path(X, Y), edge(Y, Z).
+            """
+        )
+        dg = DependencyGraph(prog)
+        strata = dg.stratify()
+        assert strata.index(["edge"]) < strata.index(["path"])
+        assert dg.recursive_predicates() == {"path"}
+        assert dg.is_stratifiable()
+
+    def test_mutual_recursion_one_stratum(self):
+        prog = parse_program(
+            """
+            even(X) :- zero(X).
+            even(Y) :- succ(X, Y), odd(X).
+            odd(Y) :- succ(X, Y), even(X).
+            """
+        )
+        dg = DependencyGraph(prog)
+        strata = dg.stratify()
+        assert ["even", "odd"] in strata
+        assert dg.recursive_predicates() == {"even", "odd"}
+
+    def test_stratified_negation_ok(self):
+        prog = parse_program(
+            """
+            reach(X) :- source(X).
+            reach(Y) :- reach(X), edge(X, Y).
+            unreach(X) :- node(X), !reach(X).
+            """
+        )
+        dg = DependencyGraph(prog)
+        strata = dg.stratify()
+        assert strata.index(["reach"]) < strata.index(["unreach"])
+
+    def test_negation_in_cycle_rejected(self):
+        prog = parse_program(
+            """
+            win(X) :- move(X, Y), !win(Y).
+            """
+        )
+        dg = DependencyGraph(prog)
+        assert not dg.is_stratifiable()
+        with pytest.raises(StratificationError):
+            dg.stratify()
+
+    def test_nonrecursive_program(self):
+        prog = parse_program("q(X) :- p(X).")
+        dg = DependencyGraph(prog)
+        assert dg.recursive_predicates() == set()

@@ -1,0 +1,153 @@
+"""Tests for incremental maintenance (insertion deltas + DRed)."""
+
+import pytest
+
+from repro.datalog import (
+    Database,
+    Delta,
+    IncrementalEngine,
+    parse_program,
+    seminaive_evaluate,
+)
+
+
+def tc_program():
+    return parse_program(
+        """
+        path(X, Y) :- edge(X, Y).
+        path(X, Z) :- path(X, Y), edge(Y, Z).
+        """
+    )
+
+
+def chain_edb(n):
+    db = Database()
+    for i in range(n - 1):
+        db.add_fact("edge", (i, i + 1))
+    return db
+
+
+def oracle(prog, facts):
+    db = Database()
+    for pred, ts in facts.items():
+        for t in ts:
+            db.add_fact(pred, t)
+    return seminaive_evaluate(prog, db)[0].as_dict()
+
+
+class TestDelta:
+    def test_builder_api(self):
+        d = Delta().insert("e", (1, 2)).delete("e", (3, 4))
+        assert d.insertions == {"e": {(1, 2)}}
+        assert d.deletions == {"e": {(3, 4)}}
+        assert not d.is_empty
+        assert Delta().is_empty
+        assert d.touched_predicates() == {"e"}
+
+
+class TestInsertions:
+    def test_extend_chain(self):
+        eng = IncrementalEngine(tc_program(), chain_edb(5))
+        assert eng.db.count("path") == 10
+        eng.apply(Delta().insert("edge", (4, 5)))
+        assert eng.db.count("path") == 15
+
+    def test_duplicate_insert_noop(self):
+        eng = IncrementalEngine(tc_program(), chain_edb(5))
+        before = eng.snapshot()
+        trace = eng.apply(Delta().insert("edge", (0, 1)))
+        assert eng.snapshot() == before
+        assert trace.total_changed() == 0
+
+    def test_trace_events_recorded(self):
+        eng = IncrementalEngine(tc_program(), chain_edb(5))
+        trace = eng.apply(Delta().insert("edge", (4, 5)))
+        assert any(e[0] == "insert" for e in trace.events)
+        assert trace.net_inserted["path"] >= {(4, 5), (0, 5)}
+
+
+class TestDeletions:
+    def test_split_chain(self):
+        eng = IncrementalEngine(tc_program(), chain_edb(6))
+        eng.apply(Delta().delete("edge", (2, 3)))
+        expected = oracle(
+            tc_program(),
+            {"edge": {(0, 1), (1, 2), (3, 4), (4, 5)}},
+        )
+        assert eng.snapshot()["path"] == expected["path"]
+
+    def test_rederivation_via_alternative_path(self):
+        # two routes 0→1: deleting one keeps path(0,1) derivable
+        edb = Database()
+        for t in [(0, 1), (0, 2), (2, 1)]:
+            edb.add_fact("edge", t)
+        eng = IncrementalEngine(tc_program(), edb)
+        eng.apply(Delta().delete("edge", (0, 1)))
+        assert (0, 1) in eng.db.relations["path"]
+        expected = oracle(tc_program(), {"edge": {(0, 2), (2, 1)}})
+        assert eng.snapshot()["path"] == expected["path"]
+
+    def test_delete_missing_fact_noop(self):
+        eng = IncrementalEngine(tc_program(), chain_edb(4))
+        before = eng.snapshot()
+        eng.apply(Delta().delete("edge", (9, 9)))
+        assert eng.snapshot() == before
+
+
+class TestMixedAndGuards:
+    def test_insert_and_delete_together(self):
+        eng = IncrementalEngine(tc_program(), chain_edb(5))
+        eng.apply(Delta().insert("edge", (4, 5)).delete("edge", (1, 2)))
+        expected = oracle(
+            tc_program(),
+            {"edge": {(0, 1), (2, 3), (3, 4), (4, 5)}},
+        )
+        assert eng.snapshot()["path"] == expected["path"]
+
+    def test_updating_idb_rejected(self):
+        eng = IncrementalEngine(tc_program(), chain_edb(3))
+        with pytest.raises(ValueError, match="derived"):
+            eng.apply(Delta().insert("path", (0, 9)))
+
+    def test_empty_delta_noop(self):
+        eng = IncrementalEngine(tc_program(), chain_edb(3))
+        before = eng.snapshot()
+        trace = eng.apply(Delta())
+        assert trace.events == []
+        assert eng.snapshot() == before
+
+
+class TestWithNegation:
+    def prog(self):
+        return parse_program(
+            """
+            reach(X) :- source(X).
+            reach(Y) :- reach(X), edge(X, Y).
+            dead(X) :- node(X), !reach(X).
+            """
+        )
+
+    def base(self):
+        db = Database()
+        for t in [(1, 2), (2, 3)]:
+            db.add_fact("edge", t)
+        for x in (1, 2, 3, 4):
+            db.add_fact("node", (x,))
+        db.add_fact("source", (1,))
+        return db
+
+    def test_negation_maintained_on_insert(self):
+        eng = IncrementalEngine(self.prog(), self.base())
+        assert eng.snapshot()["dead"] == {(4,)}
+        eng.apply(Delta().insert("edge", (3, 4)))
+        # full-recompute oracle
+        exp = oracle(
+            self.prog(),
+            {
+                "edge": {(1, 2), (2, 3), (3, 4)},
+                "node": {(1,), (2,), (3,), (4,)},
+                "source": {(1,)},
+            },
+        )
+        assert eng.snapshot()["dead"] == exp["dead"]
+        assert eng.snapshot()["reach"] == exp["reach"]

@@ -1,0 +1,79 @@
+"""Tests for the Datalog tokenizer."""
+
+import pytest
+
+from repro.datalog.lexer import LexError, tokenize
+
+
+def kinds(text):
+    return [(t.kind, t.text) for t in tokenize(text)]
+
+
+def test_simple_fact():
+    assert kinds("edge(1, 2).") == [
+        ("IDENT", "edge"),
+        ("PUNCT", "("),
+        ("INT", "1"),
+        ("PUNCT", ","),
+        ("INT", "2"),
+        ("PUNCT", ")"),
+        ("PUNCT", "."),
+    ]
+
+
+def test_rule_arrow_and_vars():
+    toks = kinds("p(X) :- q(X).")
+    assert ("ARROW", ":-") in toks
+    assert ("VAR", "X") in toks
+
+
+def test_underscore_is_variable():
+    assert kinds("_x")[0][0] == "VAR"
+
+
+def test_negation_bang():
+    assert ("BANG", "!") in kinds("p(X) :- q(X), !r(X).")
+
+
+def test_comparison_operators():
+    for op in ("==", "!=", "<", "<=", ">", ">="):
+        assert ("OP", op) in kinds(f"X {op} Y")
+
+
+def test_bang_followed_by_ident_not_neq():
+    # "!=": one token; "!r": bang then ident
+    assert kinds("!=")[0] == ("OP", "!=")
+    assert kinds("!r")[0] == ("BANG", "!")
+
+
+def test_string_literal():
+    assert ("STRING", "hello world") in kinds('p("hello world").')
+
+
+def test_unterminated_string():
+    with pytest.raises(LexError, match="unterminated"):
+        list(tokenize('p("oops'))
+    with pytest.raises(LexError, match="unterminated"):
+        list(tokenize('p("oops\n").'))
+
+
+def test_negative_integer():
+    assert ("INT", "-5") in kinds("p(-5).")
+
+
+def test_comments_skipped():
+    assert kinds("p(1). % trailing comment\n% whole line\nq(2).") == kinds(
+        "p(1). q(2)."
+    )
+
+
+def test_line_and_column_tracking():
+    toks = list(tokenize("a.\n  b."))
+    assert (toks[0].line, toks[0].col) == (1, 1)
+    b = [t for t in toks if t.text == "b"][0]
+    assert (b.line, b.col) == (2, 3)
+
+
+def test_unexpected_character():
+    with pytest.raises(LexError, match="unexpected"):
+        list(tokenize("p(#)."))

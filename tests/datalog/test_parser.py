@@ -1,0 +1,111 @@
+"""Tests for the Datalog parser."""
+
+import pytest
+
+from repro.datalog import (
+    Atom,
+    Constant,
+    ParseError,
+    Variable,
+    parse_program,
+    parse_rule,
+)
+
+
+class TestFacts:
+    def test_ground_fact(self):
+        r = parse_rule("edge(1, 2).")
+        assert r.is_fact
+        assert r.head == Atom("edge", (Constant(1), Constant(2)))
+
+    def test_symbol_and_string_constants(self):
+        r = parse_rule('likes(alice, "Bob Smith").')
+        assert r.head.terms == (Constant("alice"), Constant("Bob Smith"))
+
+    def test_zero_arity(self):
+        r = parse_rule("tick.")
+        assert r.head == Atom("tick", ())
+
+    def test_nonground_fact_rejected(self):
+        with pytest.raises(ParseError, match="ground"):
+            parse_rule("edge(X, 2).")
+
+
+class TestRules:
+    def test_simple_rule(self):
+        r = parse_rule("path(X, Y) :- edge(X, Y).")
+        assert not r.is_fact
+        assert r.head.predicate == "path"
+        assert [l.atom.predicate for l in r.body] == ["edge"]
+        assert r.head.terms == (Variable("X"), Variable("Y"))
+
+    def test_multi_literal_body(self):
+        r = parse_rule("path(X, Z) :- path(X, Y), edge(Y, Z).")
+        assert len(r.body) == 2
+
+    def test_negated_literal(self):
+        r = parse_rule("alive(X) :- person(X), !dead(X).")
+        assert r.body[1].negated
+
+    def test_comparison_literal(self):
+        r = parse_rule("adult(X) :- age(X, A), A >= 18.")
+        cmp_ = r.body[1].comparison
+        assert cmp_.op == ">="
+        assert cmp_.right == Constant(18)
+
+    def test_not_equal_between_vars(self):
+        r = parse_rule("sib(X, Y) :- par(P, X), par(P, Y), X != Y.")
+        assert r.body[2].comparison.op == "!="
+
+    def test_unsafe_head_var_rejected(self):
+        with pytest.raises(ParseError, match="unsafe"):
+            parse_rule("p(X, Y) :- q(X).")
+
+    def test_unsafe_negation_rejected(self):
+        with pytest.raises(ParseError, match="unsafe"):
+            parse_rule("p(X) :- q(X), !r(Y).")
+
+    def test_unsafe_comparison_rejected(self):
+        with pytest.raises(ParseError, match="unsafe"):
+            parse_rule("p(X) :- q(X), Y < 3.")
+
+
+class TestPrograms:
+    def test_program_roundtrip(self):
+        text = """
+        % transitive closure
+        edge(1, 2). edge(2, 3).
+        path(X, Y) :- edge(X, Y).
+        path(X, Z) :- path(X, Y), edge(Y, Z).
+        """
+        prog = parse_program(text)
+        assert len(prog) == 4
+        assert prog.predicates() == {"edge", "path"}
+        assert prog.idb_predicates() == {"path"}
+        assert prog.edb_predicates() == {"edge"}
+        assert len(prog.rules_for("path")) == 2
+        assert len(prog.facts) == 2
+
+    def test_empty_program(self):
+        assert len(parse_program("")) == 0
+
+    def test_arity_mismatch_rejected(self):
+        with pytest.raises(ParseError, match="arit"):
+            parse_program("p(1). p(1, 2).")
+
+    def test_trailing_garbage_rejected(self):
+        with pytest.raises(ParseError):
+            parse_rule("p(1). extra")
+
+    def test_missing_period_rejected(self):
+        with pytest.raises(ParseError):
+            parse_program("p(1)")
+
+    def test_unbalanced_paren_rejected(self):
+        with pytest.raises(ParseError):
+            parse_program("p(1.")
+
+    def test_repr_is_parseable(self):
+        prog = parse_program("p(X) :- q(X), !r(X).\nq(1).")
+        again = parse_program(repr(prog))
+        assert repr(again) == repr(prog)

@@ -1,0 +1,128 @@
+"""Tests for derivation provenance (explain)."""
+
+import pytest
+
+from repro.datalog import parse_program, seminaive_evaluate
+from repro.datalog.provenance import explain
+
+TC = """
+edge(1, 2). edge(2, 3). edge(3, 4).
+path(X, Y) :- edge(X, Y).
+path(X, Z) :- path(X, Y), edge(Y, Z).
+"""
+
+
+@pytest.fixture(scope="module")
+def tc():
+    prog = parse_program(TC)
+    db, _ = seminaive_evaluate(prog)
+    return prog, db
+
+
+class TestBasics:
+    def test_base_fact_is_leaf(self, tc):
+        prog, db = tc
+        d = explain(prog, db, "edge", (1, 2))
+        assert d is not None and d.is_leaf
+        assert d.depth() == 1
+
+    def test_one_hop(self, tc):
+        prog, db = tc
+        d = explain(prog, db, "path", (1, 2))
+        assert d.rule_index == 0
+        assert [c.fact for c in d.children] == [(1, 2)]
+        assert d.children[0].is_leaf
+
+    def test_deep_derivation(self, tc):
+        prog, db = tc
+        d = explain(prog, db, "path", (1, 4))
+        assert d is not None
+        assert d.depth() >= 4  # chains through path(1,3), path(1,2)
+        # every leaf is an edge fact
+        def leaves(n):
+            if n.is_leaf:
+                yield n
+            for c in n.children:
+                yield from leaves(c)
+        assert all(l.predicate == "edge" for l in leaves(d))
+
+    def test_absent_fact(self, tc):
+        prog, db = tc
+        assert explain(prog, db, "path", (4, 1)) is None
+        assert explain(prog, db, "edge", (9, 9)) is None
+
+    def test_pretty_output(self, tc):
+        prog, db = tc
+        text = explain(prog, db, "path", (1, 3)).pretty()
+        assert "path(1, 3)" in text
+        assert "[rule 1" in text
+        assert "base fact" in text
+        assert "└─" in text
+
+
+class TestTricky:
+    def test_program_fact_for_idb_predicate(self):
+        prog = parse_program(
+            """
+            special(0, 99).
+            path(X, Y) :- edge(X, Y).
+            special(X, Y) :- path(X, Y), Y > 50.
+            """
+        )
+        db, _ = seminaive_evaluate(prog)
+        d = explain(prog, db, "special", (0, 99))
+        assert d is not None and d.is_leaf  # the program fact wins
+
+    def test_negation_contributes_no_children(self):
+        prog = parse_program(
+            """
+            node(1). node(2). edge(1, 2).
+            covered(Y) :- edge(X, Y).
+            root(X) :- node(X), !covered(X).
+            """
+        )
+        db, _ = seminaive_evaluate(prog)
+        d = explain(prog, db, "root", (1,))
+        assert [c.predicate for c in d.children] == ["node"]
+
+    def test_aggregate_children_are_group_members(self):
+        prog = parse_program(
+            """
+            sale(a, 3). sale(a, 4). sale(b, 1).
+            total(C, sum(Q)) :- sale(C, Q).
+            """
+        )
+        db, _ = seminaive_evaluate(prog)
+        d = explain(prog, db, "total", ("a", 7))
+        assert d is not None
+        facts = {c.fact for c in d.children}
+        assert facts == {("a", 3), ("a", 4)}
+        assert explain(prog, db, "total", ("a", 99)) is None
+
+    def test_cycle_does_not_loop(self):
+        # mutually recursive even/odd: explain must terminate
+        prog = parse_program(
+            """
+            zero(0).
+            succ(0, 1). succ(1, 2). succ(2, 3).
+            even(X) :- zero(X).
+            even(Y) :- succ(X, Y), odd(X).
+            odd(Y) :- succ(X, Y), even(X).
+            """
+        )
+        db, _ = seminaive_evaluate(prog)
+        d = explain(prog, db, "even", (2,))
+        assert d is not None
+        assert d.depth() >= 3
+
+    def test_arithmetic_in_derivation(self):
+        prog = parse_program(
+            """
+            num(4).
+            double(X, Y) :- num(X), Y = X * 2.
+            """
+        )
+        db, _ = seminaive_evaluate(prog)
+        d = explain(prog, db, "double", (4, 8))
+        assert d is not None
+        assert [c.fact for c in d.children] == [(4,)]

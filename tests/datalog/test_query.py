@@ -1,0 +1,70 @@
+"""Tests for the goal/query interface."""
+
+import pytest
+
+from repro.datalog import parse_program, seminaive_evaluate
+from repro.datalog.parser import ParseError
+from repro.datalog.query import parse_goal, query_facts
+
+
+@pytest.fixture(scope="module")
+def db():
+    prog = parse_program(
+        """
+        edge(1, 2). edge(2, 3). edge(3, 4).
+        red(2).
+        path(X, Y) :- edge(X, Y).
+        path(X, Z) :- path(X, Y), edge(Y, Z).
+        """
+    )
+    return seminaive_evaluate(prog)[0]
+
+
+def test_single_goal(db):
+    rows = query_facts(db, "path(1, X)")
+    assert sorted(r["X"] for r in rows) == [2, 3, 4]
+
+
+def test_conjunction_with_comparison(db):
+    rows = query_facts(db, "path(1, X), X > 2")
+    assert sorted(r["X"] for r in rows) == [3, 4]
+
+
+def test_negation(db):
+    rows = query_facts(db, "path(1, X), !red(X)")
+    assert sorted(r["X"] for r in rows) == [3, 4]
+
+
+def test_join_goal(db):
+    rows = query_facts(db, "edge(X, Y), edge(Y, Z)")
+    assert {(r["X"], r["Y"], r["Z"]) for r in rows} == {
+        (1, 2, 3),
+        (2, 3, 4),
+    }
+
+
+def test_ground_goal(db):
+    assert query_facts(db, "path(1, 4)") == [{}]
+    assert query_facts(db, "path(4, 1)") == []
+
+
+def test_trailing_period_tolerated(db):
+    assert len(query_facts(db, "path(1, X).")) == 3
+
+
+def test_duplicates_collapsed(db):
+    # path(1,3) via two different rule firings is still one answer
+    rows = query_facts(db, "path(X, Y)")
+    assert len(rows) == len({(r["X"], r["Y"]) for r in rows})
+
+
+def test_unsafe_goal_rejected(db):
+    with pytest.raises(ParseError, match="unsafe"):
+        parse_goal("!red(X)")
+    with pytest.raises(ParseError, match="unsafe"):
+        parse_goal("edge(X, Y), Z > 1")
+
+
+def test_trailing_garbage_rejected(db):
+    with pytest.raises(ParseError, match="trailing"):
+        parse_goal("edge(X, Y) edge")

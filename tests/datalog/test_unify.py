@@ -1,0 +1,131 @@
+"""Tests for matching and body-join evaluation."""
+
+import pytest
+
+from repro.datalog import Atom, Comparison, Constant, Database, Literal, Variable
+from repro.datalog.unify import (
+    apply_subst,
+    eval_comparison,
+    join_body,
+    match_atom,
+)
+
+X, Y, Z = Variable("X"), Variable("Y"), Variable("Z")
+
+
+class TestMatchAtom:
+    def test_binds_variables(self):
+        s = match_atom(Atom("e", (X, Y)), (1, 2), {})
+        assert s == {"X": 1, "Y": 2}
+
+    def test_constant_mismatch(self):
+        assert match_atom(Atom("e", (Constant(5), Y)), (1, 2), {}) is None
+
+    def test_repeated_variable_must_agree(self):
+        assert match_atom(Atom("e", (X, X)), (1, 2), {}) is None
+        assert match_atom(Atom("e", (X, X)), (2, 2), {}) == {"X": 2}
+
+    def test_existing_binding_respected(self):
+        assert match_atom(Atom("e", (X, Y)), (1, 2), {"X": 9}) is None
+        s = match_atom(Atom("e", (X, Y)), (1, 2), {"X": 1})
+        assert s == {"X": 1, "Y": 2}
+
+    def test_input_not_mutated(self):
+        base = {"X": 1}
+        match_atom(Atom("e", (X, Y)), (1, 2), base)
+        assert base == {"X": 1}
+
+
+class TestApplySubst:
+    def test_grounding(self):
+        assert apply_subst(Atom("e", (X, Constant(7))), {"X": 3}) == (3, 7)
+
+    def test_unbound_raises(self):
+        with pytest.raises(KeyError):
+            apply_subst(Atom("e", (X,)), {})
+
+
+class TestComparison:
+    @pytest.mark.parametrize(
+        "op,expected",
+        [("==", False), ("!=", True), ("<", True), ("<=", True),
+         (">", False), (">=", False)],
+    )
+    def test_ops(self, op, expected):
+        c = Comparison(op, X, Y)
+        assert eval_comparison(c, {"X": 1, "Y": 2}) is expected
+
+
+class TestJoinBody:
+    def _db(self):
+        db = Database()
+        for t in [(1, 2), (2, 3), (3, 4)]:
+            db.add_fact("e", t)
+        db.add_fact("red", (2,))
+        return db
+
+    def test_single_atom(self):
+        body = (Literal(atom=Atom("e", (X, Y))),)
+        subs = list(join_body(body, self._db()))
+        assert len(subs) == 3
+
+    def test_join_two_atoms(self):
+        body = (
+            Literal(atom=Atom("e", (X, Y))),
+            Literal(atom=Atom("e", (Y, Z))),
+        )
+        subs = {(s["X"], s["Y"], s["Z"]) for s in join_body(body, self._db())}
+        assert subs == {(1, 2, 3), (2, 3, 4)}
+
+    def test_negation_filters(self):
+        body = (
+            Literal(atom=Atom("e", (X, Y))),
+            Literal(atom=Atom("red", (Y,)), negated=True),
+        )
+        subs = {(s["X"], s["Y"]) for s in join_body(body, self._db())}
+        assert subs == {(2, 3), (3, 4)}
+
+    def test_comparison_filters(self):
+        body = (
+            Literal(atom=Atom("e", (X, Y))),
+            Literal(comparison=Comparison(">", X, Constant(1))),
+        )
+        subs = {s["X"] for s in join_body(body, self._db())}
+        assert subs == {2, 3}
+
+    def test_filters_defer_until_bound(self):
+        # comparison references Y which binds in the SECOND atom
+        body = (
+            Literal(atom=Atom("e", (X, Y))),
+            Literal(comparison=Comparison("==", Z, Constant(4))),
+            Literal(atom=Atom("e", (Y, Z))),
+        )
+        subs = list(join_body(body, self._db()))
+        assert {(s["X"], s["Z"]) for s in subs} == {(2, 4)}
+
+    def test_missing_relation_yields_nothing(self):
+        body = (Literal(atom=Atom("ghost", (X,))),)
+        assert list(join_body(body, self._db())) == []
+
+    def test_initial_subst(self):
+        body = (Literal(atom=Atom("e", (X, Y))),)
+        subs = list(join_body(body, self._db(), subst={"X": 2}))
+        assert [(s["X"], s["Y"]) for s in subs] == [(2, 3)]
+
+    def test_delta_override(self):
+        from repro.datalog import Relation
+
+        delta = Relation("e", 2)
+        delta.add((2, 3))
+        body = (
+            Literal(atom=Atom("e", (X, Y))),
+            Literal(atom=Atom("e", (Y, Z))),
+        )
+        subs = {
+            (s["X"], s["Y"], s["Z"])
+            for s in join_body(
+                body, self._db(), delta_overrides={"e": delta}, delta_at=0
+            )
+        }
+        # the first occurrence restricted to Δ = {(2,3)}
+        assert subs == {(2, 3, 4)}

@@ -1,0 +1,95 @@
+"""Tests for the hybrid scheduler (Sections V–VI)."""
+
+import numpy as np
+import pytest
+
+from repro.dag import Dag, layered_dag
+from repro.schedulers import (
+    HybridScheduler,
+    LevelBasedScheduler,
+    LogicBloxScheduler,
+)
+from repro.sim import simulate
+from repro.tasks import JobTrace
+from repro.workloads import logicblox_killer, theorem9_example
+
+
+def test_no_level_barrier():
+    """Inherits the production scheduler's early release."""
+    dag = Dag(4, [(0, 1), (2, 3)])
+    trace = JobTrace(
+        dag=dag,
+        work=np.array([10.0, 1.0, 1.0, 1.0]),
+        initial_tasks=np.array([0, 2]),
+        changed_edges=np.ones(2, dtype=bool),
+    )
+    res = simulate(
+        trace, HybridScheduler(), processors=2, record_schedule=True
+    )
+    start = {r.node: r.start for r in res.schedule}
+    assert start[3] < 10.0
+
+
+def test_beats_levelbased_on_theorem9():
+    trace = theorem9_example(12)
+    hy = simulate(trace, HybridScheduler(), processors=16)
+    lb = simulate(trace, LevelBasedScheduler(), processors=16)
+    assert hy.makespan < 0.5 * lb.makespan
+
+
+def test_overhead_beats_fresh_logicblox_on_killer():
+    """The headline Table III / '100x' effect: when LevelBased keeps the
+    shared queue fed, the production component's scans never run."""
+    trace = logicblox_killer(150, width_per_step=8)
+    hy = simulate(trace, HybridScheduler(), processors=4)
+    lbx = simulate(trace, LogicBloxScheduler("fresh"), processors=4)
+    assert hy.scheduling_ops < lbx.scheduling_ops / 10
+
+
+def test_component_ops_reported():
+    trace = theorem9_example(6)
+    s = HybridScheduler()
+    simulate(trace, s, processors=4)
+    split = s.component_ops
+    assert set(split) == {"levelbased", "logicblox"}
+    assert split["levelbased"] > 0
+
+
+def test_no_double_execution():
+    """Shared queue must not hand a task to both components."""
+    rng = np.random.default_rng(11)
+    dag = layered_dag([4, 7, 7, 4], edge_prob=0.4, rng=rng, skip_prob=0.4)
+    trace = JobTrace(
+        dag=dag,
+        work=rng.uniform(0.1, 2.0, dag.n_nodes),
+        initial_tasks=dag.sources()[:2],
+        changed_edges=rng.random(dag.n_edges) < 0.7,
+    )
+    res = simulate(trace, HybridScheduler(), processors=4)
+    assert res.tasks_executed == trace.n_active  # engine enforces too
+
+
+def test_makespan_close_to_best_component():
+    """'Similar or improved total execution times' (Section VI)."""
+    rng = np.random.default_rng(5)
+    dag = layered_dag([3, 6, 6, 6, 3], edge_prob=0.3, rng=rng, skip_prob=0.3)
+    trace = JobTrace(
+        dag=dag,
+        work=rng.lognormal(0, 1.0, dag.n_nodes),
+        initial_tasks=dag.sources()[:2],
+        changed_edges=rng.random(dag.n_edges) < 0.6,
+    )
+    hy = simulate(trace, HybridScheduler(), processors=4)
+    lb = simulate(trace, LevelBasedScheduler(), processors=4)
+    lbx = simulate(trace, LogicBloxScheduler("fresh"), processors=4)
+    best = min(lb.makespan, lbx.makespan)
+    assert hy.makespan <= best * 1.1
+
+
+def test_precompute_includes_both_components():
+    trace = theorem9_example(5)
+    hy = HybridScheduler()
+    lb = LevelBasedScheduler()
+    simulate(trace, hy, processors=2)
+    simulate(trace, lb, processors=2)
+    assert hy.precompute_memory_cells > lb.precompute_memory_cells

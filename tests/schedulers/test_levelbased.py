@@ -1,0 +1,90 @@
+"""Tests for the LevelBased scheduler (Section III, Theorem 2)."""
+
+import numpy as np
+import pytest
+
+from repro.dag import Dag, chain, layered_dag
+from repro.schedulers import LevelBasedScheduler
+from repro.sim import simulate
+from repro.tasks import JobTrace
+
+
+def full_trace(dag, work=None):
+    work = np.ones(dag.n_nodes) if work is None else np.asarray(work, float)
+    return JobTrace(
+        dag=dag,
+        work=work,
+        initial_tasks=dag.sources(),
+        changed_edges=np.ones(dag.n_edges, dtype=bool),
+    )
+
+
+def test_executes_level_by_level(diamond):
+    trace = full_trace(diamond)
+    res = simulate(trace, LevelBasedScheduler(), record_schedule=True)
+    start = {r.node: r.start for r in res.schedule}
+    levels = trace.levels
+    for u in range(4):
+        for v in range(4):
+            if levels[u] < levels[v]:
+                assert start[u] < start[v] + 1e-12
+
+
+def test_level_barrier_blocks_next_level():
+    # two parallel chains a0→a1, b0→b1; a0 long. LevelBased must not
+    # start any level-1 task until BOTH level-0 tasks finish.
+    dag = Dag(4, [(0, 1), (2, 3)])
+    trace = full_trace(dag, work=[10.0, 1.0, 1.0, 1.0])
+    res = simulate(
+        trace, LevelBasedScheduler(), processors=2, record_schedule=True
+    )
+    start = {r.node: r.start for r in res.schedule}
+    assert start[3] >= 10.0  # waited for node 0 although only 2 is its parent
+    assert res.execution_makespan == pytest.approx(11.0, abs=1e-4)
+
+
+def test_runtime_ops_linear_in_active_plus_levels():
+    """Theorem 2: scheduling cost O(n + L), independent of V and E."""
+    dag = layered_dag([40] * 10, edge_prob=0.5, rng=0)
+    # activate only one chain's worth of nodes
+    rng = np.random.default_rng(1)
+    flags = np.zeros(dag.n_edges, dtype=bool)
+    # activate a single path by flagging one outgoing edge per level
+    node = int(dag.sources()[0])
+    path = [node]
+    while dag.out_degree(node):
+        nxt = int(dag.out_neighbors(node)[0])
+        flags[dag.edge_index(node, nxt)] = True
+        path.append(nxt)
+        node = nxt
+    trace = JobTrace(
+        dag=dag,
+        work=np.ones(dag.n_nodes),
+        initial_tasks=np.array([path[0]]),
+        changed_edges=flags,
+    )
+    res = simulate(trace, LevelBasedScheduler(), processors=4)
+    n, L = trace.n_active, trace.n_levels
+    assert res.scheduling_ops <= 4 * (n + L) + 10
+    # and the precompute is the only part that touches V and E
+    assert res.precompute_ops == dag.n_nodes + dag.n_edges
+
+
+def test_precompute_memory_is_V():
+    dag = chain(50)
+    res = simulate(full_trace(dag), LevelBasedScheduler())
+    assert res.precompute_memory_cells == 50
+
+
+def test_runtime_memory_linear_in_active():
+    dag = layered_dag([10] * 5, edge_prob=0.5, rng=0)
+    trace = full_trace(dag)
+    res = simulate(trace, LevelBasedScheduler(), processors=2)
+    assert res.runtime_peak_memory_cells <= trace.n_active + 1
+
+
+def test_current_level_property():
+    s = LevelBasedScheduler()
+    dag = chain(3)
+    simulate(full_trace(dag), s)
+    assert s.current_level == 2  # advanced to the last level

@@ -1,0 +1,84 @@
+"""Tests for LevelBased with LookAhead — LBL(k)."""
+
+import numpy as np
+import pytest
+
+from repro.dag import Dag
+from repro.schedulers import LevelBasedScheduler, LookaheadScheduler
+from repro.sim import simulate
+from repro.tasks import JobTrace
+from repro.workloads import theorem9_example
+
+
+def full_trace(dag, work=None):
+    work = np.ones(dag.n_nodes) if work is None else np.asarray(work, float)
+    return JobTrace(
+        dag=dag,
+        work=work,
+        initial_tasks=dag.sources(),
+        changed_edges=np.ones(dag.n_edges, dtype=bool),
+    )
+
+
+def test_negative_k_rejected():
+    with pytest.raises(ValueError):
+        LookaheadScheduler(-1)
+
+
+def test_name_includes_k():
+    assert LookaheadScheduler(7).name == "LBL(k=7)"
+
+
+def test_k0_equals_levelbased():
+    trace = theorem9_example(8)
+    base = simulate(trace, LevelBasedScheduler(), processors=8)
+    lbl0 = simulate(trace, LookaheadScheduler(0), processors=8)
+    assert lbl0.makespan == pytest.approx(base.makespan, rel=1e-9)
+
+
+def test_lookahead_breaks_the_barrier():
+    # two chains: a long task at level 0 of chain A; chain B's level-1
+    # task is independent and within the look-ahead window
+    dag = Dag(4, [(0, 1), (2, 3)])
+    trace = full_trace(dag, work=[10.0, 1.0, 1.0, 1.0])
+    res = simulate(
+        trace, LookaheadScheduler(3), processors=2, record_schedule=True
+    )
+    start = {r.node: r.start for r in res.schedule}
+    assert start[3] < 10.0  # started before the straggler finished
+
+
+def test_lookahead_respects_real_dependencies(diamond):
+    # node 3 depends on BOTH 1 and 2 — lookahead must not release it early
+    trace = JobTrace(
+        dag=diamond,
+        work=np.array([1.0, 10.0, 1.0, 1.0]),
+        initial_tasks=np.array([0]),
+        changed_edges=np.ones(4, dtype=bool),
+    )
+    res = simulate(
+        trace, LookaheadScheduler(5), processors=4, record_schedule=True
+    )
+    start = {r.node: r.start for r in res.schedule}
+    assert start[3] >= 11.0 - 1e-9
+
+
+def test_monotone_improvement_on_theorem9():
+    """Deeper look-ahead ⇒ no worse makespan (Table II's trend)."""
+    trace = theorem9_example(12)
+    prev = float("inf")
+    for k in (0, 2, 5, 12):
+        res = simulate(trace, LookaheadScheduler(k), processors=16)
+        assert res.makespan <= prev + 1e-9
+        prev = res.makespan
+
+
+def test_full_lookahead_matches_greedy_on_theorem9():
+    from repro.schedulers import OracleScheduler
+
+    trace = theorem9_example(10)
+    lbl = simulate(trace, LookaheadScheduler(10), processors=16)
+    oracle = simulate(trace, OracleScheduler(), processors=16)
+    assert lbl.execution_makespan == pytest.approx(
+        oracle.execution_makespan, rel=0.01
+    )

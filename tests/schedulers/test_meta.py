@@ -1,0 +1,87 @@
+"""Tests for the Theorem 10 / Corollary 11 meta-scheduler."""
+
+import numpy as np
+import pytest
+
+from repro.dag import layered_dag
+from repro.schedulers import (
+    LevelBasedScheduler,
+    LogicBloxScheduler,
+    meta_schedule,
+)
+from repro.sim import simulate
+from repro.tasks import JobTrace
+from repro.workloads import theorem9_example
+
+
+def rand_trace(seed=0):
+    rng = np.random.default_rng(seed)
+    dag = layered_dag([3, 5, 5, 3], edge_prob=0.4, rng=rng)
+    return JobTrace(
+        dag=dag,
+        work=rng.uniform(0.5, 2.0, dag.n_nodes),
+        initial_tasks=dag.sources(),
+        changed_edges=rng.random(dag.n_edges) < 0.7,
+    )
+
+
+def test_requires_two_processors():
+    with pytest.raises(ValueError, match="2 processors"):
+        meta_schedule(rand_trace(), LogicBloxScheduler(), 1, zeta=10**9)
+
+
+def test_zeta_must_be_omega_v():
+    t = rand_trace()
+    with pytest.raises(ValueError, match="zeta"):
+        meta_schedule(t, LogicBloxScheduler(), 4, zeta=1)
+
+
+def test_theorem10_bound():
+    """Makespan ≤ 2·min{T_a, T_b} (both measured on full P)."""
+    t = rand_trace(3)
+    P, zeta = 8, 10**9
+    res = meta_schedule(t, LogicBloxScheduler(), P, zeta)
+    ta = simulate(t, LogicBloxScheduler(), processors=P).makespan
+    tb = simulate(t, LevelBasedScheduler(), processors=P).makespan
+    assert res.makespan <= 2 * min(ta, tb) + 1e-6
+    assert not res.a_killed
+    assert res.winner in ("A", "LevelBased")
+
+
+def test_memory_budget_kills_a():
+    """A fragmenting instance blows A's interval index past ζ/2."""
+    from repro.workloads import logicblox_killer
+
+    t = logicblox_killer(60)
+    v = t.dag.n_nodes
+    res = meta_schedule(t, LogicBloxScheduler(), 4, zeta=2 * v)
+    assert res.a_killed
+    assert res.winner == "LevelBased"
+    # memory stays O(zeta): A was cut off at zeta/2 plus LevelBased's O(V)
+    assert res.memory_cells <= 2 * v + 2 * v + 10 * v
+
+
+def test_within_budget_keeps_both():
+    t = rand_trace(4)
+    res = meta_schedule(t, LogicBloxScheduler(), 4, zeta=10**9)
+    assert not res.a_killed
+    assert res.result_a is not None
+    assert res.makespan == min(
+        res.result_a.makespan, res.result_b.makespan
+    )
+
+
+def test_levelbased_rescues_bad_instance():
+    """On Theorem 9's instance with A = LevelBased-hostile ordering the
+    meta-scheduler still finishes within 2× the better component."""
+    t = theorem9_example(10)
+    res = meta_schedule(t, LogicBloxScheduler(), 16, zeta=10**9)
+    tb_half = res.result_b.makespan
+    assert res.makespan <= tb_half + 1e-9
+
+
+def test_summary_text():
+    t = rand_trace(5)
+    res = meta_schedule(t, LogicBloxScheduler(), 4, zeta=10**9)
+    s = res.summary()
+    assert "Meta" in s and "winner" in s

@@ -1,0 +1,66 @@
+"""Tests for the clairvoyant oracle scheduler and lower bounds."""
+
+import numpy as np
+import pytest
+
+from repro.dag import Dag, chain
+from repro.schedulers import LevelBasedScheduler, OracleScheduler, lower_bounds
+from repro.sim import simulate
+from repro.tasks import JobTrace
+from repro.workloads import theorem9_example
+
+
+def test_oracle_achieves_optimum_on_theorem9():
+    trace = theorem9_example(15)
+    res = simulate(trace, OracleScheduler(), processors=32)
+    # optimal is Θ(M + L) = L here (the k_i's overlap the chain)
+    assert res.execution_makespan == pytest.approx(15.0, abs=1e-4)
+
+
+def test_lower_bounds_work_term():
+    dag = Dag(4, [])
+    trace = JobTrace(
+        dag=dag,
+        work=np.full(4, 2.0),
+        initial_tasks=np.arange(4),
+        changed_edges=np.zeros(0, dtype=bool),
+    )
+    lb = lower_bounds(trace, processors=2)
+    assert lb["work"] == pytest.approx(4.0)
+    assert lb["critical_path"] == pytest.approx(2.0)
+    assert lb["combined"] == pytest.approx(4.0)
+
+
+def test_lower_bounds_critical_path_term():
+    trace = JobTrace(
+        dag=chain(5),
+        work=np.ones(5),
+        initial_tasks=np.array([0]),
+        changed_edges=np.ones(4, dtype=bool),
+    )
+    lb = lower_bounds(trace, processors=8)
+    assert lb["critical_path"] == pytest.approx(5.0)
+    assert lb["combined"] == pytest.approx(5.0)
+
+
+def test_lower_bounds_only_count_executing_nodes():
+    dag = chain(5)
+    flags = np.zeros(4, dtype=bool)
+    flags[dag.edge_index(0, 1)] = True
+    trace = JobTrace(
+        dag=dag,
+        work=np.ones(5),
+        initial_tasks=np.array([0]),
+        changed_edges=flags,
+    )
+    lb = lower_bounds(trace, processors=1)
+    assert lb["work"] == pytest.approx(2.0)
+    assert lb["critical_path"] == pytest.approx(2.0)
+
+
+def test_every_scheduler_respects_lower_bounds():
+    trace = theorem9_example(8)
+    lb = lower_bounds(trace, processors=4)
+    for s in (OracleScheduler(), LevelBasedScheduler()):
+        res = simulate(trace, s, processors=4)
+        assert res.execution_makespan >= lb["combined"] - 1e-9

@@ -1,0 +1,86 @@
+"""Tests for the brute-force signal propagation baseline."""
+
+import numpy as np
+import pytest
+
+from repro.dag import Dag, layered_dag
+from repro.schedulers import LevelBasedScheduler, SignalPropagationScheduler
+from repro.sim import simulate
+from repro.tasks import JobTrace
+
+
+def test_ops_proportional_to_whole_dag():
+    """O(V + E) messages even when almost nothing is active."""
+    rng = np.random.default_rng(0)
+    dag = layered_dag([20] * 8, edge_prob=0.3, rng=rng)
+    # activate a single source whose output changes nothing
+    flags = np.zeros(dag.n_edges, dtype=bool)
+    trace = JobTrace(
+        dag=dag,
+        work=np.ones(dag.n_nodes),
+        initial_tasks=dag.sources()[:1],
+        changed_edges=flags,
+    )
+    s = SignalPropagationScheduler()
+    res = simulate(trace, s, processors=2)
+    assert res.tasks_executed == 1
+    # messages cover the entire graph despite n = 1
+    assert res.scheduling_ops >= dag.n_nodes + dag.n_edges
+
+
+def test_no_precomputation():
+    dag = Dag(3, [(0, 1), (1, 2)])
+    trace = JobTrace(
+        dag=dag,
+        work=np.ones(3),
+        initial_tasks=np.array([0]),
+        changed_edges=np.ones(2, dtype=bool),
+    )
+    s = SignalPropagationScheduler()
+    simulate(trace, s)
+    assert s.precompute_ops == 0
+
+
+def test_discovers_ready_immediately():
+    """Signals travel instantly, so the schedule matches greedy."""
+    dag = Dag(4, [(0, 1), (2, 3)])
+    trace = JobTrace(
+        dag=dag,
+        work=np.array([10.0, 1.0, 1.0, 1.0]),
+        initial_tasks=np.array([0, 2]),
+        changed_edges=np.ones(2, dtype=bool),
+    )
+    res = simulate(
+        trace, SignalPropagationScheduler(), processors=2,
+        record_schedule=True,
+    )
+    start = {r.node: r.start for r in res.schedule}
+    assert start[3] < 10.0  # no level barrier
+
+
+def test_same_task_set_as_levelbased():
+    rng = np.random.default_rng(3)
+    dag = layered_dag([4, 6, 6, 4], edge_prob=0.4, rng=rng, skip_prob=0.3)
+    trace = JobTrace(
+        dag=dag,
+        work=rng.uniform(0.5, 2.0, dag.n_nodes),
+        initial_tasks=dag.sources()[:2],
+        changed_edges=rng.random(dag.n_edges) < 0.6,
+    )
+    a = simulate(trace, SignalPropagationScheduler(), processors=3)
+    b = simulate(trace, LevelBasedScheduler(), processors=3)
+    assert a.tasks_executed == b.tasks_executed
+
+
+def test_initial_nonsource_task():
+    dag = Dag(3, [(0, 1), (1, 2)])
+    flags = np.zeros(2, dtype=bool)
+    flags[dag.edge_index(1, 2)] = True
+    trace = JobTrace(
+        dag=dag,
+        work=np.ones(3),
+        initial_tasks=np.array([1]),  # rule redefinition mid-DAG
+        changed_edges=flags,
+    )
+    res = simulate(trace, SignalPropagationScheduler(), processors=1)
+    assert res.tasks_executed == 2  # 1 and 2

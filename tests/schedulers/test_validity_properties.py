@@ -1,0 +1,169 @@
+"""Property-based schedule-validity tests across all schedulers.
+
+For random DAGs, random activation patterns, and random processor
+counts, every scheduler must produce a *valid* schedule:
+
+* exactly the ground-truth active set executes (no spurious or missing
+  re-runs);
+* no task starts before all of its activated ancestors finish;
+* at most P processors are ever busy.
+
+The engine already enforces the precedence check online; these tests
+re-verify it offline from the recorded schedule, so a bug in the engine
+itself would also surface.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dag import layered_dag, reachable_mask
+from repro.schedulers import (
+    CriticalPathScheduler,
+    HybridScheduler,
+    LevelBasedScheduler,
+    LogicBloxScheduler,
+    LookaheadScheduler,
+    OracleScheduler,
+    SignalPropagationScheduler,
+)
+from repro.sim import simulate
+from repro.tasks import JobTrace
+
+SCHEDULER_FACTORIES = [
+    LevelBasedScheduler,
+    lambda: LookaheadScheduler(3),
+    lambda: LogicBloxScheduler("fresh"),
+    lambda: LogicBloxScheduler("cached"),
+    SignalPropagationScheduler,
+    HybridScheduler,
+    OracleScheduler,
+    CriticalPathScheduler,
+]
+
+
+def build_trace(seed: int) -> JobTrace:
+    rng = np.random.default_rng(seed)
+    n_layers = int(rng.integers(2, 6))
+    layers = [int(rng.integers(1, 7)) for _ in range(n_layers)]
+    dag = layered_dag(
+        layers,
+        edge_prob=float(rng.uniform(0.1, 0.6)),
+        rng=rng,
+        skip_prob=float(rng.uniform(0, 0.5)),
+    )
+    sources = dag.sources()
+    k = 1 + int(rng.integers(0, sources.size))
+    return JobTrace(
+        dag=dag,
+        work=rng.uniform(0.1, 3.0, dag.n_nodes),
+        initial_tasks=sources[:k],
+        changed_edges=rng.random(dag.n_edges) < float(rng.uniform(0.3, 0.9)),
+    )
+
+
+def check_schedule_valid(trace: JobTrace, result, processors: int) -> None:
+    executed_truth = set(int(x) for x in trace.active_nodes)
+    executed = {r.node for r in result.schedule}
+    assert executed == executed_truth, "wrong task set executed"
+
+    finish = {r.node: r.finish for r in result.schedule}
+    start = {r.node: r.start for r in result.schedule}
+    # precedence: every activated ancestor finishes before the task starts
+    dag = trace.dag
+    for v in executed:
+        anc_mask = reachable_mask(dag, [v], reverse=True)
+        anc_mask[v] = False
+        for a in np.flatnonzero(anc_mask):
+            a = int(a)
+            if a in executed:
+                assert finish[a] <= start[v] + 1e-9, (
+                    f"task {v} started before activated ancestor {a} done"
+                )
+    # processor capacity at every start event
+    events = sorted(result.schedule, key=lambda r: r.start)
+    for r in events:
+        busy = sum(
+            o.processors
+            for o in result.schedule
+            if o.start - 1e-12 <= r.start < o.finish - 1e-12
+        )
+        assert busy <= processors + 1e-9
+
+
+@pytest.mark.parametrize(
+    "factory", SCHEDULER_FACTORIES,
+    ids=["LevelBased", "LBL3", "LBXfresh", "LBXcached", "SignalProp",
+         "Hybrid", "Oracle", "CriticalPath"],
+)
+@given(seed=st.integers(0, 10**6), processors=st.integers(1, 6))
+@settings(max_examples=20, deadline=None)
+def test_schedule_validity(factory, seed, processors):
+    trace = build_trace(seed)
+    scheduler = factory()
+    result = simulate(
+        trace, scheduler, processors=processors, record_schedule=True
+    )
+    check_schedule_valid(trace, result, processors)
+
+
+@given(seed=st.integers(0, 10**6))
+@settings(max_examples=20, deadline=None)
+def test_all_schedulers_agree_on_total_work(seed):
+    trace = build_trace(seed)
+    works = set()
+    for factory in SCHEDULER_FACTORIES:
+        res = simulate(trace, factory(), processors=3)
+        works.add(round(res.total_work, 9))
+    assert len(works) == 1
+
+
+@pytest.mark.parametrize(
+    "factory", SCHEDULER_FACTORIES,
+    ids=["LevelBased", "LBL3", "LBXfresh", "LBXcached", "SignalProp",
+         "Hybrid", "Oracle", "CriticalPath"],
+)
+@given(seed=st.integers(0, 10**6), processors=st.integers(1, 6))
+@settings(max_examples=10, deadline=None)
+def test_schedule_validity_mixed_models(factory, seed, processors):
+    """Validity holds with unit/sequential/malleable tasks mixed."""
+    from repro.tasks import ExecutionModel
+
+    rng = np.random.default_rng(seed)
+    trace = build_trace(seed)
+    n = trace.dag.n_nodes
+    models = rng.choice(
+        [ExecutionModel.UNIT, ExecutionModel.SEQUENTIAL,
+         ExecutionModel.MALLEABLE],
+        size=n,
+    ).astype(np.int8)
+    span = trace.work * rng.uniform(0.0, 1.0, n)
+    mixed = JobTrace(
+        dag=trace.dag,
+        work=trace.work,
+        span=span,
+        models=models,
+        initial_tasks=trace.initial_tasks,
+        changed_edges=trace.changed_edges,
+    )
+    # reallot=False keeps each record's processor count constant over
+    # its whole span, so the offline capacity check below is exact
+    # (with re-allotment a record stores only the final allotment)
+    result = simulate(
+        mixed, factory(), processors=processors, record_schedule=True,
+        reallot=False,
+    )
+    check_schedule_valid(mixed, result, processors)
+
+
+@given(seed=st.integers(0, 10**6))
+@settings(max_examples=15, deadline=None)
+def test_levelbased_ops_bound(seed):
+    """Theorem 2: LevelBased runtime ops are O(n + L)."""
+    trace = build_trace(seed)
+    s = LevelBasedScheduler()
+    res = simulate(trace, s, processors=4)
+    n = trace.n_active
+    L = trace.n_levels
+    assert res.scheduling_ops <= 4 * (n + L) + 8

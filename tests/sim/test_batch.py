@@ -1,0 +1,78 @@
+"""Tests for the batch comparison runner."""
+
+import numpy as np
+import pytest
+
+from repro.dag import Dag
+from repro.schedulers import (
+    HybridScheduler,
+    LevelBasedScheduler,
+    LogicBloxScheduler,
+)
+from repro.sim.batch import compare
+from repro.tasks import JobTrace
+from repro.workloads import theorem9_example
+
+
+def small_traces():
+    dag = Dag(4, [(0, 1), (2, 3)])
+    t1 = JobTrace(
+        dag=dag,
+        work=np.array([10.0, 1.0, 1.0, 1.0]),
+        initial_tasks=np.array([0, 2]),
+        changed_edges=np.ones(2, dtype=bool),
+        name="two-chains",
+    )
+    t2 = theorem9_example(6)
+    return [t1, t2]
+
+
+def test_grid_structure():
+    grid = compare(
+        small_traces(),
+        [LevelBasedScheduler, HybridScheduler],
+        processors=4,
+    )
+    assert set(grid.results) == {"two-chains", "theorem9(L=6)"}
+    assert grid.schedulers() == ["LevelBased", "Hybrid"]
+    for row in grid.results.values():
+        assert set(row) == {"LevelBased", "Hybrid"}
+
+
+def test_accepts_instances_and_factories():
+    grid = compare(
+        small_traces()[:1],
+        [LevelBasedScheduler(), lambda: LogicBloxScheduler("cached")],
+        processors=2,
+    )
+    assert set(grid.results["two-chains"]) == {
+        "LevelBased",
+        "LogicBlox(cached)",
+    }
+
+
+def test_best_and_win_counts():
+    grid = compare(
+        small_traces(),
+        [LevelBasedScheduler, HybridScheduler],
+        processors=8,
+    )
+    # the hybrid never loses on these instances (ties go to list order)
+    assert grid.best("theorem9(L=6)") == "Hybrid"
+    wins = grid.win_counts()
+    assert sum(wins.values()) == 2
+    for trace_name in grid.results:
+        ms = grid.makespans(trace_name)
+        # tolerance covers the hybrid's slightly higher charged overhead
+        assert ms["Hybrid"] <= ms["LevelBased"] + 1e-4
+
+
+def test_render_quantities():
+    grid = compare(
+        small_traces()[:1], [LevelBasedScheduler], processors=2
+    )
+    assert "makespan" in grid.render()
+    assert "overhead" in grid.render("overhead")
+    assert "ops" in grid.render("ops")
+    with pytest.raises(ValueError):
+        grid.render("latency")

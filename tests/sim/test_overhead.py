@@ -1,0 +1,25 @@
+"""Tests for the overhead cost model and memory accounting."""
+
+import pytest
+
+from repro.sim import MemoryStats, OverheadModel
+
+
+def test_time_for():
+    m = OverheadModel(op_cost=2e-6)
+    assert m.time_for(0) == 0.0
+    assert m.time_for(1000) == pytest.approx(2e-3)
+
+
+def test_negative_ops_rejected():
+    with pytest.raises(ValueError):
+        OverheadModel().time_for(-1)
+
+
+def test_default_is_inline():
+    assert OverheadModel().charge_inline is True
+
+
+def test_memory_stats_total():
+    ms = MemoryStats(precompute_cells=100, runtime_peak_cells=40)
+    assert ms.total_peak_cells == 140

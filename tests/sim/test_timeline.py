@@ -1,0 +1,105 @@
+"""Tests for schedule timeline analysis."""
+
+import numpy as np
+import pytest
+
+from repro.dag import Dag
+from repro.schedulers import LevelBasedScheduler, LogicBloxScheduler
+from repro.sim import OverheadModel, simulate
+from repro.sim.timeline import (
+    average_utilization,
+    busy_profile,
+    idle_gaps,
+    level_envelopes,
+    render_gantt,
+)
+from repro.tasks import JobTrace
+
+NO_OVERHEAD = OverheadModel(op_cost=0.0)
+
+
+def two_chain_trace():
+    dag = Dag(4, [(0, 1), (2, 3)])
+    return JobTrace(
+        dag=dag,
+        work=np.array([10.0, 1.0, 1.0, 1.0]),
+        initial_tasks=np.array([0, 2]),
+        changed_edges=np.ones(2, dtype=bool),
+    )
+
+
+def run(trace, scheduler, P=2):
+    return simulate(
+        trace, scheduler, processors=P, overhead=NO_OVERHEAD,
+        record_schedule=True,
+    )
+
+
+class TestBusyProfile:
+    def test_profile_steps(self):
+        res = run(two_chain_trace(), LevelBasedScheduler())
+        times, busy = busy_profile(res)
+        assert busy[0] == 2  # both sources start at t=0
+        assert busy[-1] == 0  # everything finished
+        assert np.all(np.diff(times) >= 0)
+
+    def test_empty_schedule(self):
+        res = run(two_chain_trace(), LevelBasedScheduler())
+        res.schedule.clear()
+        times, busy = busy_profile(res)
+        assert times.size == 0
+        assert average_utilization(res) == 0.0
+
+    def test_average_utilization_bounds(self):
+        res = run(two_chain_trace(), LogicBloxScheduler())
+        u = average_utilization(res)
+        assert 0.0 < u <= 1.0
+
+
+class TestLevelEnvelopes:
+    def test_levelbased_envelopes_do_not_overlap(self):
+        trace = two_chain_trace()
+        res = run(trace, LevelBasedScheduler())
+        envs = level_envelopes(trace, res)
+        assert [e.level for e in envs] == [0, 1]
+        assert envs[1].first_start >= envs[0].last_finish - 1e-9
+        assert envs[0].n_tasks == 2
+
+    def test_logicblox_envelopes_overlap(self):
+        trace = two_chain_trace()
+        res = run(trace, LogicBloxScheduler())
+        envs = level_envelopes(trace, res)
+        # node 3 starts while node 0 (level 0) still runs
+        assert envs[1].first_start < envs[0].last_finish
+
+    def test_width(self):
+        trace = two_chain_trace()
+        res = run(trace, LevelBasedScheduler())
+        envs = level_envelopes(trace, res)
+        assert envs[0].width == pytest.approx(10.0, abs=1e-6)
+
+
+class TestIdleGaps:
+    def test_no_gap_in_packed_schedule(self):
+        res = run(two_chain_trace(), LogicBloxScheduler())
+        assert idle_gaps(res) == []
+
+
+class TestGantt:
+    def test_render(self):
+        trace = two_chain_trace()
+        res = run(trace, LevelBasedScheduler())
+        art = render_gantt(trace, res)
+        assert "4 tasks" in art
+        assert art.count("|") == 2 * 4  # two bars per row
+
+    def test_truncation(self):
+        trace = two_chain_trace()
+        res = run(trace, LevelBasedScheduler())
+        art = render_gantt(trace, res, max_rows=2)
+        assert "more tasks" in art
+
+    def test_empty(self):
+        res = run(two_chain_trace(), LevelBasedScheduler())
+        res.schedule.clear()
+        assert render_gantt(two_chain_trace(), res) == "(empty schedule)"

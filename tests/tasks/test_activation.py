@@ -1,0 +1,173 @@
+"""Tests for activation semantics — the active graph H of Section II-A."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dag import Dag, layered_dag
+from repro.tasks import ActivationState, propagate_changes
+
+
+def _flags(dag, changed_pairs):
+    flags = np.zeros(dag.n_edges, dtype=bool)
+    for u, v in changed_pairs:
+        flags[dag.edge_index(u, v)] = True
+    return flags
+
+
+class TestPropagateChanges:
+    def test_full_cascade(self, diamond):
+        res = propagate_changes(
+            diamond, np.array([0]), np.ones(diamond.n_edges, dtype=bool)
+        )
+        assert res.executed.all()
+        assert res.n_active == 4
+
+    def test_change_stops_where_output_unchanged(self, diamond):
+        # 0 changes only its edge to 1; 1's output doesn't change
+        flags = _flags(diamond, [(0, 1)])
+        res = propagate_changes(diamond, np.array([0]), flags)
+        assert list(np.flatnonzero(res.executed)) == [0, 1]
+        # node 3 is a descendant but never activated
+        assert not res.activated[3]
+
+    def test_no_initial_no_activity(self, diamond):
+        res = propagate_changes(
+            diamond, np.array([], dtype=np.int64),
+            np.ones(diamond.n_edges, dtype=bool),
+        )
+        assert res.n_active == 0
+
+    def test_initial_non_source(self, diamond):
+        # dirtying an internal node (rule redefinition) re-runs it
+        flags = _flags(diamond, [(1, 3)])
+        res = propagate_changes(diamond, np.array([1]), flags)
+        assert list(np.flatnonzero(res.executed)) == [1, 3]
+
+    def test_active_edges_subset_of_changed(self, diamond):
+        flags = np.ones(diamond.n_edges, dtype=bool)
+        flags[diamond.edge_index(0, 2)] = False
+        res = propagate_changes(diamond, np.array([0]), flags)
+        assert res.executed[1] and res.executed[3]
+        assert not res.executed[2]
+        assert not res.active_edges[diamond.edge_index(0, 2)]
+        # edge (2,3) flagged changed but 2 never executes → not realized
+        assert not res.active_edges[diamond.edge_index(2, 3)]
+
+
+class TestActivationState:
+    def test_bootstrap_dispatches_sources(self, diamond_trace):
+        st_ = diamond_trace.fresh_activation_state()
+        dispatchable, activated = st_.bootstrap()
+        assert dispatchable == [0]
+        assert activated == [0]
+
+    def test_full_run_order(self, diamond_trace):
+        s = diamond_trace.fresh_activation_state()
+        dispatchable, _ = s.bootstrap()
+        s.mark_dispatched(0)
+        d1, a1 = s.complete(0)
+        assert sorted(d1) == [1, 2]
+        assert sorted(a1) == [1, 2]
+        s.mark_dispatched(1)
+        d2, _ = s.complete(1)
+        assert d2 == []  # 3 still waits for 2
+        s.mark_dispatched(2)
+        d3, a3 = s.complete(2)
+        assert d3 == [3]
+        s.mark_dispatched(3)
+        s.complete(3)
+        assert s.all_done()
+        assert s.pending_count() == 0
+
+    def test_deactivation_cascade(self, diamond):
+        # only edge (0,1) changes; 2 deactivates, unblocking 3 never needed
+        flags = _flags(diamond, [(0, 1)])
+        s = ActivationState(diamond, np.array([0]), flags)
+        s.bootstrap()
+        s.mark_dispatched(0)
+        d, a = s.complete(0)
+        assert d == [1] and a == [1]
+        s.mark_dispatched(1)
+        s.complete(1)
+        assert s.all_done()
+
+    def test_dispatch_before_ready_raises(self, diamond_trace):
+        s = diamond_trace.fresh_activation_state()
+        s.bootstrap()
+        # node 3 hasn't even been activated yet at bootstrap time
+        with pytest.raises(RuntimeError, match="never activated"):
+            s.mark_dispatched(3)
+        # once activated but with an unresolved parent, it still must wait
+        s.mark_dispatched(0)
+        s.complete(0)  # activates 1 and 2
+        s.mark_dispatched(1)
+        s.complete(1)  # activates 3, but 2 is still unresolved
+        with pytest.raises(RuntimeError, match="unresolved parent"):
+            s.mark_dispatched(3)
+
+    def test_dispatch_unactivated_raises(self, diamond):
+        flags = _flags(diamond, [(0, 1)])
+        s = ActivationState(diamond, np.array([0]), flags)
+        s.bootstrap()
+        s.mark_dispatched(0)
+        s.complete(0)
+        with pytest.raises(RuntimeError, match="never activated"):
+            s.mark_dispatched(2)
+
+    def test_double_dispatch_raises(self, diamond_trace):
+        s = diamond_trace.fresh_activation_state()
+        s.bootstrap()
+        s.mark_dispatched(0)
+        with pytest.raises(RuntimeError, match="twice"):
+            s.mark_dispatched(0)
+
+    def test_complete_without_dispatch_raises(self, diamond_trace):
+        s = diamond_trace.fresh_activation_state()
+        s.bootstrap()
+        with pytest.raises(RuntimeError, match="before dispatch"):
+            s.complete(0)
+
+    def test_double_complete_raises(self, diamond_trace):
+        s = diamond_trace.fresh_activation_state()
+        s.bootstrap()
+        s.mark_dispatched(0)
+        s.complete(0)
+        with pytest.raises(RuntimeError, match="twice"):
+            s.complete(0)
+
+    def test_is_ready(self, diamond_trace):
+        s = diamond_trace.fresh_activation_state()
+        s.bootstrap()
+        assert s.is_ready(0)
+        assert not s.is_ready(3)
+        s.mark_dispatched(0)
+        assert not s.is_ready(0)  # dispatched
+
+
+class TestEquivalence:
+    """Event-driven state must agree with one-shot propagation."""
+
+    @given(st.integers(0, 300))
+    @settings(max_examples=30, deadline=None)
+    def test_event_driven_matches_batch(self, seed):
+        rng = np.random.default_rng(seed)
+        dag = layered_dag([3, 5, 5, 3], edge_prob=0.35, rng=rng, skip_prob=0.3)
+        flags = rng.random(dag.n_edges) < 0.5
+        k = 1 + int(rng.integers(0, 3))
+        initial = dag.sources()[:k]
+        batch = propagate_changes(dag, initial, flags)
+
+        s = ActivationState(dag, initial, flags)
+        ready, _ = s.bootstrap()
+        executed = []
+        frontier = list(ready)
+        while frontier:
+            v = frontier.pop()
+            s.mark_dispatched(v)
+            executed.append(v)
+            d, _ = s.complete(v)
+            frontier.extend(d)
+        assert s.all_done()
+        assert sorted(executed) == list(np.flatnonzero(batch.executed))

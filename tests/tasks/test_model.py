@@ -1,0 +1,49 @@
+"""Tests for task execution models."""
+
+import pytest
+
+from repro.tasks import ExecutionModel, execution_time, max_useful_processors
+
+
+class TestExecutionTime:
+    def test_unit(self):
+        assert execution_time(5.0, 5.0, ExecutionModel.UNIT, 1) == 1.0
+        assert execution_time(5.0, 5.0, ExecutionModel.UNIT, 8) == 1.0
+
+    def test_sequential_ignores_extra_processors(self):
+        assert execution_time(7.0, 7.0, ExecutionModel.SEQUENTIAL, 1) == 7.0
+        assert execution_time(7.0, 7.0, ExecutionModel.SEQUENTIAL, 4) == 7.0
+
+    def test_malleable_brent_bound(self):
+        # work 12, span 2: 4 procs → 3; 12 procs → span floor 2
+        assert execution_time(12.0, 2.0, ExecutionModel.MALLEABLE, 4) == 3.0
+        assert execution_time(12.0, 2.0, ExecutionModel.MALLEABLE, 12) == 2.0
+
+    def test_fully_parallel_span_zero(self):
+        assert execution_time(10.0, 0.0, ExecutionModel.MALLEABLE, 5) == 2.0
+
+    def test_zero_processors_rejected(self):
+        with pytest.raises(ValueError):
+            execution_time(1.0, 1.0, ExecutionModel.UNIT, 0)
+
+    def test_unknown_model_rejected(self):
+        with pytest.raises(ValueError):
+            execution_time(1.0, 1.0, 99, 1)
+
+
+class TestMaxUsefulProcessors:
+    def test_sequential_and_unit_use_one(self):
+        assert max_useful_processors(9.0, 9.0, ExecutionModel.SEQUENTIAL) == 1
+        assert max_useful_processors(1.0, 1.0, ExecutionModel.UNIT) == 1
+
+    def test_malleable_cap(self):
+        assert max_useful_processors(12.0, 3.0, ExecutionModel.MALLEABLE) == 4
+        assert max_useful_processors(10.0, 3.0, ExecutionModel.MALLEABLE) == 4
+
+    def test_fully_parallel_unbounded(self):
+        cap = max_useful_processors(10.0, 0.0, ExecutionModel.MALLEABLE)
+        assert cap > 10**6
+
+    def test_unknown_model_rejected(self):
+        with pytest.raises(ValueError):
+            max_useful_processors(1.0, 1.0, 99)

@@ -1,0 +1,93 @@
+"""Tests for the binary (.npz) trace format."""
+
+import numpy as np
+import pytest
+
+from repro.dag import Dag
+from repro.tasks import ExecutionModel, JobTrace
+from repro.tasks.serialize import load_npz, save_npz
+
+
+def sample_trace():
+    dag = Dag(4, [(0, 1), (0, 2), (1, 3), (2, 3)], node_names=list("abcd"))
+    return JobTrace(
+        dag=dag,
+        work=np.array([1.0, 2.0, 3.0, 4.0]),
+        span=np.array([1.0, 2.0, 1.5, 4.0]),
+        models=np.array(
+            [ExecutionModel.SEQUENTIAL] * 3 + [ExecutionModel.MALLEABLE],
+            dtype=np.int8,
+        ),
+        is_task=np.array([True, True, False, True]),
+        initial_tasks=np.array([0]),
+        changed_edges=np.array([True, False, True, True]),
+        name="bin",
+        metadata={"k": [1, 2]},
+    )
+
+
+def test_roundtrip(tmp_path):
+    t = sample_trace()
+    p = tmp_path / "t.npz"
+    save_npz(t, p)
+    t2 = load_npz(p)
+    assert t2.dag == t.dag
+    assert t2.dag.node_names == ("a", "b", "c", "d")
+    for attr in ("work", "span", "models", "is_task", "changed_edges",
+                 "initial_tasks"):
+        assert np.array_equal(getattr(t2, attr), getattr(t, attr)), attr
+    assert t2.name == "bin"
+    assert t2.metadata == {"k": [1, 2]}
+    assert t2.n_active == t.n_active
+
+
+def test_roundtrip_without_names(tmp_path):
+    dag = Dag(2, [(0, 1)])
+    t = JobTrace(
+        dag=dag,
+        work=np.ones(2),
+        initial_tasks=np.array([0]),
+        changed_edges=np.ones(1, dtype=bool),
+    )
+    p = tmp_path / "t.npz"
+    save_npz(t, p)
+    assert load_npz(p).dag.node_names is None
+
+
+def test_simulation_equivalence(tmp_path):
+    from repro.schedulers import LevelBasedScheduler
+    from repro.sim import simulate
+    from repro.workloads import make_trace
+
+    t = make_trace(5, scale=0.4)
+    p = tmp_path / "t5.npz"
+    save_npz(t, p)
+    t2 = load_npz(p)
+    a = simulate(t, LevelBasedScheduler(), processors=4)
+    b = simulate(t2, LevelBasedScheduler(), processors=4)
+    assert a.makespan == b.makespan
+
+
+def test_npz_much_smaller_than_json(tmp_path):
+    import io
+
+    from repro.workloads import make_trace
+
+    t = make_trace(5)
+    npz = tmp_path / "t.npz"
+    save_npz(t, npz)
+    buf = io.StringIO()
+    t.dump(buf)
+    assert npz.stat().st_size < 0.5 * len(buf.getvalue())
+
+
+def test_bad_schema_rejected(tmp_path):
+    import json
+
+    import numpy as np
+
+    p = tmp_path / "bad.npz"
+    np.savez(p, meta_json=np.array(json.dumps({"schema": 99})),
+             edges=np.zeros((0, 2)))
+    with pytest.raises(ValueError, match="schema"):
+        load_npz(p)

@@ -1,0 +1,45 @@
+"""Tests for trace statistics (Table I columns)."""
+
+import numpy as np
+
+from repro.dag import Dag
+from repro.tasks import JobTrace, trace_stats
+
+
+def test_diamond_stats(diamond_trace):
+    st = trace_stats(diamond_trace)
+    assert st.table1_row() == (4, 4, 1, 4, 3)
+    assert st.n_task_nodes == 4
+    assert st.n_descendants == 3  # 1, 2, 3 descend from the initial task
+    assert st.total_active_work == 4.0
+
+
+def test_descendants_exclude_initial_and_plumbing():
+    dag = Dag(4, [(0, 1), (1, 2), (2, 3)])
+    t = JobTrace(
+        dag=dag,
+        work=np.ones(4),
+        initial_tasks=np.array([0]),
+        changed_edges=np.array([True, False, False]),
+        is_task=np.array([True, True, False, True]),
+    )
+    st = trace_stats(t)
+    assert st.n_initial == 1
+    assert st.n_descendants == 2  # nodes 1 and 3 (2 is plumbing)
+    assert st.n_active_jobs == 2  # 0 and 1 execute; only tasks counted
+
+
+def test_figure1_shape_property():
+    """Most descendants need not be recomputed (Figure 1's point)."""
+    rng = np.random.default_rng(0)
+    from repro.dag import layered_dag
+
+    dag = layered_dag([4, 8, 8, 8, 4], edge_prob=0.4, rng=rng)
+    t = JobTrace(
+        dag=dag,
+        work=np.ones(dag.n_nodes),
+        initial_tasks=dag.sources()[:1],
+        changed_edges=rng.random(dag.n_edges) < 0.25,
+    )
+    st = trace_stats(t)
+    assert st.n_active_jobs - st.n_initial <= st.n_descendants

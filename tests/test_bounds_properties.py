@@ -1,0 +1,143 @@
+"""Property tests for the paper's analytical guarantees (Section IV).
+
+* Lemma 3 — unit tasks: LevelBased makespan ≤ w/P + L.
+* Lemma 5 — fully parallelizable tasks: makespan ≤ w/P + L.
+* Lemma 7 — arbitrary tasks: makespan ≤ w/P + Σ_i S_i.
+* 2-approximation in the work-dominated regime (w/P ≥ L).
+
+All bounds are over the *realized* active set: w is the total activated
+work, L the number of levels of G, and S_i the per-level maximum span
+among activated tasks. Overhead charging is disabled — the bounds are
+statements about the schedule, not the scheduling cost.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dag import layered_dag, level_spans
+from repro.schedulers import LevelBasedScheduler, lower_bounds
+from repro.sim import OverheadModel, simulate
+from repro.tasks import ExecutionModel, JobTrace
+
+NO_OVERHEAD = OverheadModel(op_cost=0.0)
+
+
+def random_structure(seed):
+    rng = np.random.default_rng(seed)
+    n_layers = int(rng.integers(2, 7))
+    layers = [int(rng.integers(1, 6)) for _ in range(n_layers)]
+    dag = layered_dag(
+        layers,
+        edge_prob=float(rng.uniform(0.1, 0.6)),
+        rng=rng,
+        skip_prob=float(rng.uniform(0, 0.4)),
+    )
+    sources = dag.sources()
+    k = 1 + int(rng.integers(0, sources.size))
+    return rng, dag, sources[:k]
+
+
+@given(seed=st.integers(0, 10**6), P=st.integers(1, 8))
+@settings(max_examples=30, deadline=None)
+def test_lemma3_unit_tasks(seed, P):
+    rng, dag, initial = random_structure(seed)
+    trace = JobTrace(
+        dag=dag,
+        work=np.ones(dag.n_nodes),
+        models=np.full(dag.n_nodes, ExecutionModel.UNIT, dtype=np.int8),
+        initial_tasks=initial,
+        changed_edges=rng.random(dag.n_edges) < 0.7,
+    )
+    res = simulate(
+        trace, LevelBasedScheduler(), processors=P, overhead=NO_OVERHEAD
+    )
+    w = trace.propagation.executed.sum()  # unit tasks: work = count
+    L = trace.n_levels
+    assert res.makespan <= w / P + L + 1e-9
+
+
+@given(seed=st.integers(0, 10**6), P=st.integers(1, 8))
+@settings(max_examples=30, deadline=None)
+def test_lemma5_fully_parallel_tasks(seed, P):
+    rng, dag, initial = random_structure(seed)
+    work = rng.uniform(0.1, 5.0, dag.n_nodes)
+    trace = JobTrace(
+        dag=dag,
+        work=work,
+        span=np.zeros(dag.n_nodes),
+        models=np.full(dag.n_nodes, ExecutionModel.MALLEABLE, dtype=np.int8),
+        initial_tasks=initial,
+        changed_edges=rng.random(dag.n_edges) < 0.7,
+    )
+    res = simulate(
+        trace, LevelBasedScheduler(), processors=P, overhead=NO_OVERHEAD
+    )
+    w = trace.total_active_work
+    L = trace.n_levels
+    assert res.makespan <= w / P + L + 1e-6
+
+
+@given(seed=st.integers(0, 10**6), P=st.integers(1, 8))
+@settings(max_examples=30, deadline=None)
+def test_lemma7_arbitrary_tasks(seed, P):
+    rng, dag, initial = random_structure(seed)
+    work = rng.uniform(0.1, 5.0, dag.n_nodes)
+    span = work * rng.uniform(0.1, 1.0, dag.n_nodes)
+    trace = JobTrace(
+        dag=dag,
+        work=work,
+        span=span,
+        models=np.full(dag.n_nodes, ExecutionModel.MALLEABLE, dtype=np.int8),
+        initial_tasks=initial,
+        changed_edges=rng.random(dag.n_edges) < 0.7,
+    )
+    res = simulate(
+        trace, LevelBasedScheduler(), processors=P, overhead=NO_OVERHEAD
+    )
+    w = trace.total_active_work
+    active_span = np.where(trace.propagation.executed, span, 0.0)
+    sum_si = float(level_spans(trace.levels, active_span).sum())
+    assert res.makespan <= w / P + sum_si + 1e-6
+
+
+@given(seed=st.integers(0, 10**6))
+@settings(max_examples=30, deadline=None)
+def test_two_approximation_when_work_dominated(seed):
+    """w/P ≥ L ⇒ makespan ≤ 2·OPT (unit tasks, Section II-B)."""
+    rng, dag, initial = random_structure(seed)
+    trace = JobTrace(
+        dag=dag,
+        work=np.ones(dag.n_nodes),
+        models=np.full(dag.n_nodes, ExecutionModel.UNIT, dtype=np.int8),
+        initial_tasks=initial,
+        changed_edges=rng.random(dag.n_edges) < 0.9,
+    )
+    w = float(trace.propagation.executed.sum())
+    L = trace.n_levels
+    P = max(1, int(w // max(L, 1)))  # force the work-dominated regime
+    if w / P < L:
+        return
+    res = simulate(
+        trace, LevelBasedScheduler(), processors=P, overhead=NO_OVERHEAD
+    )
+    opt_lb = max(w / P, 1.0)  # any schedule needs ≥ w/P and ≥ one task
+    assert res.makespan <= 2 * opt_lb + 1e-9
+
+
+@given(seed=st.integers(0, 10**6), P=st.integers(1, 8))
+@settings(max_examples=30, deadline=None)
+def test_never_below_lower_bounds(seed, P):
+    rng, dag, initial = random_structure(seed)
+    work = rng.uniform(0.1, 5.0, dag.n_nodes)
+    trace = JobTrace(
+        dag=dag,
+        work=work,
+        initial_tasks=initial,
+        changed_edges=rng.random(dag.n_edges) < 0.7,
+    )
+    res = simulate(
+        trace, LevelBasedScheduler(), processors=P, overhead=NO_OVERHEAD
+    )
+    lbs = lower_bounds(trace, P)
+    assert res.makespan >= lbs["combined"] - 1e-9

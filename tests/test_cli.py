@@ -1,0 +1,79 @@
+"""Tests for the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+
+def test_stats_generated_trace(capsys):
+    assert main(["stats", "--trace", "5", "--scale", "0.3"]) == 0
+    out = capsys.readouterr().out
+    assert "nodes" in out and "active jobs" in out
+
+
+def test_simulate(capsys):
+    rc = main(
+        ["simulate", "--trace", "5", "--scale", "0.3",
+         "--scheduler", "levelbased", "-P", "4"]
+    )
+    assert rc == 0
+    assert "LevelBased" in capsys.readouterr().out
+
+
+def test_unknown_scheduler():
+    with pytest.raises(SystemExit):
+        main(["simulate", "--trace", "5", "--scheduler", "wat"])
+
+
+def test_lbl_scheduler_spec(capsys):
+    rc = main(
+        ["simulate", "--trace", "5", "--scale", "0.3",
+         "--scheduler", "lbl:7", "-P", "4"]
+    )
+    assert rc == 0
+    assert "LBL(k=7)" in capsys.readouterr().out
+
+
+def test_bad_lbl_depth():
+    with pytest.raises(SystemExit, match="look-ahead"):
+        main(["simulate", "--trace", "5", "--scheduler", "lbl:x"])
+
+
+def test_missing_trace_args():
+    with pytest.raises(SystemExit):
+        main(["stats"])
+
+
+def test_compare(capsys):
+    assert main(["compare", "--trace", "5", "--scale", "0.3", "-P", "4"]) == 0
+    out = capsys.readouterr().out
+    assert "Hybrid" in out and "LogicBlox" in out
+
+
+def test_generate_and_reload(tmp_path, capsys):
+    out = tmp_path / "t.json"
+    assert main(
+        ["generate", "--trace", "5", "--scale", "0.2", "-o", str(out)]
+    ) == 0
+    data = json.loads(out.read_text())
+    assert data["schema"] == 1
+    # stats on the file round-trips
+    assert main(["stats", "--trace-file", str(out)]) == 0
+    assert "nodes" in capsys.readouterr().out
+
+
+def test_datalog_command(tmp_path, capsys):
+    prog = tmp_path / "p.dl"
+    prog.write_text(
+        """
+        edge(1, 2). edge(2, 3).
+        path(X, Y) :- edge(X, Y).
+        path(X, Z) :- path(X, Y), edge(Y, Z).
+        """
+    )
+    assert main(["datalog", str(prog)]) == 0
+    out = capsys.readouterr().out
+    assert "path/2 (3 facts)" in out
+    assert "path(1, 3)" in out

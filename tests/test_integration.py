@@ -1,0 +1,161 @@
+"""Cross-module integration tests: the full pipeline, determinism,
+serialization, and odd-shaped inputs."""
+
+import io
+
+import numpy as np
+import pytest
+
+from repro.dag import Dag
+from repro.datalog import Database, Delta, compile_update, parse_program
+from repro.schedulers import (
+    HybridScheduler,
+    LevelBasedScheduler,
+    LogicBloxScheduler,
+    LookaheadScheduler,
+    OracleScheduler,
+    SignalPropagationScheduler,
+)
+from repro.sim import simulate
+from repro.tasks import JobTrace
+from repro.workloads import make_trace
+
+ALL_SCHEDULERS = [
+    LevelBasedScheduler,
+    lambda: LookaheadScheduler(4),
+    LogicBloxScheduler,
+    lambda: LogicBloxScheduler("cached"),
+    SignalPropagationScheduler,
+    HybridScheduler,
+    OracleScheduler,
+]
+
+
+class TestDeterminism:
+    def test_repeated_simulation_identical(self):
+        trace = make_trace(5, scale=0.5)
+        for factory in (LevelBasedScheduler, HybridScheduler):
+            a = simulate(trace, factory(), processors=4)
+            b = simulate(trace, factory(), processors=4)
+            assert a.makespan == b.makespan
+            assert a.scheduling_ops == b.scheduling_ops
+
+    def test_serialization_preserves_simulation(self):
+        trace = make_trace(5, scale=0.4)
+        buf = io.StringIO()
+        trace.dump(buf)
+        buf.seek(0)
+        reloaded = JobTrace.load(buf)
+        a = simulate(trace, LevelBasedScheduler(), processors=4)
+        b = simulate(reloaded, LevelBasedScheduler(), processors=4)
+        assert a.makespan == b.makespan
+        assert a.tasks_executed == b.tasks_executed
+
+
+class TestDatalogToSchedule:
+    def test_full_pipeline_all_schedulers(self):
+        prog = parse_program(
+            """
+            path(X, Y) :- edge(X, Y).
+            path(X, Z) :- path(X, Y), edge(Y, Z).
+            blocked(X) :- node(X), !reachable(X).
+            reachable(Y) :- path(X, Y).
+            reachable(X) :- path(X, Y).
+            """
+        )
+        edb = Database()
+        for t in [(1, 2), (2, 3), (3, 4), (5, 6)]:
+            edb.add_fact("edge", t)
+        for n in range(1, 8):
+            edb.add_fact("node", (n,))
+        cu = compile_update(
+            prog, edb, Delta().insert("edge", (4, 5)).delete("edge", (5, 6))
+        )
+        counts = set()
+        for factory in ALL_SCHEDULERS:
+            res = simulate(cu.trace, factory(), processors=4)
+            counts.add(res.tasks_executed)
+        assert len(counts) == 1
+        assert counts.pop() == cu.trace.n_active
+
+
+class TestOddShapes:
+    def test_disconnected_components(self):
+        dag = Dag(6, [(0, 1), (2, 3), (4, 5)])
+        trace = JobTrace(
+            dag=dag,
+            work=np.ones(6),
+            initial_tasks=np.array([0, 4]),
+            changed_edges=np.ones(3, dtype=bool),
+        )
+        for factory in ALL_SCHEDULERS:
+            res = simulate(trace, factory(), processors=2)
+            assert res.tasks_executed == 4  # component of 2/3 untouched
+
+    def test_initial_task_is_a_sink(self):
+        dag = Dag(3, [(0, 1), (1, 2)])
+        trace = JobTrace(
+            dag=dag,
+            work=np.ones(3),
+            initial_tasks=np.array([2]),
+            changed_edges=np.zeros(2, dtype=bool),
+        )
+        for factory in ALL_SCHEDULERS:
+            res = simulate(trace, factory(), processors=2)
+            assert res.tasks_executed == 1
+
+    def test_single_node_graph(self):
+        dag = Dag(1, [])
+        trace = JobTrace(
+            dag=dag,
+            work=np.array([3.0]),
+            initial_tasks=np.array([0]),
+            changed_edges=np.zeros(0, dtype=bool),
+        )
+        for factory in ALL_SCHEDULERS:
+            res = simulate(trace, factory(), processors=1)
+            assert res.execution_makespan == pytest.approx(3.0, abs=1e-6)
+
+    def test_wide_flat_graph(self):
+        n = 200
+        dag = Dag(n, [])
+        trace = JobTrace(
+            dag=dag,
+            work=np.ones(n),
+            initial_tasks=np.arange(n),
+            changed_edges=np.zeros(0, dtype=bool),
+        )
+        for factory in (LevelBasedScheduler, HybridScheduler):
+            res = simulate(trace, factory(), processors=10)
+            # execution makespan is makespan minus charged overhead — an
+            # approximation good to the overhead's magnitude
+            assert res.execution_makespan == pytest.approx(20.0, abs=1e-4)
+
+    def test_deep_chain_one_processor(self):
+        from repro.dag import chain
+
+        dag = chain(300)
+        trace = JobTrace(
+            dag=dag,
+            work=np.ones(300),
+            initial_tasks=np.array([0]),
+            changed_edges=np.ones(299, dtype=bool),
+        )
+        res = simulate(trace, LevelBasedScheduler(), processors=1)
+        assert res.execution_makespan == pytest.approx(300.0, abs=1e-6)
+
+
+class TestProcessorScaling:
+    def test_more_processors_never_hurt_levelbased_much(self):
+        trace = make_trace(5, scale=0.5)
+        m1 = simulate(trace, LevelBasedScheduler(), processors=1).makespan
+        m4 = simulate(trace, LevelBasedScheduler(), processors=4).makespan
+        m16 = simulate(trace, LevelBasedScheduler(), processors=16).makespan
+        assert m4 <= m1 * 1.01
+        assert m16 <= m4 * 1.05  # greedy anomalies stay small
+
+    def test_speedup_bounded_by_processor_count(self):
+        trace = make_trace(5, scale=0.5)
+        m1 = simulate(trace, OracleScheduler(), processors=1).makespan
+        m8 = simulate(trace, OracleScheduler(), processors=8).makespan
+        assert m1 / m8 <= 8.01

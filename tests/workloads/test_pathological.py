@@ -1,0 +1,111 @@
+"""Tests for the pathological instances (Figure 2, §VI killer)."""
+
+import numpy as np
+import pytest
+
+from repro.schedulers import (
+    LevelBasedScheduler,
+    LogicBloxScheduler,
+    OracleScheduler,
+)
+from repro.sim import OverheadModel, simulate
+from repro.workloads import (
+    interval_fragmenter,
+    logicblox_killer,
+    theorem9_example,
+)
+
+
+class TestTheorem9:
+    def test_structure(self):
+        tr = theorem9_example(6)
+        # L chain nodes + (L-1) side tasks
+        assert tr.dag.n_nodes == 6 + 5
+        assert tr.n_levels == 6
+        assert tr.n_active == tr.dag.n_nodes  # everything re-runs
+
+    def test_side_task_sizes(self):
+        tr = theorem9_example(5)
+        # k_i has work L - i + 1
+        names = {tr.dag.name_of(i): float(tr.work[i]) for i in range(9)}
+        assert names["k2"] == 4.0
+        assert names["k5"] == 1.0
+        assert names["j1"] == 1.0
+
+    def test_requires_l_at_least_two(self):
+        with pytest.raises(ValueError):
+            theorem9_example(1)
+
+    def test_levelbased_quadratic_vs_oracle_linear(self):
+        """The Θ(ML) vs Θ(M + L) separation of Theorem 9."""
+        ratios = []
+        for L in (8, 16):
+            tr = theorem9_example(L)
+            lb = simulate(
+                tr, LevelBasedScheduler(), processors=2 * L,
+                overhead=OverheadModel(op_cost=0.0),
+            )
+            opt = simulate(
+                tr, OracleScheduler(), processors=2 * L,
+                overhead=OverheadModel(op_cost=0.0),
+            )
+            assert opt.makespan == pytest.approx(L, abs=1e-6)
+            # LevelBased pays sum_{i=2..L} (L-i+1) + 1 = L(L-1)/2 + 1
+            assert lb.makespan == pytest.approx(L * (L - 1) / 2 + 1, abs=1e-6)
+            ratios.append(lb.makespan / opt.makespan)
+        assert ratios[1] > 1.8 * ratios[0]  # grows linearly in L
+
+    def test_unit_scaling(self):
+        a = theorem9_example(6, unit=1.0)
+        b = theorem9_example(6, unit=2.0)
+        assert b.work.sum() == pytest.approx(2 * a.work.sum())
+
+
+class TestLogicBloxKiller:
+    def test_structure(self):
+        tr = logicblox_killer(10, width_per_step=2)
+        assert tr.dag.n_nodes == 1 + 10 + 20
+        assert tr.n_active == tr.dag.n_nodes
+
+    def test_m_validated(self):
+        with pytest.raises(ValueError):
+            logicblox_killer(0)
+
+    def test_overhead_gap_grows_quadratically(self):
+        ops = {}
+        for m in (40, 80):
+            tr = logicblox_killer(m)
+            s = LogicBloxScheduler("fresh")
+            simulate(tr, s, processors=2)
+            ops[m] = s.ops
+        # doubling m should ~quadruple fresh-scan ops
+        assert ops[80] > 3 * ops[40]
+
+    def test_levelbased_linear(self):
+        ops = {}
+        for m in (40, 80):
+            tr = logicblox_killer(m)
+            s = LevelBasedScheduler()
+            simulate(tr, s, processors=2)
+            ops[m] = s.ops
+        assert ops[80] < 2.6 * ops[40]
+
+    def test_makespans_comparable_without_overhead(self):
+        tr = logicblox_killer(30)
+        zero = OverheadModel(op_cost=0.0)
+        lb = simulate(tr, LevelBasedScheduler(), processors=4, overhead=zero)
+        lbx = simulate(tr, LogicBloxScheduler(), processors=4, overhead=zero)
+        assert lb.makespan == pytest.approx(lbx.makespan, rel=0.15)
+
+
+class TestIntervalFragmenter:
+    def test_structure(self):
+        tr = interval_fragmenter(4, 3)
+        assert tr.dag.n_nodes == 12
+        assert tr.n_levels == 3
+        assert tr.n_active == 12
+
+    def test_schedulable(self):
+        tr = interval_fragmenter(3, 3)
+        res = simulate(tr, LevelBasedScheduler(), processors=3)
+        assert res.tasks_executed == 9

@@ -1,0 +1,133 @@
+"""Tests for the synthetic workload machinery."""
+
+import numpy as np
+import pytest
+
+from repro.dag import compute_levels
+from repro.tasks import trace_stats
+from repro.workloads.synthetic import (
+    assign_durations,
+    grow_active_set,
+    layered_structure,
+    make_synthetic_trace,
+)
+
+
+class TestLayeredStructure:
+    def test_exact_counts(self):
+        dag, layer_of = layered_structure(200, 320, 10, rng=0)
+        assert dag.n_nodes == 200
+        assert dag.n_edges == 320
+        levels = compute_levels(dag)
+        assert np.array_equal(levels, layer_of)
+        assert int(levels.max()) + 1 == 10
+
+    def test_wide_top_profile(self):
+        dag, layer_of = layered_structure(
+            1000, 1400, 6, rng=1, level_profile="wide-top"
+        )
+        sizes = np.bincount(layer_of)
+        assert sizes[0] > sizes[-1] * 3  # geometric decay
+
+    def test_bad_args(self):
+        with pytest.raises(ValueError):
+            layered_structure(5, 10, 8)  # fewer nodes than levels
+        with pytest.raises(ValueError):
+            layered_structure(100, 10, 5)  # too few edges
+        with pytest.raises(ValueError):
+            layered_structure(100, 150, 5, level_profile="zigzag")
+
+    def test_deterministic(self):
+        a, _ = layered_structure(100, 160, 5, rng=7)
+        b, _ = layered_structure(100, 160, 5, rng=7)
+        assert a == b
+
+
+class TestGrowActiveSet:
+    def _setup(self, seed=0):
+        dag, _ = layered_structure(150, 260, 8, rng=seed)
+        is_task = np.ones(dag.n_nodes, dtype=bool)
+        return dag, is_task
+
+    def test_hits_target_exactly(self):
+        dag, is_task = self._setup()
+        initial = dag.sources()[:2]
+        changed = grow_active_set(dag, initial, 40, is_task, rng=1)
+        from repro.tasks import propagate_changes
+
+        res = propagate_changes(dag, initial, changed)
+        assert res.n_active == 40
+
+    def test_chain_growth_is_narrow(self):
+        dag, is_task = self._setup()
+        initial = dag.sources()[:1]
+        changed = grow_active_set(
+            dag, initial, 8, is_task, rng=1, style="chain"
+        )
+        from repro.tasks import propagate_changes
+
+        res = propagate_changes(dag, initial, changed)
+        levels = compute_levels(dag)
+        active_levels = levels[res.executed]
+        # chain growth: roughly one active task per level
+        counts = np.bincount(active_levels)
+        # depth-first growth only widens when it hits the DAG's bottom
+        assert counts.max() <= 3
+        assert (counts <= 1).mean() >= 0.5
+
+    def test_unknown_style_rejected(self):
+        dag, is_task = self._setup()
+        with pytest.raises(ValueError, match="style"):
+            grow_active_set(dag, dag.sources()[:1], 5, is_task, style="wat")
+
+    def test_activation_stays_connected_to_initial(self):
+        dag, is_task = self._setup(3)
+        initial = dag.sources()[:1]
+        changed = grow_active_set(dag, initial, 30, is_task, rng=2)
+        from repro.dag import reachable_mask
+        from repro.tasks import propagate_changes
+
+        res = propagate_changes(dag, initial, changed)
+        reach = reachable_mask(dag, initial)
+        assert not np.any(res.executed & ~reach)
+
+
+class TestAssignDurations:
+    def test_mean_approximately_hit(self):
+        is_task = np.ones(20000, dtype=bool)
+        w = assign_durations(20000, is_task, mean_work=2.0, sigma=1.0, rng=0)
+        assert w.mean() == pytest.approx(2.0, rel=0.1)
+
+    def test_plumbing_gets_zero(self):
+        is_task = np.array([True, False, True])
+        w = assign_durations(3, is_task, 1.0, rng=0)
+        assert w[1] == 0.0
+        assert (w[[0, 2]] > 0).all()
+
+    def test_zero_mean(self):
+        w = assign_durations(5, np.ones(5, dtype=bool), 0.0)
+        assert (w == 0).all()
+
+    def test_negative_mean_rejected(self):
+        with pytest.raises(ValueError):
+            assign_durations(5, np.ones(5, dtype=bool), -1.0)
+
+
+def test_make_synthetic_trace_end_to_end():
+    tr = make_synthetic_trace(
+        n_nodes=300,
+        n_edges=500,
+        n_levels=12,
+        n_initial=8,
+        target_active_tasks=25,
+        mean_work=1.0,
+        frac_task=0.5,
+        seed=5,
+    )
+    st = trace_stats(tr)
+    assert st.n_nodes == 300
+    assert st.n_edges == 500
+    assert st.n_levels == 12
+    assert st.n_initial == 8
+    assert st.n_active_jobs == 25
+    assert tr.work[~tr.is_task].sum() == 0

@@ -1,0 +1,74 @@
+"""Tests for the Table I trace generators."""
+
+import numpy as np
+import pytest
+
+from repro.tasks import trace_stats
+from repro.workloads import PAPER_TABLE1, TRACE_CONFIGS, make_trace
+
+
+def test_configs_cover_all_eleven():
+    assert sorted(TRACE_CONFIGS) == list(range(1, 12))
+    assert sorted(PAPER_TABLE1) == list(range(1, 12))
+
+
+def test_unknown_index_rejected():
+    with pytest.raises(KeyError):
+        make_trace(12)
+
+
+def test_bad_scale_rejected():
+    with pytest.raises(ValueError):
+        make_trace(1, scale=0)
+    with pytest.raises(ValueError):
+        make_trace(1, scale=1.5)
+
+
+@pytest.mark.parametrize("index", [1, 3, 5, 7, 8])
+def test_scaled_traces_have_sane_structure(index):
+    tr = make_trace(index, scale=0.15)
+    st = trace_stats(tr)
+    assert st.n_nodes > 0
+    assert st.n_active_jobs >= 1
+    assert st.n_levels > 1
+    assert tr.metadata["table1_paper_row"] == PAPER_TABLE1[index]
+
+
+@pytest.mark.parametrize("index", [3, 5])
+def test_full_scale_matches_table1_exactly(index):
+    """At scale 1 the structural columns match the paper's Table I."""
+    tr = make_trace(index)
+    st = trace_stats(tr)
+    nodes, edges, initial, active, levels = PAPER_TABLE1[index]
+    assert st.n_nodes == nodes
+    assert st.n_edges == edges
+    assert st.n_initial == initial
+    assert st.n_levels == levels
+    assert st.n_active_jobs == active
+
+
+def test_traces_7_and_8_share_their_dag():
+    a = make_trace(7, scale=0.2)
+    b = make_trace(8, scale=0.2)
+    assert a.dag == b.dag
+    assert not np.array_equal(a.changed_edges, b.changed_edges)
+
+
+def test_traces_9_and_10_share_their_dag():
+    a = make_trace(9, scale=0.2)
+    b = make_trace(10, scale=0.2)
+    assert a.dag == b.dag
+
+
+def test_deterministic():
+    a = make_trace(5)
+    b = make_trace(5)
+    assert a.dag == b.dag
+    assert np.array_equal(a.work, b.work)
+    assert np.array_equal(a.changed_edges, b.changed_edges)
+
+
+def test_metadata_carries_paper_numbers():
+    tr = make_trace(6, scale=0.05)
+    assert "makespan" in tr.metadata["paper"]
+    assert tr.metadata["paper"]["overhead"]["LogicBlox"] == 21.69
