@@ -18,6 +18,9 @@ Public API tour
 * :mod:`repro.workloads` — synthetic generators calibrated to the
   paper's job traces #1–#11, pathological instances, and Datalog-derived
   workloads.
+* :mod:`repro.verify` — the scheduler contract linter and the trace
+  invariant checker behind ``simulate(..., strict=True)`` and
+  ``python -m repro verify``.
 
 Quickstart
 ----------
@@ -30,7 +33,7 @@ Quickstart
 True
 """
 
-from . import analysis, dag, datalog, schedulers, sim, tasks, workloads
+from . import analysis, dag, datalog, schedulers, sim, tasks, verify, workloads
 
 __version__ = "1.0.0"
 
@@ -42,5 +45,6 @@ __all__ = [
     "datalog",
     "workloads",
     "analysis",
+    "verify",
     "__version__",
 ]

@@ -10,6 +10,8 @@ Commands
               public synthetic trace #11 the paper mentions).
 ``datalog``   Evaluate a Datalog program file and print the
               materialized relations.
+``verify``    Run the scheduler contract linter over source paths
+              and/or the trace invariant checker over result files.
 
 Examples
 --------
@@ -17,14 +19,17 @@ Examples
 
     python -m repro stats --trace 5
     python -m repro simulate --trace 5 --scheduler hybrid -P 8
+    python -m repro simulate --trace 5 --strict -o result.json
     python -m repro compare --trace 7 --scale 0.5
     python -m repro generate --trace 11 --scale 0.05 -o trace11.json
     python -m repro datalog program.dl
+    python -m repro verify --lint src/repro/schedulers --trace result.json
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from pathlib import Path
 
@@ -112,8 +117,24 @@ def cmd_simulate(args) -> int:
                 f"choose from {sorted(SCHEDULERS)} or lbl:<k>"
             )
         scheduler = factory()
-    res = simulate(trace, scheduler, processors=args.processors)
+    res = simulate(
+        trace,
+        scheduler,
+        processors=args.processors,
+        record_schedule=bool(args.output),
+        strict=args.strict,
+    )
     print(res.summary())
+    if args.output:
+        payload = {
+            "schema": 1,
+            "trace": trace.to_json_dict(),
+            "result": res.to_json_dict(),
+        }
+        out = Path(args.output)
+        with out.open("w") as fh:
+            json.dump(payload, fh)
+        print(f"wrote {out} ({len(res.schedule)} dispatch records)")
     return 0
 
 
@@ -170,6 +191,48 @@ def cmd_datalog(args) -> int:
     return 0
 
 
+def cmd_verify(args) -> int:
+    """``repro verify``: contract linter + trace invariant checker."""
+    from .sim import SimulationResult
+    from .verify import check_invariants, format_findings, lint_paths
+
+    ran = False
+    failures = 0
+    if args.lint:
+        ran = True
+        try:
+            findings = lint_paths(args.lint)
+        except (OSError, ValueError, SyntaxError) as exc:
+            raise SystemExit(f"verify: {exc}") from exc
+        if findings:
+            print(format_findings(findings))
+            print(f"lint: {len(findings)} finding(s)")
+            failures += 1
+        else:
+            print("lint: clean")
+    for result_path in args.results:
+        ran = True
+        try:
+            with open(result_path) as fh:
+                data = json.load(fh)
+            trace = JobTrace.from_json_dict(data["trace"])
+            result = SimulationResult.from_json_dict(data["result"])
+            report = check_invariants(trace, result)
+        except (OSError, ValueError, KeyError, TypeError) as exc:
+            raise SystemExit(
+                f"verify: cannot check {result_path}: {exc}"
+            ) from exc
+        print(report.summary())
+        if not report.ok:
+            failures += 1
+    if not ran:
+        raise SystemExit(
+            "verify: nothing to do — pass --lint PATH [PATH ...] and/or "
+            "--trace RESULT_JSON"
+        )
+    return 1 if failures else 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The argparse tree for ``python -m repro``."""
     parser = argparse.ArgumentParser(
@@ -190,6 +253,14 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--scheduler", default="hybrid",
                    help=f"one of {sorted(SCHEDULERS)}")
     p.add_argument("-P", "--processors", type=int, default=8)
+    p.add_argument(
+        "--strict", action="store_true",
+        help="verify every invariant of the finished run (repro.verify)",
+    )
+    p.add_argument(
+        "-o", "--output", default=None,
+        help="write trace + result (with schedule) JSON for `repro verify`",
+    )
     p.set_defaults(fn=cmd_simulate)
 
     p = sub.add_parser("compare", help="run the Table-III trio")
@@ -206,6 +277,21 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("datalog", help="evaluate a Datalog program file")
     p.add_argument("program")
     p.set_defaults(fn=cmd_datalog)
+
+    p = sub.add_parser(
+        "verify",
+        help="lint scheduler source and/or check a recorded result",
+    )
+    p.add_argument(
+        "--lint", nargs="+", metavar="PATH", default=None,
+        help="python files/directories to run the contract linter over",
+    )
+    p.add_argument(
+        "--trace", action="append", dest="results", default=[],
+        metavar="RESULT_JSON",
+        help="result file from `repro simulate -o`; repeatable",
+    )
+    p.set_defaults(fn=cmd_verify)
 
     return parser
 

@@ -124,7 +124,11 @@ class IntervalIndex:
                 if not advanced:
                     post[u] = counter
                     counter += 1
-        assert counter == n, "DFS failed to visit every node"
+        if counter != n:  # load-bearing even under `python -O`
+            raise RuntimeError(
+                f"interval-index DFS visited {counter} of {n} nodes; "
+                "the DAG's source set does not cover every node"
+            )
 
         # Tree-subtree low bound: min postorder over the tree subtree.
         # Because children finish before parents in DFS, the subtree of u

@@ -43,6 +43,7 @@ from typing import TYPE_CHECKING, Callable
 import numpy as np
 
 if TYPE_CHECKING:  # pragma: no cover
+    from ..dag.graph import Dag
     from ..tasks.trace import JobTrace
 
 __all__ = ["Scheduler", "SchedulerContext", "ReadinessOracle"]
@@ -94,7 +95,7 @@ class SchedulerContext:
     oracle: ReadinessOracle
 
     @property
-    def dag(self):
+    def dag(self) -> "Dag":
         return self.trace.dag
 
     @property

@@ -36,7 +36,7 @@ class LevelBasedScheduler(Scheduler):
 
     def __init__(self) -> None:
         super().__init__()
-        self._levels: np.ndarray | None = None
+        self._levels: np.ndarray = np.empty(0, dtype=np.int64)
         self._buckets: defaultdict[int, list[int]] = defaultdict(list)
         self._pending_at: defaultdict[int, int] = defaultdict(int)
         self._cursor: int = 0

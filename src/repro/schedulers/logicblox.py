@@ -167,10 +167,6 @@ class LogicBloxScheduler(Scheduler):
             self._prefix = np.zeros(self._n + 1, dtype=np.int64)
             np.cumsum(self._key_active, out=self._prefix[1:])
 
-    def _count_in(self, lo, hi):
-        """Active keys inside [lo, hi] (vectorized over interval arrays)."""
-        return self._prefix[np.minimum(hi + 1, self._n)] - self._prefix[lo]
-
     def _blocked_and_probes(
         self, cand: np.ndarray
     ) -> tuple[np.ndarray, np.ndarray]:
@@ -182,6 +178,9 @@ class LogicBloxScheduler(Scheduler):
         intervals examined. Computed fully vectorized over the ragged
         interval segments (one ``reduceat`` per scan, no Python loop).
         """
+        prefix = self._prefix
+        if prefix is None:  # _consolidate() always runs first
+            raise RuntimeError("scan attempted before _consolidate()")
         lens = self._n_ivl[cand]
         starts = self._ivl_offsets[cand]
         total = int(lens.sum())
@@ -197,7 +196,7 @@ class LogicBloxScheduler(Scheduler):
         )
         lo = self._ivl_lo[flat]
         hi = self._ivl_hi[flat]
-        cnt = self._prefix[np.minimum(hi + 1, self._n)] - self._prefix[lo]
+        cnt = prefix[np.minimum(hi + 1, self._n)] - prefix[lo]
         self_key = np.repeat(self._key_of[cand], lens)
         cnt -= ((lo <= self_key) & (self_key <= hi)).astype(np.int64)
         hit = cnt > 0

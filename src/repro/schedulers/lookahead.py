@@ -20,16 +20,21 @@ when levels are narrow, which is exactly when LevelBased needs the help
 
 from __future__ import annotations
 
-import numpy as np
+from typing import TYPE_CHECKING
 
 from .base import SchedulerContext
 from .levelbased import LevelBasedScheduler
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..dag.graph import Dag
 
 __all__ = ["LookaheadScheduler"]
 
 
 class LookaheadScheduler(LevelBasedScheduler):
     """LBL(k): LevelBased plus a k-level look-ahead readiness probe."""
+
+    _dag: "Dag"  # bound in prepare(); hooks never run before it
 
     def __init__(self, k: int = 10) -> None:
         super().__init__()

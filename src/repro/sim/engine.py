@@ -72,6 +72,7 @@ def simulate(
     overhead: OverheadModel | None = None,
     record_schedule: bool = False,
     reallot: bool = True,
+    strict: bool = False,
 ) -> SimulationResult:
     """Run ``scheduler`` on ``trace`` with ``processors`` cores.
 
@@ -79,9 +80,17 @@ def simulate(
     :class:`InvalidDispatchError` / :class:`SchedulerStallError` on
     scheduler misbehavior — these are correctness checks, not expected
     outcomes.
+
+    ``strict=True`` additionally replays the finished run through
+    :func:`repro.verify.check_invariants` (precedence, exactly-once,
+    capacity, durations, and the paper's makespan bounds) and raises
+    :class:`repro.verify.InvariantViolationError` on any violation.
+    Strict mode implies schedule recording; the records are returned on
+    the result either way.
     """
     if processors <= 0:
         raise ValueError(f"processors must be positive, got {processors}")
+    record_schedule = record_schedule or strict
     overhead = overhead or OverheadModel()
 
     state = trace.fresh_activation_state()
@@ -286,7 +295,7 @@ def simulate(
         if exec_makespan > 0
         else 1.0
     )
-    return SimulationResult(
+    result = SimulationResult(
         scheduler_name=scheduler.name,
         trace_name=trace.name,
         processors=processors,
@@ -303,3 +312,14 @@ def simulate(
         schedule=schedule,
         extras={"select_calls": select_calls},
     )
+    if strict:
+        # imported here: verify sits above sim in the layering
+        from ..verify.invariants import (
+            InvariantViolationError,
+            check_invariants,
+        )
+
+        report = check_invariants(trace, result, reallot=reallot)
+        if not report.ok:
+            raise InvariantViolationError(report)
+    return result

@@ -2,10 +2,13 @@
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass, field
 from typing import Any
 
 __all__ = ["SimulationResult", "DispatchRecord"]
+
+_SCHEMA_VERSION = 1
 
 
 @dataclass(frozen=True)
@@ -63,6 +66,25 @@ class SimulationResult:
     def total_memory_cells(self) -> int:
         """Precompute plus runtime peak cells."""
         return self.precompute_memory_cells + self.runtime_peak_memory_cells
+
+    # ------------------------------------------------------------------
+    # serialization (so results can be shipped to `repro verify`)
+    # ------------------------------------------------------------------
+    def to_json_dict(self) -> dict[str, Any]:
+        """Schema-v1 plain-dict form, including the recorded schedule."""
+        d = dataclasses.asdict(self)
+        d["schema"] = _SCHEMA_VERSION
+        return d
+
+    @classmethod
+    def from_json_dict(cls, d: dict[str, Any]) -> "SimulationResult":
+        """Rebuild a result from :meth:`to_json_dict` output."""
+        d = dict(d)
+        schema = d.pop("schema", _SCHEMA_VERSION)
+        if schema != _SCHEMA_VERSION:
+            raise ValueError(f"unsupported result schema {schema!r}")
+        schedule = [DispatchRecord(**r) for r in d.pop("schedule", [])]
+        return cls(schedule=schedule, **d)
 
     def summary(self) -> str:
         """One-line human-readable summary."""

@@ -1,0 +1,45 @@
+"""Correctness tooling for the scheduler/oracle contract.
+
+Two halves, both wired into CI and the ``repro verify`` CLI:
+
+* :mod:`repro.verify.lint` — an AST pass over scheduler source that
+  enforces the :mod:`repro.schedulers.base` contract statically
+  (no clairvoyance, honest ops accounting, structural API rules);
+* :mod:`repro.verify.invariants` — an offline checker that re-derives
+  ground truth from a :class:`~repro.tasks.JobTrace` and verifies a
+  recorded :class:`~repro.sim.SimulationResult` end to end, including
+  the paper's makespan bounds (Lemma 3/5, Theorem 9).
+
+``simulate(..., strict=True)`` runs the invariant checker after every
+simulation and raises :class:`InvariantViolationError` on failure.
+"""
+
+from .invariants import (
+    VIOLATION_KINDS,
+    InvariantViolationError,
+    VerificationReport,
+    Violation,
+    check_invariants,
+)
+from .lint import (
+    ALL_RULES,
+    LintFinding,
+    format_findings,
+    lint_modules,
+    lint_paths,
+    lint_source,
+)
+
+__all__ = [
+    "ALL_RULES",
+    "LintFinding",
+    "lint_source",
+    "lint_modules",
+    "lint_paths",
+    "format_findings",
+    "VIOLATION_KINDS",
+    "Violation",
+    "VerificationReport",
+    "InvariantViolationError",
+    "check_invariants",
+]

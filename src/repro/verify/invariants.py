@@ -1,0 +1,461 @@
+"""Offline invariant checker for recorded simulation results.
+
+Given a :class:`~repro.tasks.trace.JobTrace` and a
+:class:`~repro.sim.result.SimulationResult` with a recorded schedule,
+re-derive the ground truth from the trace alone and verify that the
+schedule could have been produced by a *correct* scheduler under the
+engine model of :mod:`repro.sim.engine`:
+
+* **active set / exactly-once** — the executed node set equals the
+  realized active set ``W`` (no spurious re-runs, no missing tasks, no
+  double executions);
+* **precedence** — no task started before every ancestor resolved,
+  where a deactivated ancestor resolves the instant its own parents do
+  (the cascade of ``tasks/activation.py``) and an executed ancestor
+  resolves at its recorded finish;
+* **capacity / allotment** — never more than ``P`` processors busy,
+  one processor for unit/sequential tasks, at most
+  ``max_useful_processors`` for malleable tasks;
+* **duration feasibility** — every record lasts at least the engine's
+  modeled minimum (1 for unit, ``work`` for sequential,
+  ``max(span, work/alloc)`` for malleable);
+* **paper bounds** — the execution makespan respects
+  ``w/P + Σ_i S_i`` (Theorem 9's level-sum bound; for unit tasks
+  ``S_i = 1`` so the sum collapses to Lemma 3/Theorem 5's ``w/P + L``,
+  and for malleable tasks under re-allotment ``S_i`` is the level's
+  maximum span, Lemma 5's divisible-load regime), and the makespan is
+  no smaller than the ``w/P`` / critical-path lower bounds — a result
+  reporting an impossibly *good* number is as wrong as an invalid one.
+
+The checker is deliberately independent of the engine's online
+validation: it recomputes resolution times from the propagation ground
+truth, so a bug in the engine itself (or a hand-edited result file)
+also surfaces.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..dag.traversal import topological_order
+from ..sim.result import SimulationResult
+from ..tasks.model import ExecutionModel, max_useful_processors
+from ..tasks.trace import JobTrace
+
+__all__ = [
+    "Violation",
+    "VerificationReport",
+    "InvariantViolationError",
+    "check_invariants",
+    "VIOLATION_KINDS",
+]
+
+#: every kind a violation may carry, for exhaustive test matching
+VIOLATION_KINDS = (
+    "spurious-execution",
+    "missing-task",
+    "duplicate-execution",
+    "precedence",
+    "capacity",
+    "allotment",
+    "duration",
+    "makespan-bound",
+    "makespan-lower",
+    "result-consistency",
+)
+
+_CHECKS = (
+    "active-set",
+    "exactly-once",
+    "precedence",
+    "capacity",
+    "allotment",
+    "duration",
+    "bounds",
+    "consistency",
+)
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One broken invariant, attributable to a node where applicable."""
+
+    kind: str
+    detail: str
+    node: int | None = None
+
+    def format(self) -> str:
+        where = f"node {self.node}: " if self.node is not None else ""
+        return f"[{self.kind}] {where}{self.detail}"
+
+
+@dataclass
+class VerificationReport:
+    """Structured outcome of one :func:`check_invariants` run."""
+
+    trace_name: str
+    scheduler_name: str
+    processors: int
+    checks: tuple[str, ...] = _CHECKS
+    violations: list[Violation] = field(default_factory=list)
+    #: derived bound values (work_lower, critical_path, level_term, ...)
+    bounds: dict[str, float] = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        """True when every invariant held."""
+        return not self.violations
+
+    def kinds(self) -> set[str]:
+        """The set of violation kinds present (for tests/reporting)."""
+        return {v.kind for v in self.violations}
+
+    def summary(self) -> str:
+        """Human-readable multi-line report."""
+        head = (
+            f"verify {self.scheduler_name} on {self.trace_name} "
+            f"(P={self.processors}): "
+        )
+        if self.ok:
+            return head + f"OK ({len(self.checks)} invariant groups)"
+        lines = [head + f"{len(self.violations)} violation(s)"]
+        lines.extend("  " + v.format() for v in self.violations)
+        return "\n".join(lines)
+
+
+class InvariantViolationError(RuntimeError):
+    """Raised by ``simulate(..., strict=True)`` on a failed report."""
+
+    def __init__(self, report: VerificationReport) -> None:
+        super().__init__(report.summary())
+        self.report = report
+
+
+def _min_duration(model: int, work: float, span: float, alloc: int) -> float:
+    """Engine-model lower bound on a record's duration."""
+    if model == ExecutionModel.UNIT:
+        return 1.0
+    if model == ExecutionModel.SEQUENTIAL:
+        return work
+    return max(span, work / max(alloc, 1))
+
+
+def check_invariants(
+    trace: JobTrace,
+    result: SimulationResult,
+    *,
+    reallot: bool | None = None,
+    atol: float = 1e-6,
+) -> VerificationReport:
+    """Verify ``result`` against the ground truth derivable from ``trace``.
+
+    ``reallot`` states whether the run used dynamic re-allotment:
+    ``True``/``False`` when known (``simulate(strict=True)`` passes it),
+    ``None`` for standalone result files — the checker then treats
+    malleable allotments conservatively (a record stores only the final
+    allotment, so exact capacity accounting is impossible after growth).
+
+    Raises :class:`ValueError` when the result carries no recorded
+    schedule but tasks executed — there is nothing to verify then.
+    """
+    report = VerificationReport(
+        trace_name=result.trace_name,
+        scheduler_name=result.scheduler_name,
+        processors=result.processors,
+    )
+    bad = report.violations.append
+
+    dag = trace.dag
+    n = dag.n_nodes
+    executed = trace.propagation.executed
+    work = trace.work
+    span = trace.span
+    models = trace.models
+    levels = trace.levels
+    P = result.processors
+
+    if not result.schedule:
+        if int(executed.sum()) == 0:
+            return report
+        raise ValueError(
+            "result has no recorded schedule; run simulate() with "
+            "record_schedule=True or strict=True"
+        )
+
+    # ------------------------------------------------------------------
+    # exactly-once / active set
+    # ------------------------------------------------------------------
+    start = np.full(n, np.nan)
+    finish = np.full(n, np.nan)
+    alloc = np.zeros(n, dtype=np.int64)
+    for rec in result.schedule:
+        v = rec.node
+        if v < 0 or v >= n:
+            bad(Violation("spurious-execution", f"unknown node id {v}", v))
+            continue
+        if not np.isnan(start[v]):
+            bad(
+                Violation(
+                    "duplicate-execution",
+                    f"dispatched at t={start[v]:.6g} and again at "
+                    f"t={rec.start:.6g}",
+                    v,
+                )
+            )
+            continue
+        start[v] = rec.start
+        finish[v] = rec.finish
+        alloc[v] = rec.processors
+
+    scheduled = ~np.isnan(start)
+    for v in np.flatnonzero(scheduled & ~executed):
+        bad(
+            Violation(
+                "spurious-execution",
+                "executed but is not in the realized active set W "
+                "(all its input signals resolve to 'no change')",
+                int(v),
+            )
+        )
+    for v in np.flatnonzero(executed & ~scheduled):
+        bad(
+            Violation(
+                "missing-task",
+                "is in the realized active set W but never executed",
+                int(v),
+            )
+        )
+
+    # ------------------------------------------------------------------
+    # precedence: re-derive resolution times from the propagation
+    # ------------------------------------------------------------------
+    resolve = np.zeros(n)
+    for u in topological_order(dag):
+        u = int(u)
+        ready = 0.0
+        for p in dag.in_neighbors(u):
+            rp = resolve[int(p)]
+            if rp > ready:
+                ready = rp
+        if executed[u]:
+            if scheduled[u]:
+                if start[u] < ready - atol:
+                    bad(
+                        Violation(
+                            "precedence",
+                            f"started at t={start[u]:.6g} but its last "
+                            f"ancestor resolved at t={ready:.6g}",
+                            u,
+                        )
+                    )
+                resolve[u] = finish[u]
+            else:
+                resolve[u] = math.inf  # missing-task already reported
+        else:
+            # deactivation cascades are instantaneous in the engine
+            resolve[u] = ready
+
+    # ------------------------------------------------------------------
+    # allotment + duration feasibility
+    # ------------------------------------------------------------------
+    for v in np.flatnonzero(scheduled):
+        v = int(v)
+        a = int(alloc[v])
+        m = int(models[v])
+        if a < 1 or a > P:
+            bad(
+                Violation(
+                    "allotment",
+                    f"allotment {a} outside [1, P={P}]",
+                    v,
+                )
+            )
+            continue
+        if m != ExecutionModel.MALLEABLE and a != 1:
+            bad(
+                Violation(
+                    "allotment",
+                    f"non-malleable task allotted {a} processors",
+                    v,
+                )
+            )
+        elif m == ExecutionModel.MALLEABLE and reallot is False:
+            # with re-allotment the engine grows stragglers against
+            # their *remaining* work/span, which can legally exceed the
+            # static cap — only constant-width records are checkable
+            cap = max_useful_processors(float(work[v]), float(span[v]), m)
+            if a > cap:
+                bad(
+                    Violation(
+                        "allotment",
+                        f"allotment {a} exceeds max useful {cap}",
+                        v,
+                    )
+                )
+        dur = float(finish[v] - start[v])
+        if dur < -atol:
+            bad(
+                Violation(
+                    "duration",
+                    f"finishes (t={finish[v]:.6g}) before it starts "
+                    f"(t={start[v]:.6g})",
+                    v,
+                )
+            )
+            continue
+        dmin = _min_duration(m, float(work[v]), float(span[v]), a)
+        if dur + atol < dmin:
+            bad(
+                Violation(
+                    "duration",
+                    f"ran for {dur:.6g} < modeled minimum {dmin:.6g}",
+                    v,
+                )
+            )
+
+    # ------------------------------------------------------------------
+    # processor capacity (sweep line; zero-duration records occupy no
+    # processor time and engine rounds may reuse a core within one
+    # instant, so they are excluded)
+    # ------------------------------------------------------------------
+    events: list[tuple[float, int]] = []
+    for v in np.flatnonzero(scheduled):
+        v = int(v)
+        if finish[v] <= start[v]:
+            continue
+        a = int(alloc[v])
+        if int(models[v]) == ExecutionModel.MALLEABLE and reallot is not False:
+            # the record stores the *final* allotment; the task held at
+            # least one processor throughout
+            a = 1
+        events.append((float(start[v]), a))
+        events.append((float(finish[v]), -a))
+    events.sort(key=lambda e: (e[0], e[1]))
+    busy = peak = 0
+    peak_t = 0.0
+    for t_, d in events:
+        busy += d
+        if busy > peak:
+            peak, peak_t = busy, t_
+    if peak > P:
+        bad(
+            Violation(
+                "capacity",
+                f"{peak} processors busy at t={peak_t:.6g} (P={P})",
+            )
+        )
+
+    # ------------------------------------------------------------------
+    # paper bounds (Lemma 3 / Lemma 5 / Theorem 9) + lower bounds
+    # ------------------------------------------------------------------
+    active = np.flatnonzero(executed)
+    eff_work = np.where(
+        models == ExecutionModel.UNIT, 1.0, work.astype(np.float64)
+    )
+    w = float(eff_work[active].sum())
+
+    level_smax: dict[int, float] = {}
+    cp_weight = np.zeros(n)
+    for v in active:
+        v = int(v)
+        m = int(models[v])
+        if m == ExecutionModel.UNIT:
+            s_upper = s_lower = 1.0
+        elif m == ExecutionModel.SEQUENTIAL:
+            s_upper = s_lower = float(work[v])
+        else:
+            # re-allotment grows stragglers to their span cap; without
+            # it (or when unknown) a width-1 allotment may run for work
+            s_upper = float(span[v]) if reallot is True else float(work[v])
+            s_lower = float(span[v])
+        lvl = int(levels[v])
+        if s_upper > level_smax.get(lvl, 0.0):
+            level_smax[lvl] = s_upper
+        cp_weight[v] = s_lower
+
+    level_term = float(sum(level_smax.values()))
+    work_lower = w / P
+    upper = work_lower + level_term
+
+    # critical path of minimum durations through executing nodes
+    # (deactivated nodes relay precedence at zero cost)
+    dist = cp_weight.copy()
+    for u in topological_order(dag):
+        u = int(u)
+        for c in dag.out_neighbors(u):
+            c = int(c)
+            cand = dist[u] + cp_weight[c]
+            if cand > dist[c]:
+                dist[c] = cand
+    critical_path = float(dist.max()) if n else 0.0
+
+    report.bounds = {
+        "work_lower": work_lower,
+        "critical_path": critical_path,
+        "level_term": level_term,
+        "makespan_upper": upper,
+    }
+
+    tol = atol + 1e-9 * max(upper, 1.0)
+    if result.execution_makespan > upper + tol:
+        bad(
+            Violation(
+                "makespan-bound",
+                f"execution makespan {result.execution_makespan:.6g} "
+                f"exceeds w/P + Σ S_i = {upper:.6g} "
+                f"(w/P={work_lower:.6g}, level term={level_term:.6g})",
+            )
+        )
+    lower = max(work_lower, critical_path)
+    if result.makespan + tol < lower:
+        bad(
+            Violation(
+                "makespan-lower",
+                f"makespan {result.makespan:.6g} beats the "
+                f"max(w/P, critical path) lower bound {lower:.6g}",
+            )
+        )
+
+    # ------------------------------------------------------------------
+    # result self-consistency
+    # ------------------------------------------------------------------
+    n_records = len(result.schedule)
+    if result.tasks_executed != n_records:
+        bad(
+            Violation(
+                "result-consistency",
+                f"tasks_executed={result.tasks_executed} but "
+                f"{n_records} schedule records",
+            )
+        )
+    last_finish = float(np.nanmax(finish)) if scheduled.any() else 0.0
+    if last_finish > result.makespan + atol:
+        bad(
+            Violation(
+                "result-consistency",
+                f"a task finishes at t={last_finish:.6g} after the "
+                f"reported makespan {result.makespan:.6g}",
+            )
+        )
+    expected_work = float(work[executed].sum())
+    if abs(result.total_work - expected_work) > atol * max(
+        1.0, expected_work
+    ) and not report.kinds() & {"missing-task", "spurious-execution"}:
+        bad(
+            Violation(
+                "result-consistency",
+                f"total_work={result.total_work:.6g} but the active set "
+                f"carries {expected_work:.6g}",
+            )
+        )
+    if result.utilization > 1.0 + 1e-9:
+        bad(
+            Violation(
+                "result-consistency",
+                f"utilization {result.utilization:.6g} > 1",
+            )
+        )
+    return report

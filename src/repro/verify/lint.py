@@ -1,0 +1,570 @@
+"""AST-based contract linter for scheduler implementations.
+
+The scheduler/oracle contract of :mod:`repro.schedulers.base` is what
+makes cross-scheduler comparisons fair: a scheduler must rediscover
+readiness with its own modeled machinery, charge ``self.ops`` for every
+abstract operation that machinery performs, and leave the engine-owned
+ground truth alone. The simulation engine validates *dispatches* at
+runtime, but a scheduler that peeks at ground truth or undercounts its
+operations produces perfectly valid schedules with wrong Table II/III
+numbers — exactly the failure mode runtime validation cannot see. This
+linter closes that gap statically.
+
+Rules
+-----
+``clairvoyance``
+    Accessing ground truth the modeled algorithm could not know:
+    private :class:`~repro.schedulers.base.ReadinessOracle` state,
+    ``ActivationState`` internals (``will_execute``,
+    ``unresolved_parents``, ``mark_dispatched``), a
+    :class:`~repro.tasks.trace.JobTrace`'s realized change outcome
+    (``propagation``, ``changed_edges``, ``active_nodes``, ...), the
+    engine-side ``push_ready_events``, or — for the LevelBased family,
+    whose behavior depends on *discovering* readiness through the level
+    structure — any use of the oracle at all.
+
+``ops-accounting``
+    A ``select`` / ``on_activate`` / ``on_complete`` body that loops
+    over nodes, intervals, or queue entries without charging
+    ``self.ops`` anywhere inside the loop. Delegating to another hook
+    or a helper method of ``self`` counts as charging (the helper is
+    linted wherever it is itself a hook); plain container operations
+    (``append``, ``pop``, ...) and free oracle queries do not.
+
+``api-contract``
+    Structural misuse: an ``__init__`` that never calls
+    ``super().__init__()`` (the base class owns the cost counters),
+    overriding engine-reserved methods (``reset_counters``,
+    ``note_runtime_memory``), or mutating the shared
+    :class:`~repro.schedulers.base.SchedulerContext`.
+
+Suppression
+-----------
+Append ``# verify: ignore[rule]`` (comma-separated rule ids) or a bare
+``# verify: ignore`` to the offending line.
+
+Scope
+-----
+Classes are linted when any transitive base (by name, across all files
+in one :func:`lint_paths` run) is ``Scheduler`` or ends with
+``Scheduler``; the LevelBased family is ``LevelBasedScheduler`` /
+``LookaheadScheduler`` and anything whose bases chain to them.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable, Sequence
+
+__all__ = [
+    "ALL_RULES",
+    "LintFinding",
+    "lint_source",
+    "lint_modules",
+    "lint_paths",
+    "format_findings",
+]
+
+CLAIRVOYANCE = "clairvoyance"
+OPS_ACCOUNTING = "ops-accounting"
+API_CONTRACT = "api-contract"
+ALL_RULES = (CLAIRVOYANCE, OPS_ACCOUNTING, API_CONTRACT)
+
+#: JobTrace members that reveal the realized outcome of the update —
+#: the active graph ``H`` is "dynamically revealed over time" and must
+#: only reach schedulers through on_activate/on_complete.
+_REALIZED_TRACE_ATTRS = frozenset(
+    {
+        "propagation",
+        "active_nodes",
+        "n_active",
+        "n_active_jobs",
+        "total_active_work",
+        "changed_edges",
+        "fresh_activation_state",
+    }
+)
+#: unambiguous ActivationState internals / engine-side API
+_ACTIVATION_STATE_ATTRS = frozenset(
+    {"will_execute", "unresolved_parents", "mark_dispatched"}
+)
+#: engine-side oracle methods no scheduler may call
+_ENGINE_ORACLE_METHODS = frozenset({"push_ready_events"})
+#: the result-equivalent shortcut surface (allowed outside the
+#: LevelBased family, per the base.py contract)
+_ORACLE_FEED_METHODS = frozenset({"is_ready", "drain_ready_events"})
+#: engine-owned methods a subclass must not override
+_RESERVED_METHODS = frozenset({"reset_counters", "note_runtime_memory"})
+#: the cost-charged runtime entry points
+_HOOK_METHODS = frozenset({"select", "on_activate", "on_complete"})
+#: container/bookkeeping methods that are not modeled scheduler work
+_DATA_METHODS = frozenset(
+    {
+        "append",
+        "appendleft",
+        "pop",
+        "popleft",
+        "add",
+        "remove",
+        "discard",
+        "get",
+        "extend",
+        "clear",
+        "insert",
+        "update",
+        "keys",
+        "values",
+        "items",
+        "popitem",
+        "setdefault",
+        "sort",
+        "reverse",
+        "count",
+        "index",
+        "copy",
+        "note_runtime_memory",
+    }
+)
+#: roots of the family that must not consume the oracle at all
+_LEVEL_FAMILY_ROOTS = frozenset({"LevelBasedScheduler", "LookaheadScheduler"})
+
+_SUPPRESS_RE = re.compile(r"#\s*verify:\s*ignore(?:\[([^\]]*)\])?")
+
+
+@dataclass(frozen=True)
+class LintFinding:
+    """One contract violation at ``path:line``."""
+
+    path: str
+    line: int
+    col: int
+    rule: str
+    message: str
+    hint: str
+
+    def format(self) -> str:
+        """``path:line:col: [rule] message`` plus an indented fix hint."""
+        return (
+            f"{self.path}:{self.line}:{self.col}: [{self.rule}] "
+            f"{self.message}\n    hint: {self.hint}"
+        )
+
+
+def format_findings(findings: Sequence[LintFinding]) -> str:
+    """Render findings one per block, sorted by location."""
+    return "\n".join(f.format() for f in findings)
+
+
+# ----------------------------------------------------------------------
+# class-graph helpers (name-based; resolved across one lint run)
+# ----------------------------------------------------------------------
+def _base_names(node: ast.ClassDef) -> list[str]:
+    out = []
+    for b in node.bases:
+        if isinstance(b, ast.Name):
+            out.append(b.id)
+        elif isinstance(b, ast.Attribute):
+            out.append(b.attr)
+    return out
+
+
+def _transitive_bases(name: str, bases: dict[str, list[str]]) -> set[str]:
+    seen: set[str] = set()
+    stack = list(bases.get(name, ()))
+    while stack:
+        b = stack.pop()
+        if b in seen:
+            continue
+        seen.add(b)
+        stack.extend(bases.get(b, ()))
+    return seen
+
+
+def _is_scheduler_class(name: str, bases: dict[str, list[str]]) -> bool:
+    return any(
+        b == "Scheduler" or b.endswith("Scheduler")
+        for b in _transitive_bases(name, bases)
+    )
+
+
+def _is_level_family(name: str, bases: dict[str, list[str]]) -> bool:
+    if name in _LEVEL_FAMILY_ROOTS:
+        return True
+    return bool(_LEVEL_FAMILY_ROOTS & _transitive_bases(name, bases))
+
+
+# ----------------------------------------------------------------------
+# expression classification
+# ----------------------------------------------------------------------
+def _chain_root(node: ast.expr) -> str | None:
+    """Name at the root of an attribute chain (``a.b.c`` → ``a``)."""
+    while isinstance(node, ast.Attribute):
+        node = node.value
+    if isinstance(node, ast.Name):
+        return node.id
+    return None
+
+
+def _is_super_call(node: ast.expr) -> bool:
+    return (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Name)
+        and node.func.id == "super"
+    )
+
+
+class _Aliases:
+    """Oracle/trace aliases visible inside one scheduler class."""
+
+    def __init__(self) -> None:
+        self.self_oracle: set[str] = set()
+        self.self_trace: set[str] = set()
+        self.local_oracle: set[str] = set()
+        self.local_trace: set[str] = set()
+
+    def kind_of(self, node: ast.expr) -> str | None:
+        """Classify an expression as an oracle/trace handle (or neither)."""
+        if isinstance(node, ast.Attribute):
+            if node.attr == "oracle":
+                return "oracle"
+            if node.attr == "trace":
+                return "trace"
+            if isinstance(node.value, ast.Name) and node.value.id == "self":
+                if node.attr in self.self_oracle:
+                    return "oracle"
+                if node.attr in self.self_trace:
+                    return "trace"
+        elif isinstance(node, ast.Name):
+            if node.id in self.local_oracle:
+                return "oracle"
+            if node.id in self.local_trace:
+                return "trace"
+        return None
+
+    def collect_from(self, fn: ast.FunctionDef, *, locals_only: bool) -> None:
+        """Record aliases created by assignments inside ``fn``."""
+        for stmt in ast.walk(fn):
+            if not isinstance(stmt, ast.Assign) or len(stmt.targets) != 1:
+                continue
+            kind = self.kind_of(stmt.value)
+            if kind is None:
+                continue
+            tgt = stmt.targets[0]
+            if isinstance(tgt, ast.Name):
+                (self.local_oracle if kind == "oracle" else self.local_trace).add(
+                    tgt.id
+                )
+            elif (
+                not locals_only
+                and isinstance(tgt, ast.Attribute)
+                and isinstance(tgt.value, ast.Name)
+                and tgt.value.id == "self"
+            ):
+                (self.self_oracle if kind == "oracle" else self.self_trace).add(
+                    tgt.attr
+                )
+
+
+# ----------------------------------------------------------------------
+# per-rule checks
+# ----------------------------------------------------------------------
+def _has_super_init_call(fn: ast.FunctionDef) -> bool:
+    for node in ast.walk(fn):
+        if (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr == "__init__"
+            and _is_super_call(node.func.value)
+        ):
+            return True
+    return False
+
+
+def _loop_charges_ops(loop: ast.stmt, aliases: _Aliases) -> bool:
+    """Whether a loop body contains (or may delegate to) an ops charge."""
+    for sub in ast.walk(loop):
+        if (
+            isinstance(sub, ast.AugAssign)
+            and isinstance(sub.target, ast.Attribute)
+            and sub.target.attr == "ops"
+        ):
+            return True
+        if isinstance(sub, ast.Assign) and any(
+            isinstance(t, ast.Attribute) and t.attr == "ops"
+            for t in sub.targets
+        ):
+            return True
+        if isinstance(sub, ast.Call) and isinstance(sub.func, ast.Attribute):
+            attr = sub.func.attr
+            if attr in _HOOK_METHODS or attr == "prepare":
+                return True  # delegation to another charged hook
+            if attr in _DATA_METHODS or attr in _ORACLE_FEED_METHODS:
+                continue
+            if aliases.kind_of(sub.func.value) == "oracle":
+                continue  # oracle queries are free for the scheduler
+            root = _chain_root(sub.func.value)
+            if root == "self" or _is_super_call(sub.func.value):
+                return True  # helper method of self: may charge inside
+    return False
+
+
+def _ctx_param_names(fn: ast.FunctionDef) -> set[str]:
+    names: set[str] = set()
+    for arg in list(fn.args.posonlyargs) + list(fn.args.args) + list(
+        fn.args.kwonlyargs
+    ):
+        ann = arg.annotation
+        ann_name = ""
+        if isinstance(ann, ast.Name):
+            ann_name = ann.id
+        elif isinstance(ann, ast.Constant) and isinstance(ann.value, str):
+            ann_name = ann.value
+        if arg.arg == "ctx" or "SchedulerContext" in ann_name:
+            names.add(arg.arg)
+    return names
+
+
+# ----------------------------------------------------------------------
+# the class linter
+# ----------------------------------------------------------------------
+def _lint_class(
+    cls: ast.ClassDef,
+    *,
+    path: str,
+    family: bool,
+    out: list[LintFinding],
+) -> None:
+    methods = [n for n in cls.body if isinstance(n, ast.FunctionDef)]
+
+    aliases = _Aliases()
+    # two passes so `o = ctx.oracle; self._o = o` chains resolve
+    for _ in range(2):
+        for fn in methods:
+            aliases.collect_from(fn, locals_only=False)
+
+    def add(node: ast.AST, rule: str, message: str, hint: str) -> None:
+        out.append(
+            LintFinding(
+                path=path,
+                line=getattr(node, "lineno", cls.lineno),
+                col=getattr(node, "col_offset", 0) + 1,
+                rule=rule,
+                message=f"{cls.name}: {message}",
+                hint=hint,
+            )
+        )
+
+    for fn in methods:
+        # ---- api-contract: structural rules -------------------------
+        if fn.name == "__init__" and not _has_super_init_call(fn):
+            add(
+                fn,
+                API_CONTRACT,
+                "__init__ never calls super().__init__()",
+                "the Scheduler base class owns the cost counters; call "
+                "super().__init__() first",
+            )
+        if fn.name in _RESERVED_METHODS:
+            add(
+                fn,
+                API_CONTRACT,
+                f"overrides engine-reserved method {fn.name}()",
+                "reset_counters/note_runtime_memory belong to the engine "
+                "contract; override the four scheduling hooks instead",
+            )
+
+        ctx_names = _ctx_param_names(fn)
+        local = _Aliases()
+        local.self_oracle = aliases.self_oracle
+        local.self_trace = aliases.self_trace
+        local.collect_from(fn, locals_only=True)
+
+        for node in ast.walk(fn):
+            # ---- api-contract: SchedulerContext mutation ------------
+            if isinstance(node, (ast.Assign, ast.AugAssign, ast.AnnAssign)):
+                targets = (
+                    node.targets
+                    if isinstance(node, ast.Assign)
+                    else [node.target]
+                )
+                for tgt in targets:
+                    if (
+                        isinstance(tgt, (ast.Attribute, ast.Subscript))
+                        and _chain_root(tgt) in ctx_names
+                    ):
+                        add(
+                            node,
+                            API_CONTRACT,
+                            "mutates the shared SchedulerContext",
+                            "the context is read-only prepare-time input; "
+                            "copy what you need onto self",
+                        )
+
+            # ---- clairvoyance ---------------------------------------
+            if isinstance(node, ast.Attribute):
+                attr = node.attr
+                kind = local.kind_of(node.value)
+                if family and attr == "oracle":
+                    add(
+                        node,
+                        CLAIRVOYANCE,
+                        "LevelBased-family scheduler accesses the "
+                        "readiness oracle",
+                        "LevelBased/LBL must discover readiness through "
+                        "the level structure; the oracle feed is "
+                        "off-limits (base.py contract)",
+                    )
+                if kind == "oracle":
+                    if attr.startswith("_") and not attr.startswith("__"):
+                        add(
+                            node,
+                            CLAIRVOYANCE,
+                            f"reads private oracle state .{attr}",
+                            "only is_ready()/drain_ready_events() are part "
+                            "of the scheduler-facing oracle surface",
+                        )
+                    elif attr in _ENGINE_ORACLE_METHODS:
+                        add(
+                            node,
+                            CLAIRVOYANCE,
+                            f"calls engine-side oracle API .{attr}()",
+                            "push_ready_events is how the engine feeds the "
+                            "oracle; schedulers may only consume it",
+                        )
+                    elif family and attr in _ORACLE_FEED_METHODS:
+                        add(
+                            node,
+                            CLAIRVOYANCE,
+                            f"LevelBased-family scheduler consumes the "
+                            f"oracle feed via .{attr}()",
+                            "LevelBased/LBL discover readiness via level "
+                            "barriers and bounded BFS, never the oracle",
+                        )
+                elif kind == "trace":
+                    if attr.startswith("_") and not attr.startswith("__"):
+                        add(
+                            node,
+                            CLAIRVOYANCE,
+                            f"reads private trace state .{attr}",
+                            "JobTrace private fields cache the realized "
+                            "propagation; schedulers see H only via "
+                            "on_activate/on_complete",
+                        )
+                    elif attr in _REALIZED_TRACE_ATTRS:
+                        add(
+                            node,
+                            CLAIRVOYANCE,
+                            f"reads the realized update outcome via "
+                            f"trace.{attr}",
+                            "the active graph H is revealed dynamically; "
+                            "structure-only inputs (dag, levels, work, "
+                            "span) are the legal prepare-time surface",
+                        )
+                elif attr in _ACTIVATION_STATE_ATTRS and not (
+                    isinstance(node.value, ast.Name)
+                    and node.value.id in ("self", "cls")
+                ):
+                    add(
+                        node,
+                        CLAIRVOYANCE,
+                        f"touches ActivationState ground truth .{attr}",
+                        "ActivationState is the engine's validator, not a "
+                        "scheduler input",
+                    )
+
+            # ---- ops-accounting -------------------------------------
+            if (
+                fn.name in _HOOK_METHODS
+                and isinstance(node, (ast.For, ast.While))
+                and not _loop_charges_ops(node, local)
+            ):
+                add(
+                    node,
+                    OPS_ACCOUNTING,
+                    f"loop in {fn.name}() does work without charging "
+                    "self.ops",
+                    "charge one op per queue entry scanned / interval "
+                    "probed / message sent (base.py cost contract)",
+                )
+
+
+# ----------------------------------------------------------------------
+# drivers
+# ----------------------------------------------------------------------
+def _apply_suppressions(
+    findings: list[LintFinding], sources: dict[str, list[str]]
+) -> list[LintFinding]:
+    kept: list[LintFinding] = []
+    seen: set[tuple[str, int, str, str]] = set()
+    for f in findings:
+        key = (f.path, f.line, f.rule, f.message)
+        if key in seen:
+            continue
+        seen.add(key)
+        lines = sources.get(f.path, [])
+        text = lines[f.line - 1] if 0 < f.line <= len(lines) else ""
+        m = _SUPPRESS_RE.search(text)
+        if m:
+            rules = m.group(1)
+            if rules is None:
+                continue
+            if f.rule in {r.strip() for r in rules.split(",")}:
+                continue
+        kept.append(f)
+    kept.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
+    return kept
+
+
+def lint_modules(modules: Iterable[tuple[str, str]]) -> list[LintFinding]:
+    """Lint ``(path, source)`` pairs as one unit.
+
+    All modules share one class graph, so subclasses defined in one
+    file resolve against bases defined in another. Raises
+    :class:`SyntaxError` if any module fails to parse.
+    """
+    parsed: list[tuple[str, ast.Module]] = []
+    sources: dict[str, list[str]] = {}
+    bases: dict[str, list[str]] = {}
+    for path, src in modules:
+        tree = ast.parse(src, filename=path)
+        parsed.append((path, tree))
+        sources[path] = src.splitlines()
+        for node in ast.walk(tree):
+            if isinstance(node, ast.ClassDef):
+                bases[node.name] = _base_names(node)
+
+    findings: list[LintFinding] = []
+    for path, tree in parsed:
+        for node in ast.walk(tree):
+            if isinstance(node, ast.ClassDef) and _is_scheduler_class(
+                node.name, bases
+            ):
+                _lint_class(
+                    node,
+                    path=path,
+                    family=_is_level_family(node.name, bases),
+                    out=findings,
+                )
+    return _apply_suppressions(findings, sources)
+
+
+def lint_source(source: str, path: str = "<string>") -> list[LintFinding]:
+    """Lint one in-memory module (convenience wrapper for tests)."""
+    return lint_modules([(path, source)])
+
+
+def lint_paths(paths: Iterable[str | Path]) -> list[LintFinding]:
+    """Lint every ``*.py`` file under the given files/directories."""
+    files: list[Path] = []
+    for p in paths:
+        p = Path(p)
+        if p.is_dir():
+            files.extend(sorted(p.rglob("*.py")))
+        elif p.suffix == ".py":
+            files.append(p)
+        else:
+            raise ValueError(f"not a python file or directory: {p}")
+    return lint_modules((str(f), f.read_text()) for f in files)

@@ -64,6 +64,61 @@ def test_generate_and_reload(tmp_path, capsys):
     assert "nodes" in capsys.readouterr().out
 
 
+def test_simulate_strict_writes_result(tmp_path, capsys):
+    out = tmp_path / "result.json"
+    rc = main(
+        ["simulate", "--trace", "5", "--scale", "0.2", "--strict",
+         "-o", str(out)]
+    )
+    assert rc == 0
+    assert "wrote" in capsys.readouterr().out
+    data = json.loads(out.read_text())
+    assert data["schema"] == 1
+    assert data["result"]["schedule"]  # strict recorded the schedule
+
+
+def test_verify_lint_clean_schedulers(capsys):
+    assert main(["verify", "--lint", "src/repro/schedulers"]) == 0
+    assert "lint: clean" in capsys.readouterr().out
+
+
+def test_verify_lint_reports_findings(tmp_path, capsys):
+    bad = tmp_path / "bad_sched.py"
+    bad.write_text(
+        "from repro.schedulers.base import Scheduler\n"
+        "class Cheat(Scheduler):\n"
+        "    def prepare(self, ctx):\n"
+        "        self._w = ctx.trace.propagation\n"
+    )
+    assert main(["verify", "--lint", str(bad)]) == 1
+    out = capsys.readouterr().out
+    assert "[clairvoyance]" in out and "lint: 1 finding(s)" in out
+
+
+def test_verify_result_file_ok(tmp_path, capsys):
+    out = tmp_path / "result.json"
+    main(["simulate", "--trace", "5", "--scale", "0.2", "-o", str(out)])
+    capsys.readouterr()
+    assert main(["verify", "--trace", str(out)]) == 0
+    assert "OK" in capsys.readouterr().out
+
+
+def test_verify_result_file_detects_corruption(tmp_path, capsys):
+    out = tmp_path / "result.json"
+    main(["simulate", "--trace", "5", "--scale", "0.2", "-o", str(out)])
+    capsys.readouterr()
+    data = json.loads(out.read_text())
+    data["result"]["schedule"].pop()
+    out.write_text(json.dumps(data))
+    assert main(["verify", "--trace", str(out)]) == 1
+    assert "missing-task" in capsys.readouterr().out
+
+
+def test_verify_requires_an_input():
+    with pytest.raises(SystemExit, match="nothing to do"):
+        main(["verify"])
+
+
 def test_datalog_command(tmp_path, capsys):
     prog = tmp_path / "p.dl"
     prog.write_text(

@@ -1,0 +1,134 @@
+"""Deliberately contract-violating schedulers for the linter tests.
+
+Never simulated — these classes exist as *source* for
+:func:`repro.verify.lint.lint_paths`. Each violation is marked with a
+``# line:`` comment naming the rule the tests expect on that line.
+"""
+
+from repro.schedulers.base import Scheduler, SchedulerContext
+from repro.schedulers.levelbased import LevelBasedScheduler
+
+
+class ClairvoyantScheduler(Scheduler):
+    """Reads every piece of ground truth a scheduler must not see."""
+
+    name = "cheater"
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._plan: list[int] = []
+
+    def prepare(self, ctx: SchedulerContext) -> None:
+        outcome = ctx.trace.propagation  # line: clairvoyance (realized)
+        state = ctx.trace.fresh_activation_state()  # line: clairvoyance
+        self._plan = list(outcome.executed)
+        self._will = state.will_execute  # line: clairvoyance (ActivationState)
+        self._peek = ctx.oracle._ready_events  # line: clairvoyance (private)
+        ctx.oracle.push_ready_events([0])  # line: clairvoyance (engine-side)
+
+    def on_activate(self, v: int, t: float) -> None:
+        self.ops += 1
+
+    def on_complete(self, v: int, t: float) -> None:
+        self.ops += 1
+
+    def select(self, max_tasks: int, t: float) -> list[int]:
+        self.ops += 1
+        return self._plan[:max_tasks]
+
+
+class PeekingLevelScheduler(LevelBasedScheduler):
+    """LevelBased-family member consuming the off-limits oracle feed."""
+
+    name = "peeking-level"
+
+    def prepare(self, ctx: SchedulerContext) -> None:
+        super().prepare(ctx)
+        self._oracle = ctx.oracle  # line: clairvoyance (family oracle)
+
+    def select(self, max_tasks: int, t: float) -> list[int]:
+        out = super().select(max_tasks, t)
+        for v in self._oracle.drain_ready_events():  # line: clairvoyance
+            if len(out) < max_tasks:
+                self.ops += 1
+                out.append(v)
+        return out
+
+
+class UndercountingScheduler(Scheduler):
+    """Scans its whole queue every round without charging a single op."""
+
+    name = "undercounter"
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._queue: list[int] = []
+        self._oracle = None
+
+    def prepare(self, ctx: SchedulerContext) -> None:
+        self._oracle = ctx.oracle
+
+    def on_activate(self, v: int, t: float) -> None:
+        self._queue.append(v)  # no loop: bookkeeping alone is fine
+
+    def on_complete(self, v: int, t: float) -> None:
+        for _ in self._queue:  # line: ops-accounting
+            pass
+
+    def select(self, max_tasks: int, t: float) -> list[int]:
+        out = []
+        for v in list(self._queue):  # line: ops-accounting
+            if self._oracle.is_ready(v) and len(out) < max_tasks:
+                self._queue.remove(v)
+                out.append(v)
+        return out
+
+
+class SloppyScheduler(Scheduler):
+    """Structural API misuse: counters, reserved hooks, shared context."""
+
+    name = "sloppy"
+
+    def __init__(self) -> None:  # line: api-contract (no super().__init__)
+        self.ops = 0
+
+    def reset_counters(self) -> None:  # line: api-contract (reserved)
+        self.ops = 0
+
+    def prepare(self, ctx: SchedulerContext) -> None:
+        ctx.processors = 1  # line: api-contract (mutates context)
+
+    def on_activate(self, v: int, t: float) -> None:
+        self.ops += 1
+
+    def on_complete(self, v: int, t: float) -> None:
+        self.ops += 1
+
+    def select(self, max_tasks: int, t: float) -> list[int]:
+        self.ops += 1
+        return []
+
+
+class SuppressedScheduler(Scheduler):
+    """Same sins as above, waived (or not) by inline suppressions."""
+
+    name = "suppressed"
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._hint = None
+
+    def prepare(self, ctx: SchedulerContext) -> None:
+        self._hint = ctx.trace.propagation  # verify: ignore[clairvoyance]
+        self._all = ctx.trace.active_nodes  # verify: ignore
+        self._bad = ctx.trace.n_active  # verify: ignore[ops-accounting]
+
+    def on_activate(self, v: int, t: float) -> None:
+        self.ops += 1
+
+    def on_complete(self, v: int, t: float) -> None:
+        self.ops += 1
+
+    def select(self, max_tasks: int, t: float) -> list[int]:
+        self.ops += 1
+        return []

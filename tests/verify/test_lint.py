@@ -1,0 +1,197 @@
+"""Contract-linter tests: exact rule ids on the bad fixtures, a clean
+bill of health for every shipped scheduler, and suppression semantics."""
+
+from pathlib import Path
+
+import pytest
+
+from repro.verify import (
+    ALL_RULES,
+    LintFinding,
+    format_findings,
+    lint_paths,
+    lint_source,
+)
+
+FIXTURE = Path(__file__).with_name("fixtures_bad_schedulers.py")
+SCHEDULERS_DIR = Path(__file__).parents[2] / "src" / "repro" / "schedulers"
+
+
+@pytest.fixture(scope="module")
+def findings() -> list[LintFinding]:
+    return lint_paths([FIXTURE])
+
+
+def by_class(findings, name):
+    return [f for f in findings if f.message.startswith(name + ":")]
+
+
+# ----------------------------------------------------------------------
+# the shipped schedulers are contract-clean
+# ----------------------------------------------------------------------
+def test_shipped_schedulers_lint_clean():
+    assert lint_paths([SCHEDULERS_DIR]) == []
+
+
+# ----------------------------------------------------------------------
+# clairvoyance
+# ----------------------------------------------------------------------
+def test_clairvoyant_scheduler_all_ground_truth_reads_fire(findings):
+    msgs = [f.message for f in by_class(findings, "ClairvoyantScheduler")]
+    rules = {f.rule for f in by_class(findings, "ClairvoyantScheduler")}
+    assert rules == {"clairvoyance"}
+    assert any("trace.propagation" in m for m in msgs)
+    assert any("trace.fresh_activation_state" in m for m in msgs)
+    assert any(".will_execute" in m for m in msgs)
+    assert any("._ready_events" in m for m in msgs)
+    assert any(".push_ready_events" in m for m in msgs)
+    assert len(msgs) == 5
+
+
+def test_level_family_may_not_touch_oracle(findings):
+    fam = by_class(findings, "PeekingLevelScheduler")
+    assert {f.rule for f in fam} == {"clairvoyance"}
+    msgs = [f.message for f in fam]
+    assert any("accesses the readiness oracle" in m for m in msgs)
+    assert any(".drain_ready_events" in m for m in msgs)
+
+
+def test_oracle_feed_allowed_outside_family():
+    src = """
+from repro.schedulers.base import Scheduler
+
+class FeedScheduler(Scheduler):
+    def prepare(self, ctx): self._oracle = ctx.oracle
+    def on_activate(self, v, t): self.ops += 1
+    def on_complete(self, v, t): self.ops += 1
+    def select(self, max_tasks, t):
+        self.ops += 1
+        return self._oracle.drain_ready_events()[:max_tasks]
+"""
+    assert lint_source(src) == []
+
+
+def test_alias_chain_through_local_and_self_resolves():
+    src = """
+class AliasScheduler(Scheduler):
+    def prepare(self, ctx):
+        handle = ctx.oracle
+        self._o = handle
+    def select(self, max_tasks, t):
+        return self._o._ready_events[:max_tasks]
+"""
+    fs = lint_source(src)
+    assert [f.rule for f in fs] == ["clairvoyance"]
+    assert "._ready_events" in fs[0].message
+
+
+# ----------------------------------------------------------------------
+# ops-accounting
+# ----------------------------------------------------------------------
+def test_uncharged_loops_in_hooks_fire(findings):
+    under = by_class(findings, "UndercountingScheduler")
+    assert {f.rule for f in under} == {"ops-accounting"}
+    assert {m.split("loop in ")[1].split("(")[0] for m in
+            (f.message for f in under)} == {"on_complete", "select"}
+
+
+def test_charged_loop_is_clean():
+    src = """
+class FineScheduler(Scheduler):
+    def select(self, max_tasks, t):
+        out = []
+        for v in self._queue:
+            self.ops += 1
+            out.append(v)
+        return out
+"""
+    assert lint_source(src) == []
+
+
+def test_loop_outside_hooks_is_not_checked():
+    src = """
+class PrepScheduler(Scheduler):
+    def prepare(self, ctx):
+        for v in range(10):
+            pass
+"""
+    assert lint_source(src) == []
+
+
+def test_delegating_loop_counts_as_charged():
+    src = """
+class DelegatingScheduler(Scheduler):
+    def select(self, max_tasks, t):
+        out = []
+        for v in self._queue:
+            out.extend(self._probe(v))
+        return out
+"""
+    assert lint_source(src) == []
+
+
+# ----------------------------------------------------------------------
+# api-contract
+# ----------------------------------------------------------------------
+def test_structural_rules_fire(findings):
+    sloppy = by_class(findings, "SloppyScheduler")
+    assert {f.rule for f in sloppy} == {"api-contract"}
+    msgs = [f.message for f in sloppy]
+    assert any("super().__init__()" in m for m in msgs)
+    assert any("reset_counters" in m for m in msgs)
+    assert any("SchedulerContext" in m for m in msgs)
+    assert len(msgs) == 3
+
+
+# ----------------------------------------------------------------------
+# suppression
+# ----------------------------------------------------------------------
+def test_suppressions(findings):
+    sup = by_class(findings, "SuppressedScheduler")
+    # two of the three violations carry a matching waiver; the third
+    # names the wrong rule and must survive
+    assert len(sup) == 1
+    assert sup[0].rule == "clairvoyance"
+    assert "trace.n_active" in sup[0].message
+
+
+# ----------------------------------------------------------------------
+# mechanics: scope, locations, formatting
+# ----------------------------------------------------------------------
+def test_non_scheduler_classes_are_skipped():
+    src = """
+class Helper:
+    def prepare(self, ctx):
+        ctx.processors = 0
+        return ctx.trace.propagation
+"""
+    assert lint_source(src) == []
+
+
+def test_cross_file_base_resolution(tmp_path):
+    base = "class MyBase(LevelBasedScheduler):\n    pass\n"
+    sub = (
+        "class Sub(MyBase):\n"
+        "    def prepare(self, ctx):\n"
+        "        self._o = ctx.oracle\n"
+    )
+    from repro.verify import lint_modules
+
+    fs = lint_modules([("base.py", base), ("sub.py", sub)])
+    assert [f.rule for f in fs] == ["clairvoyance"]
+    assert fs[0].path == "sub.py"
+
+
+def test_findings_carry_location_and_format(findings):
+    f = findings[0]
+    assert f.path.endswith("fixtures_bad_schedulers.py")
+    assert f.line > 0 and f.col > 0
+    assert f.rule in ALL_RULES
+    text = format_findings(findings)
+    assert f"{f.path}:{f.line}:{f.col}: [{f.rule}]" in text
+    assert "hint:" in text
+
+
+def test_lint_paths_rejects_non_python(tmp_path):
+    with pytest.raises(ValueError, match="not a python file"):
+        lint_paths([tmp_path / "nope.txt"])

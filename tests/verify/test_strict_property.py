@@ -1,0 +1,105 @@
+"""Property tests: every registered scheduler survives strict mode on
+random traces, and random corruptions of a recorded result are always
+rejected with the expected violation kind."""
+
+import dataclasses
+
+import numpy as np
+import pytest
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.sim import simulate
+from repro.tasks import ExecutionModel, JobTrace
+from repro.verify import check_invariants
+from tests.schedulers.test_validity_properties import (
+    SCHEDULER_FACTORIES,
+    build_trace,
+)
+
+IDS = ["LevelBased", "LBL3", "LBXfresh", "LBXcached", "SignalProp",
+       "Hybrid", "Oracle", "CriticalPath"]
+
+
+@pytest.mark.parametrize("factory", SCHEDULER_FACTORIES, ids=IDS)
+@given(seed=st.integers(0, 10**6), processors=st.integers(1, 6))
+@settings(max_examples=15, deadline=None)
+def test_all_schedulers_pass_strict(factory, seed, processors):
+    """strict=True (invariants + paper bounds) holds for every scheduler."""
+    simulate(build_trace(seed), factory(), processors=processors, strict=True)
+
+
+@pytest.mark.parametrize("factory", SCHEDULER_FACTORIES, ids=IDS)
+@given(seed=st.integers(0, 10**6), processors=st.integers(1, 6),
+       reallot=st.booleans())
+@settings(max_examples=8, deadline=None)
+def test_strict_with_mixed_models(factory, seed, processors, reallot):
+    rng = np.random.default_rng(seed)
+    base = build_trace(seed)
+    n = base.dag.n_nodes
+    models = rng.choice(
+        [ExecutionModel.UNIT, ExecutionModel.SEQUENTIAL,
+         ExecutionModel.MALLEABLE],
+        size=n,
+    ).astype(np.int8)
+    trace = JobTrace(
+        dag=base.dag,
+        work=base.work,
+        span=base.work * rng.uniform(0.0, 1.0, n),
+        models=models,
+        initial_tasks=base.initial_tasks,
+        changed_edges=base.changed_edges,
+    )
+    simulate(
+        trace, factory(), processors=processors, strict=True,
+        reallot=reallot,
+    )
+
+
+@given(seed=st.integers(0, 10**6), victim=st.integers(0, 10**6))
+@settings(max_examples=25, deadline=None)
+def test_dropped_record_always_rejected(seed, victim):
+    trace = build_trace(seed)
+    res = simulate(trace, SCHEDULER_FACTORIES[0](), processors=3,
+                   record_schedule=True)
+    # dropping the only record leaves nothing to verify (ValueError path)
+    assume(len(res.schedule) > 1)
+    i = victim % len(res.schedule)
+    bad = dataclasses.replace(
+        res, schedule=res.schedule[:i] + res.schedule[i + 1:]
+    )
+    report = check_invariants(trace, bad, reallot=True)
+    assert "missing-task" in report.kinds()
+    assert any(v.node == res.schedule[i].node for v in report.violations)
+
+
+@given(seed=st.integers(0, 10**6), victim=st.integers(0, 10**6))
+@settings(max_examples=25, deadline=None)
+def test_duplicated_record_always_rejected(seed, victim):
+    trace = build_trace(seed)
+    res = simulate(trace, SCHEDULER_FACTORIES[0](), processors=3,
+                   record_schedule=True)
+    rec = res.schedule[victim % len(res.schedule)]
+    bad = dataclasses.replace(res, schedule=res.schedule + [rec])
+    assert "duplicate-execution" in check_invariants(
+        trace, bad, reallot=True
+    ).kinds()
+
+
+@given(seed=st.integers(0, 10**6), victim=st.integers(0, 10**6))
+@settings(max_examples=25, deadline=None)
+def test_time_travelling_start_always_rejected(seed, victim):
+    trace = build_trace(seed)
+    res = simulate(trace, SCHEDULER_FACTORIES[0](), processors=3,
+                   record_schedule=True)
+    i = victim % len(res.schedule)
+    r = res.schedule[i]
+    # a start before t=0 precedes even a source's (instant) readiness
+    warped = dataclasses.replace(
+        r, start=-10.0, finish=-10.0 + (r.finish - r.start)
+    )
+    sched = list(res.schedule)
+    sched[i] = warped
+    assert "precedence" in check_invariants(
+        trace, dataclasses.replace(res, schedule=sched), reallot=True
+    ).kinds()
