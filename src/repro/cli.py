@@ -20,6 +20,7 @@ Examples
     python -m repro stats --trace 5
     python -m repro simulate --trace 5 --scheduler hybrid -P 8
     python -m repro simulate --trace 5 --strict -o result.json
+    python -m repro simulate --trace 5 --faults faults.json --seed 7 --deadline 60
     python -m repro compare --trace 7 --scale 0.5
     python -m repro generate --trace 11 --scale 0.05 -o trace11.json
     python -m repro datalog program.dl
@@ -34,26 +35,12 @@ import sys
 from pathlib import Path
 
 from .analysis import format_seconds, render_table
-from .schedulers import (
-    HybridScheduler,
-    LevelBasedScheduler,
-    LogicBloxScheduler,
-    LookaheadScheduler,
-    OracleScheduler,
-    SignalPropagationScheduler,
-)
+from .schedulers import LookaheadScheduler, scheduler_registry
 from .sim import simulate
 from .tasks import JobTrace, trace_stats
 from .workloads import make_trace
 
-SCHEDULERS = {
-    "levelbased": LevelBasedScheduler,
-    "logicblox": LogicBloxScheduler,
-    "logicblox-cached": lambda: LogicBloxScheduler("cached"),
-    "signalprop": SignalPropagationScheduler,
-    "hybrid": HybridScheduler,
-    "oracle": OracleScheduler,
-}
+SCHEDULERS = scheduler_registry()
 
 
 def _load_trace(args) -> JobTrace:
@@ -98,8 +85,37 @@ def cmd_stats(args) -> int:
     return 0
 
 
+def _load_faults(args):
+    """Build the :class:`FaultPlan` for ``repro simulate``, if any."""
+    from .sim import FaultPlan
+
+    plan = None
+    if args.faults:
+        try:
+            with open(args.faults) as fh:
+                plan = FaultPlan.from_json_dict(json.load(fh))
+        except (OSError, ValueError, TypeError) as exc:
+            raise SystemExit(
+                f"simulate: cannot load fault plan {args.faults}: {exc}"
+            ) from exc
+    if args.seed is not None:
+        import dataclasses
+
+        plan = dataclasses.replace(plan or FaultPlan(), seed=args.seed)
+    return plan
+
+
 def cmd_simulate(args) -> int:
     """``repro simulate``: run one scheduler and print the result."""
+    from .sim import (
+        DeadlineExceededError,
+        InvalidDispatchError,
+        NoProgressError,
+        SchedulerStallError,
+        TaskFailedPermanentlyError,
+    )
+    from .verify import InvariantViolationError
+
     trace = _load_trace(args)
     if args.scheduler.startswith("lbl:"):
         try:
@@ -117,13 +133,29 @@ def cmd_simulate(args) -> int:
                 f"choose from {sorted(SCHEDULERS)} or lbl:<k>"
             )
         scheduler = factory()
-    res = simulate(
-        trace,
-        scheduler,
-        processors=args.processors,
-        record_schedule=bool(args.output),
-        strict=args.strict,
-    )
+    try:
+        res = simulate(
+            trace,
+            scheduler,
+            processors=args.processors,
+            record_schedule=bool(args.output),
+            strict=args.strict,
+            faults=_load_faults(args),
+            deadline=args.deadline,
+        )
+    except (
+        SchedulerStallError,
+        InvalidDispatchError,
+        InvariantViolationError,
+        TaskFailedPermanentlyError,
+        NoProgressError,
+        DeadlineExceededError,
+    ) as exc:
+        # one clean line per failure class, mirroring `repro verify`
+        first_line = str(exc).splitlines()[0]
+        raise SystemExit(
+            f"simulate: {type(exc).__name__}: {first_line}"
+        ) from exc
     print(res.summary())
     if args.output:
         payload = {
@@ -256,6 +288,20 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--strict", action="store_true",
         help="verify every invariant of the finished run (repro.verify)",
+    )
+    p.add_argument(
+        "--faults", default=None, metavar="SPEC_JSON",
+        help="fault-plan JSON file (see repro.sim.FaultPlan) enabling "
+             "failure injection, processor churn, and stragglers",
+    )
+    p.add_argument(
+        "--seed", type=int, default=None,
+        help="override the fault plan's RNG seed (implies an empty "
+             "plan when --faults is not given)",
+    )
+    p.add_argument(
+        "--deadline", type=float, default=None, metavar="S",
+        help="abort the simulation after S wall-clock seconds",
     )
     p.add_argument(
         "-o", "--output", default=None,

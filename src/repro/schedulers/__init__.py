@@ -1,5 +1,7 @@
 """The paper's scheduling algorithms and baselines."""
 
+from typing import Callable
+
 from .base import ReadinessOracle, Scheduler, SchedulerContext
 from .hybrid import HybridScheduler
 from .levelbased import LevelBasedScheduler
@@ -10,10 +12,30 @@ from .oracle import OracleScheduler, lower_bounds
 from .priority import CriticalPathScheduler, downstream_weight
 from .signalprop import SignalPropagationScheduler
 
+def scheduler_registry() -> dict[str, Callable[[], Scheduler]]:
+    """Factories for every registered scheduler, keyed by CLI name.
+
+    The single source of truth consumed by ``repro simulate``, the
+    golden-result generator, and the chaos test suite — a scheduler
+    added here is automatically exercised by all three.
+    """
+    return {
+        "levelbased": LevelBasedScheduler,
+        "lbl3": lambda: LookaheadScheduler(3),
+        "logicblox": lambda: LogicBloxScheduler("fresh"),
+        "logicblox-cached": lambda: LogicBloxScheduler("cached"),
+        "signalprop": SignalPropagationScheduler,
+        "hybrid": HybridScheduler,
+        "oracle": OracleScheduler,
+        "critical-path": CriticalPathScheduler,
+    }
+
+
 __all__ = [
     "Scheduler",
     "SchedulerContext",
     "ReadinessOracle",
+    "scheduler_registry",
     "LevelBasedScheduler",
     "LookaheadScheduler",
     "LogicBloxScheduler",

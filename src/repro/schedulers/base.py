@@ -146,6 +146,26 @@ class Scheduler(ABC):
         """
 
     # ------------------------------------------------------------------
+    def on_failure(self, v: int, t: float) -> None:
+        """Task ``v``'s dispatch failed at time ``t``; requeue it.
+
+        The engine calls this when a previously dispatched task must be
+        re-run — a fault-injected attempt failure (after its backoff
+        expires) or a processor loss that killed the attempt. ``v`` is
+        ground-truth ready again when this hook fires.
+
+        The default treats the requeue as a fresh activation, which is
+        correct for schedulers whose :meth:`on_activate` bookkeeping is
+        idempotent per pending task. Schedulers that count queue
+        membership or per-level pending work (LevelBased's barrier
+        counters, LogicBlox's active key set) must override this to
+        re-queue without double-counting — and must still charge
+        :attr:`ops` for the requeue work their modeled algorithm
+        performs (the linter's ``api-contract`` rule checks this).
+        """
+        self.on_activate(v, t)
+
+    # ------------------------------------------------------------------
     def note_runtime_memory(self, cells: int) -> None:
         """Update the runtime peak-memory watermark."""
         if cells > self.runtime_peak_memory_cells:

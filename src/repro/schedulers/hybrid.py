@@ -102,6 +102,26 @@ class HybridScheduler(Scheduler):
         self._lbx.on_complete(v, t)
         self._sync_lbx_ops(before)
 
+    def on_failure(self, v: int, t: float) -> None:
+        # Requeue on both components without re-counting: the level
+        # barrier still includes v (no _pending_at bump — see
+        # LevelBasedScheduler.on_failure) and its postorder key is still
+        # active on the LogicBlox side. Drop it from the shared
+        # dispatched set first, or neither component could release it.
+        self._dispatched.discard(v)
+        lvl = int(self._levels[v])
+        self._buckets[lvl].append(v)
+        self._undispatched += 1
+        self._n_queued += 1
+        self.ops += 1
+        self._lb_ops += 1
+        before = self._lbx.ops
+        self._lbx.on_failure(v, t)
+        self._sync_lbx_ops(before)
+        self.note_runtime_memory(
+            self._n_queued + self._lbx.runtime_peak_memory_cells
+        )
+
     # ------------------------------------------------------------------
     def _lb_select(self, max_tasks: int) -> list[int]:
         """The LevelBased component's contribution (O(1) per task)."""
@@ -112,7 +132,10 @@ class HybridScheduler(Scheduler):
                 v = bucket.pop()
                 self.ops += 1
                 self._lb_ops += 1
-                if v in self._dispatched:  # released earlier by LBX side
+                # skip entries released earlier by the LBX side — and,
+                # after an on_failure re-bucket, a stale duplicate of a
+                # task this very call already picked up
+                if v in self._dispatched or v in out:
                     continue
                 out.append(v)
                 continue
@@ -151,7 +174,7 @@ class HybridScheduler(Scheduler):
             if not got:
                 break
             v = got[0]
-            if v in self._dispatched:
+            if v in self._dispatched or v in out:
                 continue
             out.append(v)
         self._sync_lbx_ops(before)

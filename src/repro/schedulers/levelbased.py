@@ -72,6 +72,19 @@ class LevelBasedScheduler(Scheduler):
         self._pending_at[int(self._levels[v])] -= 1
         self.ops += 1
 
+    def on_failure(self, v: int, t: float) -> None:
+        # Requeue = re-bucket only. The task never completed, so its
+        # level's pending counter still includes it — the barrier that
+        # holds the cursor at (or below) level(v) must not be bumped
+        # again, or the cursor would deadlock waiting for a second
+        # completion that never comes.
+        lvl = int(self._levels[v])
+        self._buckets[lvl].append(v)
+        self._undispatched += 1
+        self._n_queued += 1
+        self.ops += 1
+        self.note_runtime_memory(self._n_queued)
+
     def select(self, max_tasks: int, t: float) -> list[int]:
         out: list[int] = []
         while len(out) < max_tasks:

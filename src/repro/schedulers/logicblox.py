@@ -154,6 +154,27 @@ class LogicBloxScheduler(Scheduler):
             self._prefix = None
             self._dirty = True
 
+    def on_failure(self, v: int, t: float) -> None:
+        # Requeue = put the task back in the active queue. Its postorder
+        # key never left the active key set (the task never completed),
+        # so re-activating via on_activate would double-count the key
+        # and permanently block every descendant's scan.
+        self.ops += 1
+        if self.policy == "fresh":
+            self._in_queue[v] = self._seq
+            self._seq += 1
+            self._queue_probes += int(self._n_ivl[v])
+            self.note_runtime_memory(
+                2 * len(self._in_queue) + len(self._ready_heap)
+            )
+        else:
+            self._incoming.append(v)
+            self._dirty = True
+            self.note_runtime_memory(
+                self._queue.size + len(self._incoming)
+                + self._n_active_keys + len(self._ready)
+            )
+
     # ------------------------------------------------------------------
     # cached-policy scan machinery (vectorized, also used by Hybrid)
     # ------------------------------------------------------------------

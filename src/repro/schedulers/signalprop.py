@@ -61,6 +61,14 @@ class SignalPropagationScheduler(Scheduler):
         self._settled[v] = True
         self._propagate_from(v)
 
+    def on_failure(self, v: int, t: float) -> None:
+        # Every input signal already arrived (the task was dispatched
+        # once), so a requeue is a single ready-queue push; nothing to
+        # re-propagate.
+        self._ready.append(v)
+        self.ops += 1
+        self.note_runtime_memory(len(self._ready))
+
     # ------------------------------------------------------------------
     def _settle(self, v: int) -> None:
         """All of ``v``'s input signals have arrived."""

@@ -2,6 +2,17 @@
 
 from .batch import ComparisonGrid, compare
 from .engine import InvalidDispatchError, SchedulerStallError, simulate
+from .faults import (
+    AttemptOutcome,
+    DeadlineExceededError,
+    FaultError,
+    FaultEvent,
+    FaultInjector,
+    FaultLog,
+    FaultPlan,
+    NoProgressError,
+    TaskFailedPermanentlyError,
+)
 from .overhead import MemoryStats, OverheadModel
 from .result import DispatchRecord, SimulationResult
 from .timeline import (
@@ -19,6 +30,15 @@ __all__ = [
     "ComparisonGrid",
     "SchedulerStallError",
     "InvalidDispatchError",
+    "FaultPlan",
+    "FaultInjector",
+    "FaultLog",
+    "FaultEvent",
+    "AttemptOutcome",
+    "FaultError",
+    "TaskFailedPermanentlyError",
+    "NoProgressError",
+    "DeadlineExceededError",
     "OverheadModel",
     "MemoryStats",
     "SimulationResult",

@@ -4,7 +4,10 @@ from __future__ import annotations
 
 import dataclasses
 from dataclasses import dataclass, field
-from typing import Any
+from typing import TYPE_CHECKING, Any
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .faults import FaultEvent
 
 __all__ = ["SimulationResult", "DispatchRecord"]
 
@@ -61,6 +64,8 @@ class SimulationResult:
     schedule: list[DispatchRecord] = field(default_factory=list)
     #: free-form extras (component breakdowns for hybrid/meta, etc.)
     extras: dict[str, Any] = field(default_factory=dict)
+    #: injected-fault record; empty on fault-free runs
+    fault_log: list["FaultEvent"] = field(default_factory=list)
 
     @property
     def total_memory_cells(self) -> int:
@@ -71,20 +76,31 @@ class SimulationResult:
     # serialization (so results can be shipped to `repro verify`)
     # ------------------------------------------------------------------
     def to_json_dict(self) -> dict[str, Any]:
-        """Schema-v1 plain-dict form, including the recorded schedule."""
+        """Schema-v1 plain-dict form, including the recorded schedule.
+
+        ``fault_log`` is omitted entirely when empty so that fault-free
+        runs serialize byte-identically to pre-fault-layer results.
+        """
         d = dataclasses.asdict(self)
         d["schema"] = _SCHEMA_VERSION
+        if not d.get("fault_log"):
+            d.pop("fault_log", None)
         return d
 
     @classmethod
     def from_json_dict(cls, d: dict[str, Any]) -> "SimulationResult":
         """Rebuild a result from :meth:`to_json_dict` output."""
+        from .faults import FaultEvent
+
         d = dict(d)
         schema = d.pop("schema", _SCHEMA_VERSION)
         if schema != _SCHEMA_VERSION:
             raise ValueError(f"unsupported result schema {schema!r}")
         schedule = [DispatchRecord(**r) for r in d.pop("schedule", [])]
-        return cls(schedule=schedule, **d)
+        fault_log = [
+            FaultEvent.from_json_dict(e) for e in d.pop("fault_log", [])
+        ]
+        return cls(schedule=schedule, fault_log=fault_log, **d)
 
     def summary(self) -> str:
         """One-line human-readable summary."""

@@ -111,6 +111,7 @@ class ActivationState:
     executed: np.ndarray = field(init=False)
     resolved: np.ndarray = field(init=False)
     dispatched: np.ndarray = field(init=False)
+    quarantined: np.ndarray = field(init=False)
 
     def __post_init__(self) -> None:
         n = self.dag.n_nodes
@@ -120,6 +121,7 @@ class ActivationState:
         self.executed = np.zeros(n, dtype=bool)
         self.resolved = np.zeros(n, dtype=bool)
         self.dispatched = np.zeros(n, dtype=bool)
+        self.quarantined = np.zeros(n, dtype=bool)
         init = np.asarray(self.initial, dtype=np.int64)
         self.activated[init] = True
         self.will_execute[init] = True
@@ -197,6 +199,63 @@ class ActivationState:
                     cascade.append(w)
 
     # ------------------------------------------------------------------
+    # fault-tolerance surface (used only by the engine's fault layer)
+    # ------------------------------------------------------------------
+    def clear_dispatch(self, u: int) -> None:
+        """Undo a dispatch after a failed attempt, for requeue.
+
+        The node becomes ground-truth ready again (its parents stay
+        resolved; resolution is monotone). Only the engine's retry path
+        may call this.
+        """
+        if not self.dispatched[u]:
+            raise RuntimeError(f"clear_dispatch({u}) without a dispatch")
+        if self.executed[u]:
+            raise RuntimeError(f"clear_dispatch({u}) after completion")
+        self.dispatched[u] = False
+
+    def fail_permanently(self, u: int) -> tuple[list[int], list[int]]:
+        """Resolve ``u`` *without* executing it (degrade mode).
+
+        The task's output is permanently stale: every out-edge delivers
+        "no change", so descendants whose re-execution would only have
+        been triggered through ``u`` are deactivated — those are ``u``'s
+        *pure descendants*. Descendants holding change signals from
+        other ancestors become dispatchable once their remaining parents
+        resolve and still run (with partial inputs).
+
+        Returns ``(dispatchable, suppressed)``: tasks that just became
+        ground-truth ready, and nodes newly resolved without execution
+        by the cascade (candidates for quarantine reporting; ``u``
+        itself is *not* included).
+        """
+        if not self.dispatched[u]:
+            raise RuntimeError(f"fail_permanently({u}) without a dispatch")
+        if self.executed[u]:
+            raise RuntimeError(f"fail_permanently({u}) after completion")
+        self.quarantined[u] = True
+        self.resolved[u] = True
+
+        before = self.resolved.copy()
+        dispatchable: list[int] = []
+        cascade: list[int] = []
+        lo, hi = self.dag.out_edge_range(u)
+        for ei in range(lo, hi):
+            v = int(self.dag._out_adj[ei])  # noqa: SLF001
+            self.unresolved_parents[v] -= 1
+            if self.unresolved_parents[v] == 0:
+                cascade.append(v)
+        self._drain(cascade, dispatchable, [])
+        suppressed = [
+            int(v)
+            for v in np.flatnonzero(
+                self.resolved & ~before & ~self.executed & ~self.dispatched
+            )
+            if v != u
+        ]
+        return dispatchable, suppressed
+
+    # ------------------------------------------------------------------
     def mark_dispatched(self, u: int) -> None:
         """Validate and record a scheduler's dispatch of ``u``.
 
@@ -227,9 +286,17 @@ class ActivationState:
         )
 
     def all_done(self) -> bool:
-        """True when every node that must execute has executed."""
-        return bool(np.all(~self.will_execute | self.executed))
+        """True when every node that must execute has executed.
+
+        Quarantined nodes (degrade-mode permanent failures) count as
+        settled: they will never run, by design.
+        """
+        return bool(
+            np.all(~self.will_execute | self.executed | self.quarantined)
+        )
 
     def pending_count(self) -> int:
         """Number of tasks that must still execute."""
-        return int(np.sum(self.will_execute & ~self.executed))
+        return int(
+            np.sum(self.will_execute & ~self.executed & ~self.quarantined)
+        )

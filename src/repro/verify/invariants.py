@@ -31,6 +31,27 @@ The checker is deliberately independent of the engine's online
 validation: it recomputes resolution times from the propagation ground
 truth, so a bug in the engine itself (or a hand-edited result file)
 also surfaces.
+
+Fault-aware checking
+--------------------
+When the result carries a non-empty ``fault_log`` (see
+:mod:`repro.sim.faults`) the invariants adapt rather than switch off:
+
+* *exactly-once* becomes *at-least-once-with-exactly-one-success*: a
+  node may appear in failed attempts any number of times but in the
+  schedule at most once, and a missing task is waived only when it is a
+  quarantined node or a ground-truth descendant of one;
+* *capacity* accounts for failed-attempt occupancy (a dead attempt held
+  processors from its start to its failure) against the *time-varying*
+  processor count reconstructed from applied churn events;
+* the ``w/P + Σ S_i`` upper bound is fault-adjusted: straggler-inflated
+  work and level spans, lost work from dead attempts, backoff and
+  downtime delays, and the minimum surviving capacity replace their
+  fault-free counterparts. The lower bound needs no adjustment — faults
+  only ever slow a run down;
+* a new ``fault-consistency`` kind cross-checks the log against the
+  schedule (quarantined nodes must not execute, failed nodes must end
+  in a success or a quarantine, recoveries cannot outnumber failures).
 """
 
 from __future__ import annotations
@@ -65,6 +86,7 @@ VIOLATION_KINDS = (
     "makespan-bound",
     "makespan-lower",
     "result-consistency",
+    "fault-consistency",
 )
 
 _CHECKS = (
@@ -177,13 +199,42 @@ def check_invariants(
     levels = trace.levels
     P = result.processors
 
+    # ------------------------------------------------------------------
+    # fault context (empty log → every adjustment below is a no-op)
+    # ------------------------------------------------------------------
+    flog = list(result.fault_log or [])
+    has_faults = bool(flog)
+    has_churn = any(
+        e.kind == "proc-fail" and e.data.get("applied") for e in flog
+    )
+    direct_quarantined = {
+        int(e.node) for e in flog if e.kind == "quarantine"
+    }
+    # a missing task is excusable only when its absence traces back to a
+    # quarantined ancestor (or it was quarantined itself)
+    waived_missing = np.zeros(n, dtype=bool)
+    if direct_quarantined:
+        stack = [v for v in direct_quarantined if 0 <= v < n]
+        for v in stack:
+            waived_missing[v] = True
+        while stack:
+            u = stack.pop()
+            for c in dag.out_neighbors(u):
+                c = int(c)
+                if not waived_missing[c]:
+                    waived_missing[c] = True
+                    stack.append(c)
+
     if not result.schedule:
-        if int(executed.sum()) == 0:
-            return report
-        raise ValueError(
-            "result has no recorded schedule; run simulate() with "
-            "record_schedule=True or strict=True"
-        )
+        if int(executed.sum()) == 0 or bool(
+            np.all(~executed | waived_missing)
+        ):
+            pass  # nothing ran (or everything active was quarantined)
+        else:
+            raise ValueError(
+                "result has no recorded schedule; run simulate() with "
+                "record_schedule=True or strict=True"
+            )
 
     # ------------------------------------------------------------------
     # exactly-once / active set
@@ -221,6 +272,8 @@ def check_invariants(
             )
         )
     for v in np.flatnonzero(executed & ~scheduled):
+        if waived_missing[v]:
+            continue  # quarantined (or suppressed by a quarantine)
         bad(
             Violation(
                 "missing-task",
@@ -252,6 +305,12 @@ def check_invariants(
                         )
                     )
                 resolve[u] = finish[u]
+            elif waived_missing[u]:
+                # quarantine resolves the node without execution; the
+                # true instant is its last failure time, which is never
+                # earlier than its ancestors' resolution — ``ready`` is
+                # a sound (earlier) stand-in for descendants' checks
+                resolve[u] = ready
             else:
                 resolve[u] = math.inf  # missing-task already reported
         else:
@@ -307,6 +366,11 @@ def check_invariants(
             )
             continue
         dmin = _min_duration(m, float(work[v]), float(span[v]), a)
+        if has_churn and m == ExecutionModel.MALLEABLE:
+            # a churn shrink can leave the *final* allotment below the
+            # attempt's historical maximum, so work/alloc over-floors;
+            # the width-P rate is the only sound per-record bound left
+            dmin = max(float(span[v]), float(work[v]) / P)
         if dur + atol < dmin:
             bad(
                 Violation(
@@ -319,66 +383,133 @@ def check_invariants(
     # ------------------------------------------------------------------
     # processor capacity (sweep line; zero-duration records occupy no
     # processor time and engine rounds may reuse a core within one
-    # instant, so they are excluded)
+    # instant, so they are excluded). With faults, failed attempts
+    # occupied processors from dispatch to death, and churn makes the
+    # capacity itself piecewise constant — both reconstructed from the
+    # fault log. Entries at one instant apply releases, then capacity
+    # changes, then acquires; occupancy is checked between instants.
     # ------------------------------------------------------------------
-    events: list[tuple[float, int]] = []
+    def _occupancy(v: int, a: int) -> int:
+        if int(models[v]) == ExecutionModel.MALLEABLE and reallot is not False:
+            # the record stores the *final* allotment; the task held at
+            # least one processor throughout
+            return 1
+        return a
+
+    sweep: list[tuple[float, int, int, int]] = []  # (t, phase, occ, cap)
     for v in np.flatnonzero(scheduled):
         v = int(v)
         if finish[v] <= start[v]:
             continue
-        a = int(alloc[v])
-        if int(models[v]) == ExecutionModel.MALLEABLE and reallot is not False:
-            # the record stores the *final* allotment; the task held at
-            # least one processor throughout
-            a = 1
-        events.append((float(start[v]), a))
-        events.append((float(finish[v]), -a))
-    events.sort(key=lambda e: (e[0], e[1]))
-    busy = peak = 0
-    peak_t = 0.0
-    for t_, d in events:
-        busy += d
-        if busy > peak:
-            peak, peak_t = busy, t_
-    if peak > P:
+        a = _occupancy(v, int(alloc[v]))
+        sweep.append((float(start[v]), 2, a, 0))
+        sweep.append((float(finish[v]), 0, -a, 0))
+    for e in flog:
+        if e.kind in ("task-fail", "proc-kill"):
+            s0 = float(e.data.get("start", e.time))
+            if e.time <= s0 or not (0 <= e.node < n):
+                continue
+            a = _occupancy(int(e.node), int(e.data.get("alloc", 1)))
+            sweep.append((s0, 2, a, 0))
+            sweep.append((float(e.time), 0, -a, 0))
+        elif e.kind == "proc-fail" and e.data.get("applied"):
+            sweep.append((float(e.time), 1, 0, -1))
+        elif e.kind == "proc-recover" and e.data.get("applied", 1.0):
+            sweep.append((float(e.time), 1, 0, 1))
+    sweep.sort(key=lambda e: (e[0], e[1]))
+    busy = 0
+    cap = P
+    excess = 0
+    excess_t = 0.0
+    i = 0
+    while i < len(sweep):
+        t_ = sweep[i][0]
+        while i < len(sweep) and sweep[i][0] == t_:
+            busy += sweep[i][2]
+            cap += sweep[i][3]
+            i += 1
+        if busy - cap > excess:
+            excess, excess_t = busy - cap, t_
+    if excess > 0:
         bad(
             Violation(
                 "capacity",
-                f"{peak} processors busy at t={peak_t:.6g} (P={P})",
+                f"occupancy exceeds capacity by {excess} processor(s) "
+                f"at t={excess_t:.6g} (P={P})",
             )
         )
 
     # ------------------------------------------------------------------
-    # paper bounds (Lemma 3 / Lemma 5 / Theorem 9) + lower bounds
+    # paper bounds (Lemma 3 / Lemma 5 / Theorem 9) + lower bounds.
+    # Fault runs adjust the upper bound: inflated work/spans, lost
+    # attempt work, serial backoff + downtime delays, and the minimum
+    # surviving capacity. The lower bound is untouched — injected
+    # faults can only ever delay a correct engine.
     # ------------------------------------------------------------------
-    active = np.flatnonzero(executed)
+    if has_faults:
+        # quarantined nodes never ran; bound only what executed
+        active = np.flatnonzero(executed & scheduled)
+    else:
+        active = np.flatnonzero(executed)
     eff_work = np.where(
         models == ExecutionModel.UNIT, 1.0, work.astype(np.float64)
     )
-    w = float(eff_work[active].sum())
+
+    inflation: dict[int, float] = {}
+    for e in flog:
+        if e.kind == "straggler":
+            f = float(e.data.get("factor", 1.0))
+            if f > inflation.get(int(e.node), 1.0):
+                inflation[int(e.node)] = f
 
     level_smax: dict[int, float] = {}
     cp_weight = np.zeros(n)
+    w = 0.0
     for v in active:
         v = int(v)
         m = int(models[v])
+        infl = inflation.get(v, 1.0)
+        w += float(eff_work[v]) * infl
         if m == ExecutionModel.UNIT:
-            s_upper = s_lower = 1.0
+            s_upper, s_lower = infl, 1.0
         elif m == ExecutionModel.SEQUENTIAL:
-            s_upper = s_lower = float(work[v])
+            s_upper, s_lower = float(work[v]) * infl, float(work[v])
         else:
             # re-allotment grows stragglers to their span cap; without
             # it (or when unknown) a width-1 allotment may run for work
-            s_upper = float(span[v]) if reallot is True else float(work[v])
+            s_upper = (
+                float(span[v]) if reallot is True else float(work[v])
+            ) * infl
             s_lower = float(span[v])
         lvl = int(levels[v])
         if s_upper > level_smax.get(lvl, 0.0):
             level_smax[lvl] = s_upper
         cp_weight[v] = s_lower
 
+    lost_work = 0.0
+    serial_delay = 0.0
+    min_capacity = P
+    if has_faults:
+        cap_now = P
+        for e in flog:  # log is time-ordered
+            if e.kind in ("task-fail", "proc-kill"):
+                lost_work += float(e.data.get("lost", 0.0))
+                serial_delay += float(e.time) - float(
+                    e.data.get("start", e.time)
+                )
+                serial_delay += float(e.data.get("backoff", 0.0))
+            elif e.kind == "proc-fail" and e.data.get("applied"):
+                cap_now -= 1
+                serial_delay += float(e.data.get("downtime", 0.0))
+                if cap_now < min_capacity:
+                    min_capacity = cap_now
+            elif e.kind == "proc-recover" and e.data.get("applied", 1.0):
+                cap_now += 1
+        min_capacity = max(min_capacity, 1)
+
     level_term = float(sum(level_smax.values()))
-    work_lower = w / P
-    upper = work_lower + level_term
+    work_lower = float(eff_work[active].sum()) / P
+    upper = (w + lost_work) / min_capacity + level_term + serial_delay
 
     # critical path of minimum durations through executing nodes
     # (deactivated nodes relay precedence at zero cost)
@@ -398,6 +529,12 @@ def check_invariants(
         "level_term": level_term,
         "makespan_upper": upper,
     }
+    if has_faults:
+        report.bounds.update(
+            lost_work=lost_work,
+            serial_delay=serial_delay,
+            min_capacity=float(min_capacity),
+        )
 
     tol = atol + 1e-9 * max(upper, 1.0)
     if result.execution_makespan > upper + tol:
@@ -440,7 +577,9 @@ def check_invariants(
                 f"reported makespan {result.makespan:.6g}",
             )
         )
-    expected_work = float(work[executed].sum())
+    expected_work = float(
+        work[executed & scheduled if has_faults else executed].sum()
+    )
     if abs(result.total_work - expected_work) > atol * max(
         1.0, expected_work
     ) and not report.kinds() & {"missing-task", "spurious-execution"}:
@@ -458,4 +597,65 @@ def check_invariants(
                 f"utilization {result.utilization:.6g} > 1",
             )
         )
+
+    # ------------------------------------------------------------------
+    # fault-log / schedule cross-consistency
+    # ------------------------------------------------------------------
+    if has_faults:
+        for v in sorted(direct_quarantined):
+            if 0 <= v < n and scheduled[v]:
+                bad(
+                    Violation(
+                        "fault-consistency",
+                        "quarantined by the fault log but also appears "
+                        "in the schedule",
+                        v,
+                    )
+                )
+        failed_nodes = {
+            int(e.node)
+            for e in flog
+            if e.kind in ("task-fail", "proc-kill") and 0 <= e.node < n
+        }
+        for v in sorted(failed_nodes):
+            if not scheduled[v] and not waived_missing[v]:
+                bad(
+                    Violation(
+                        "fault-consistency",
+                        "has failed attempts in the fault log but "
+                        "neither a successful execution nor a "
+                        "quarantine",
+                        v,
+                    )
+                )
+        for e in flog:
+            if e.kind in ("task-fail", "proc-kill"):
+                s0 = float(e.data.get("start", e.time))
+                if float(e.time) < s0 - atol:
+                    bad(
+                        Violation(
+                            "fault-consistency",
+                            f"{e.kind} at t={e.time:.6g} precedes the "
+                            f"attempt's start t={s0:.6g}",
+                            int(e.node),
+                        )
+                    )
+        n_fail_applied = sum(
+            1
+            for e in flog
+            if e.kind == "proc-fail" and e.data.get("applied")
+        )
+        n_recover = sum(
+            1
+            for e in flog
+            if e.kind == "proc-recover" and e.data.get("applied", 1.0)
+        )
+        if n_recover > n_fail_applied:
+            bad(
+                Violation(
+                    "fault-consistency",
+                    f"{n_recover} processor recoveries but only "
+                    f"{n_fail_applied} applied failures",
+                )
+            )
     return report

@@ -35,8 +35,10 @@ Rules
     Structural misuse: an ``__init__`` that never calls
     ``super().__init__()`` (the base class owns the cost counters),
     overriding engine-reserved methods (``reset_counters``,
-    ``note_runtime_memory``), or mutating the shared
-    :class:`~repro.schedulers.base.SchedulerContext`.
+    ``note_runtime_memory``), mutating the shared
+    :class:`~repro.schedulers.base.SchedulerContext`, or overriding
+    ``on_failure`` without ever charging ``self.ops`` (a requeue
+    re-enters the scheduler's modeled machinery and is never free).
 
 Suppression
 -----------
@@ -99,7 +101,9 @@ _ORACLE_FEED_METHODS = frozenset({"is_ready", "drain_ready_events"})
 #: engine-owned methods a subclass must not override
 _RESERVED_METHODS = frozenset({"reset_counters", "note_runtime_memory"})
 #: the cost-charged runtime entry points
-_HOOK_METHODS = frozenset({"select", "on_activate", "on_complete"})
+_HOOK_METHODS = frozenset(
+    {"select", "on_activate", "on_complete", "on_failure"}
+)
 #: container/bookkeeping methods that are not modeled scheduler work
 _DATA_METHODS = frozenset(
     {
@@ -381,6 +385,17 @@ def _lint_class(
         local.self_oracle = aliases.self_oracle
         local.self_trace = aliases.self_trace
         local.collect_from(fn, locals_only=True)
+
+        # ---- api-contract: uncharged on_failure override ------------
+        if fn.name == "on_failure" and not _loop_charges_ops(fn, local):
+            add(
+                fn,
+                API_CONTRACT,
+                "on_failure() requeues a task without charging self.ops",
+                "a retry re-enters the scheduler's modeled machinery; "
+                "charge at least one op per requeued task (or delegate "
+                "to a charged hook)",
+            )
 
         for node in ast.walk(fn):
             # ---- api-contract: SchedulerContext mutation ------------

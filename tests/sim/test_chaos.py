@@ -1,0 +1,104 @@
+"""Chaos harness: every registered scheduler under random fault plans.
+
+Property-based sweep over (scheduler, random trace, random fault plan)
+triples. Three guarantees are enforced:
+
+* a faulted run either finishes strict-mode clean or aborts with the
+  designated permanent-failure error — never a stall, an invalid
+  dispatch, or an invariant violation;
+* replaying the same plan on the same trace yields a bit-identical
+  fault log;
+* a livelock (always-failing task with unlimited retries) is caught by
+  the no-progress watchdog with a structured error, for every
+  scheduler.
+
+``derandomize=True`` keeps the sweep reproducible in CI: the examples
+are a pure function of the property, not of a per-run entropy source.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.schedulers import scheduler_registry
+from repro.sim import (
+    FaultLog,
+    FaultPlan,
+    NoProgressError,
+    TaskFailedPermanentlyError,
+    simulate,
+)
+
+from ..conftest import random_job_trace
+
+ALL_SCHEDULERS = sorted(scheduler_registry())
+
+CHAOS_SETTINGS = settings(
+    max_examples=12,
+    derandomize=True,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+@st.composite
+def fault_plans(draw) -> FaultPlan:
+    """Small but adversarial plans: every fault source can co-occur."""
+    return FaultPlan(
+        seed=draw(st.integers(0, 2**16)),
+        task_fail_prob=draw(st.sampled_from([0.0, 0.2, 0.5, 0.9])),
+        max_retries=draw(st.sampled_from([None, 0, 1, 3, 8])),
+        on_exhaustion=draw(st.sampled_from(["raise", "degrade"])),
+        backoff_base=0.25,
+        proc_fail_rate=draw(st.sampled_from([0.0, 0.3, 1.0])),
+        proc_downtime=(0.2, 1.0),
+        min_processors=draw(st.integers(1, 2)),
+        straggler_prob=draw(st.sampled_from([0.0, 0.4])),
+    )
+
+
+def fault_log_json(result) -> list:
+    return FaultLog(result.fault_log).to_json_list()
+
+
+@pytest.mark.timeout(300)
+@pytest.mark.parametrize("name", ALL_SCHEDULERS)
+@CHAOS_SETTINGS
+@given(trace_seed=st.integers(0, 10**6), plan=fault_plans())
+def test_chaos_run_is_strict_clean_and_replayable(name, trace_seed, plan):
+    trace = random_job_trace(trace_seed, layers=(2, 4, 5, 4, 2))
+    factory = scheduler_registry()[name]
+    try:
+        res = simulate(
+            trace, factory(), processors=3, faults=plan, strict=True
+        )
+    except TaskFailedPermanentlyError:
+        # legal only when the plan actually allows permanent failure
+        assert plan.on_exhaustion == "raise"
+        assert plan.max_retries is not None
+        assert plan.task_fail_prob > 0.0
+        # the abort itself must replay identically
+        with pytest.raises(TaskFailedPermanentlyError) as replay:
+            simulate(trace, factory(), processors=3, faults=plan)
+        return
+    replay = simulate(trace, factory(), processors=3, faults=plan)
+    assert fault_log_json(replay) == fault_log_json(res)
+    assert replay.makespan == res.makespan
+    assert replay.tasks_executed == res.tasks_executed
+
+
+@pytest.mark.timeout(120)
+@pytest.mark.parametrize("name", ALL_SCHEDULERS)
+def test_livelock_watchdog_fires_for_every_scheduler(name):
+    trace = random_job_trace(7, layers=(2, 3, 2))
+    with pytest.raises(NoProgressError) as exc:
+        simulate(
+            trace,
+            scheduler_registry()[name](),
+            processors=3,
+            faults=FaultPlan(seed=1, task_fail_prob=1.0, max_retries=None,
+                             backoff_cap=0.5),
+            watchdog=300,
+        )
+    assert exc.value.events > 300
+    assert exc.value.pending > 0

@@ -219,6 +219,35 @@ class TestValidation:
         with pytest.raises(InvalidDispatchError, match="idle"):
             simulate(trace, Greedy(), processors=2)
 
+    def test_premature_dispatch_of_unactivated_task_rejected(self, diamond):
+        class Eager(_Misbehaving):
+            name = "eager"
+
+            def select(self, max_tasks, t):
+                return [3]  # node 3 has not even been activated yet
+
+        with pytest.raises(InvalidDispatchError, match="dispatched task 3"):
+            simulate(full_trace(diamond), Eager(), processors=2)
+
+    def test_duplicate_dispatch_rejected(self):
+        class Echo(_Misbehaving):
+            name = "echo"
+
+            def select(self, max_tasks, t):
+                return [0]  # keeps re-dispatching the running task
+
+        dag = Dag(2, [])
+        with pytest.raises(InvalidDispatchError):
+            simulate(full_trace(dag), Echo(), processors=2)
+
+    def test_negative_processor_count(self, diamond_trace):
+        with pytest.raises(ValueError, match="positive"):
+            simulate(diamond_trace, LevelBasedScheduler(), processors=-3)
+
+    def test_stall_error_names_pending_count(self, diamond_trace):
+        with pytest.raises(SchedulerStallError, match="pending"):
+            simulate(diamond_trace, _Lazy())
+
 
 class TestOverheadCharging:
     def test_inline_overhead_extends_makespan(self, diamond_trace):

@@ -109,6 +109,35 @@ class SloppyScheduler(Scheduler):
         return []
 
 
+class UnchargedFailureScheduler(Scheduler):
+    """Overrides on_failure but treats the requeue as free work."""
+
+    name = "uncharged-failure"
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._queue: list[int] = []
+
+    def prepare(self, ctx: SchedulerContext) -> None:
+        pass
+
+    def on_activate(self, v: int, t: float) -> None:
+        self._queue.append(v)
+        self.ops += 1
+
+    def on_complete(self, v: int, t: float) -> None:
+        self.ops += 1
+
+    def on_failure(self, v: int, t: float) -> None:  # line: api-contract
+        self._queue.append(v)  # requeued for free: never charges ops
+
+    def select(self, max_tasks: int, t: float) -> list[int]:
+        out = self._queue[:max_tasks]
+        del self._queue[: len(out)]
+        self.ops += len(out) + 1
+        return out
+
+
 class SuppressedScheduler(Scheduler):
     """Same sins as above, waived (or not) by inline suppressions."""
 

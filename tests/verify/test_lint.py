@@ -143,6 +143,35 @@ def test_structural_rules_fire(findings):
     assert len(msgs) == 3
 
 
+def test_uncharged_on_failure_override_fires(findings):
+    unc = by_class(findings, "UnchargedFailureScheduler")
+    assert {f.rule for f in unc} == {"api-contract"}
+    assert len(unc) == 1
+    assert "on_failure" in unc[0].message
+    assert "self.ops" in unc[0].message
+
+
+def test_charged_on_failure_is_clean():
+    src = """
+class RetryScheduler(Scheduler):
+    def on_failure(self, v, t):
+        self._queue.append(v)
+        self.ops += 1
+"""
+    assert lint_source(src) == []
+
+
+def test_delegating_on_failure_is_clean():
+    # the Scheduler default re-runs on_activate; an override that keeps
+    # the delegation inherits that hook's charge
+    src = """
+class DelegatingRetryScheduler(Scheduler):
+    def on_failure(self, v, t):
+        self.on_activate(v, t)
+"""
+    assert lint_source(src) == []
+
+
 # ----------------------------------------------------------------------
 # suppression
 # ----------------------------------------------------------------------
