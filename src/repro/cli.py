@@ -10,6 +10,8 @@ Commands
               public synthetic trace #11 the paper mentions).
 ``datalog``   Evaluate a Datalog program file and print the
               materialized relations.
+``serve``     Run *real* concurrent maintenance (repro.runtime) over a
+              generated update stream, verifying every round.
 ``verify``    Run the scheduler contract linter over source paths
               and/or the trace invariant checker over result files.
 
@@ -24,6 +26,7 @@ Examples
     python -m repro compare --trace 7 --scale 0.5
     python -m repro generate --trace 11 --scale 0.05 -o trace11.json
     python -m repro datalog program.dl
+    python -m repro serve --program retail --stream bursty --scheduler hybrid --rounds 20
     python -m repro verify --lint src/repro/schedulers --trace result.json
 """
 
@@ -105,6 +108,25 @@ def _load_faults(args):
     return plan
 
 
+def _resolve_scheduler(name: str):
+    """A scheduler instance from a registry name or ``lbl:<k>``."""
+    if name.startswith("lbl:"):
+        try:
+            k = int(name.split(":", 1)[1])
+        except ValueError:
+            raise SystemExit(
+                f"bad look-ahead depth in {name!r}; use lbl:<k>"
+            ) from None
+        return LookaheadScheduler(k)
+    factory = SCHEDULERS.get(name)
+    if factory is None:
+        raise SystemExit(
+            f"unknown scheduler {name!r}; "
+            f"choose from {sorted(SCHEDULERS)} or lbl:<k>"
+        )
+    return factory()
+
+
 def cmd_simulate(args) -> int:
     """``repro simulate``: run one scheduler and print the result."""
     from .sim import (
@@ -117,22 +139,7 @@ def cmd_simulate(args) -> int:
     from .verify import InvariantViolationError
 
     trace = _load_trace(args)
-    if args.scheduler.startswith("lbl:"):
-        try:
-            k = int(args.scheduler.split(":", 1)[1])
-        except ValueError:
-            raise SystemExit(
-                f"bad look-ahead depth in {args.scheduler!r}; use lbl:<k>"
-            ) from None
-        scheduler = LookaheadScheduler(k)
-    else:
-        factory = SCHEDULERS.get(args.scheduler)
-        if factory is None:
-            raise SystemExit(
-                f"unknown scheduler {args.scheduler!r}; "
-                f"choose from {sorted(SCHEDULERS)} or lbl:<k>"
-            )
-        scheduler = factory()
+    scheduler = _resolve_scheduler(args.scheduler)
     try:
         res = simulate(
             trace,
@@ -221,6 +228,82 @@ def cmd_datalog(args) -> int:
         for t in sorted(rel):
             print(f"  {name}{t}")
     return 0
+
+
+def cmd_serve(args) -> int:
+    """``repro serve``: run real maintenance over an update stream.
+
+    Builds the named live workload, generates ``--rounds`` ticks of the
+    chosen stream, and drives every tick through one verified
+    maintenance round: compile → concurrent execute → record → strict
+    invariant check → materialization comparison against from-scratch
+    evaluation.
+    """
+    from .datalog import seminaive_evaluate
+    from .runtime import (
+        UpdateStreamService,
+        live_workload,
+        make_stream,
+    )
+
+    try:
+        wl = live_workload(args.program, seed=args.seed)
+    except KeyError as exc:
+        raise SystemExit(f"serve: {exc.args[0]}") from None
+    scheduler = _resolve_scheduler(args.scheduler)
+    service = UpdateStreamService(
+        wl.program,
+        wl.edb,
+        scheduler,
+        workers=args.workers,
+        capacity=args.capacity,
+        verify=not args.no_verify,
+        name=f"live:{wl.name}",
+    )
+    try:
+        stream = make_stream(
+            wl, args.stream, rounds=args.rounds, batch_size=args.batch_size
+        )
+    except ValueError as exc:
+        raise SystemExit(f"serve: {exc}") from None
+    print(
+        f"serving {wl.name} ({args.stream} stream) under "
+        f"{scheduler.name}, {args.workers} workers"
+    )
+    for batches in stream:
+        for delta in batches:
+            service.submit(delta)
+        rep = service.run_round()
+        if rep is None:
+            continue
+        m = rep.metrics
+        flag = "" if rep.materialization_ok else "  DIVERGED"
+        print(
+            f"round {m.index:3d}: {m.batches_coalesced} batch(es), "
+            f"{m.tasks_executed}/{m.n_nodes} nodes executed, "
+            f"{m.latency_s * 1e3:7.2f} ms "
+            f"(compile {m.compile_s * 1e3:.2f}, exec "
+            f"{m.execute_s * 1e3:.2f}){flag}"
+        )
+    print(service.metrics.summary())
+    mat = service.materialization()
+    if mat is None:
+        print("no rounds served — nothing to compare")
+        consistent = True
+    else:
+        db_final, _ = seminaive_evaluate(wl.program, service.database())
+        consistent = db_final.as_dict() == mat.as_dict()
+        print(
+            "final materialization matches from-scratch evaluation"
+            if consistent
+            else "final materialization DIVERGES from from-scratch evaluation"
+        )
+    if args.metrics:
+        out = Path(args.metrics)
+        with out.open("w") as fh:
+            service.metrics.dump(fh)
+        print(f"wrote {out}")
+    return 0 if consistent else 1
 
 
 def cmd_verify(args) -> int:
@@ -323,6 +406,41 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("datalog", help="evaluate a Datalog program file")
     p.add_argument("program")
     p.set_defaults(fn=cmd_datalog)
+
+    p = sub.add_parser(
+        "serve",
+        help="run real concurrent maintenance over an update stream",
+    )
+    p.add_argument(
+        "--program", default="retail",
+        help="live workload name or alias (e.g. retail, tc, sg, pt)",
+    )
+    p.add_argument(
+        "--stream", default="steady",
+        choices=("steady", "bursty", "hotkey"),
+        help="update stream shape",
+    )
+    p.add_argument("--scheduler", default="hybrid",
+                   help=f"one of {sorted(SCHEDULERS)} or lbl:<k>")
+    p.add_argument("--rounds", type=int, default=20,
+                   help="number of stream ticks to serve")
+    p.add_argument("-w", "--workers", type=int, default=4,
+                   help="executor thread-pool width")
+    p.add_argument("--batch-size", type=int, default=2,
+                   help="update operations per generated batch")
+    p.add_argument("--capacity", type=int, default=64,
+                   help="update queue bound (backpressure threshold)")
+    p.add_argument("--seed", type=int, default=0,
+                   help="stream generator seed")
+    p.add_argument(
+        "--no-verify", action="store_true",
+        help="skip per-round invariant + materialization checks",
+    )
+    p.add_argument(
+        "--metrics", default=None, metavar="JSON",
+        help="write the per-round metrics log to this file",
+    )
+    p.set_defaults(fn=cmd_serve)
 
     p = sub.add_parser(
         "verify",

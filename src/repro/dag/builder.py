@@ -63,6 +63,13 @@ class DagBuilder:
         """Node id for ``key``; raises ``KeyError`` if absent."""
         return self._by_key[key]
 
+    def keys(self) -> list[Hashable | None]:
+        """Key per node id (``None`` for anonymous nodes)."""
+        out: list[Hashable | None] = [None] * len(self._names)
+        for key, nid in self._by_key.items():
+            out[nid] = key
+        return out
+
     def add_edge(self, u: int, v: int) -> bool:
         """Add edge ``(u, v)``. Returns False if it already existed.
 

@@ -19,7 +19,13 @@ from .compiler import CompiledUpdate, compile_update
 from .counting import CountingEngine, RecursionError_
 from .database import Database, Relation
 from .depgraph import DependencyGraph, StratificationError
-from .incremental import Delta, IncrementalEngine, MaintenanceTrace
+from .incremental import (
+    Delta,
+    IncrementalEngine,
+    MaintenanceTrace,
+    apply_delta,
+    merge_deltas,
+)
 from .parser import ParseError, parse_program, parse_rule
 from .provenance import Derivation, explain
 from .query import parse_goal, query, query_facts
@@ -45,6 +51,8 @@ __all__ = [
     "EvaluationTrace",
     "Delta",
     "IncrementalEngine",
+    "apply_delta",
+    "merge_deltas",
     "CountingEngine",
     "RecursionError_",
     "MaintenanceTrace",

@@ -51,7 +51,7 @@ from ..tasks.trace import JobTrace
 from .ast import Program
 from .database import Database
 from .depgraph import DependencyGraph
-from .incremental import Delta
+from .incremental import Delta, apply_delta
 from .seminaive import EvaluationTrace, seminaive_evaluate
 
 __all__ = ["compile_update", "CompiledUpdate"]
@@ -59,27 +59,25 @@ __all__ = ["compile_update", "CompiledUpdate"]
 
 @dataclass
 class CompiledUpdate:
-    """The job trace plus the evaluation artifacts behind it."""
+    """The job trace plus the evaluation artifacts behind it.
+
+    ``node_keys[i]`` is the builder key of DAG node ``i`` — an
+    ``("edb", p)``, ``("task", si, k, ri, pos)``, or ``("pred", p, si,
+    k)`` tuple. Together with ``program`` and the two EDB snapshots it
+    lets :mod:`repro.datalog.units` rebuild every node as a *runnable*
+    unit of work, so a compiled round can be executed for real instead
+    of simulated.
+    """
 
     trace: JobTrace
     db_old: Database
     db_new: Database
     eval_old: EvaluationTrace
     eval_new: EvaluationTrace
-
-
-def _apply_delta_to_edb(edb: Database, delta: Delta) -> Database:
-    out = edb.copy()
-    for pred, facts in delta.deletions.items():
-        rel = out.relations.get(pred)
-        if rel is not None:
-            for f in facts:
-                rel.discard(f)
-    for pred, facts in delta.insertions.items():
-        for f in facts:
-            arity = len(f)
-            out.relation(pred, arity).add(f)
-    return out
+    program: Program
+    edb_old: Database
+    edb_new: Database
+    node_keys: list
 
 
 def _cumulative_states(
@@ -125,7 +123,7 @@ def compile_update(
         if pred in program.idb_predicates():
             raise ValueError(f"update targets derived predicate {pred!r}")
 
-    edb_new = _apply_delta_to_edb(edb_old, delta)
+    edb_new = apply_delta(edb_old, delta)
     db_old, ev_old = seminaive_evaluate(program, edb_old, record=True)
     db_new, ev_new = seminaive_evaluate(program, edb_new, record=True)
     if ev_old.strata != ev_new.strata:  # pragma: no cover - depgraph is static
@@ -297,4 +295,8 @@ def compile_update(
         db_new=db_new,
         eval_old=ev_old,
         eval_new=ev_new,
+        program=program,
+        edb_old=edb_old,
+        edb_new=edb_new,
+        node_keys=b.keys(),
     )

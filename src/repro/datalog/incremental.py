@@ -37,7 +37,13 @@ from .depgraph import DependencyGraph
 from .seminaive import seminaive_evaluate
 from .unify import eval_rule, instantiate_head, join_body
 
-__all__ = ["Delta", "MaintenanceTrace", "IncrementalEngine"]
+__all__ = [
+    "Delta",
+    "MaintenanceTrace",
+    "IncrementalEngine",
+    "apply_delta",
+    "merge_deltas",
+]
 
 
 @dataclass
@@ -73,6 +79,47 @@ class Delta:
         return {p for p, s in self.insertions.items() if s} | {
             p for p, s in self.deletions.items() if s
         }
+
+
+def apply_delta(edb: Database, delta: Delta) -> Database:
+    """A copy of ``edb`` with ``delta`` applied (deletions first)."""
+    out = edb.copy()
+    for pred, facts in delta.deletions.items():
+        rel = out.relations.get(pred)
+        if rel is not None:
+            for f in facts:
+                rel.discard(f)
+    for pred, facts in delta.insertions.items():
+        for f in facts:
+            out.relation(pred, len(f)).add(f)
+    return out
+
+
+def merge_deltas(deltas: list[Delta]) -> Delta:
+    """Coalesce sequential updates into one equivalent :class:`Delta`.
+
+    ``apply_delta(db, merge_deltas([d1, d2]))`` equals
+    ``apply_delta(apply_delta(db, d1), d2)`` for every ``db``: later
+    operations win, so an insert followed by a delete nets out to a
+    delete and vice versa. This is what the runtime service uses to
+    coalesce batches that queued up while a maintenance round was in
+    flight.
+    """
+    merged = Delta()
+    for d in deltas:
+        for pred, facts in d.deletions.items():
+            ins = merged.insertions.get(pred)
+            for f in facts:
+                if ins is not None:
+                    ins.discard(f)
+                merged.deletions.setdefault(pred, set()).add(f)
+        for pred, facts in d.insertions.items():
+            gone = merged.deletions.get(pred)
+            for f in facts:
+                if gone is not None:
+                    gone.discard(f)
+                merged.insertions.setdefault(pred, set()).add(f)
+    return merged
 
 
 class _NetChanges:

@@ -37,7 +37,14 @@ class EvaluationTrace:
     Recording the full join output — not only the facts that were new —
     makes each record a pure function of the rule's input relations,
     which the DAG compiler relies on to decide whether a task's output
-    *changed* between two materializations.
+    *changed* between two materializations. Evaluation uses snapshot
+    (two-phase) iteration semantics — every rule instance of iteration
+    ``k`` joins against the state *after iteration k−1*, and the facts
+    it derives only become visible at iteration ``k+1`` — so each
+    record is a pure function of the predicate states the compiled DAG
+    wires into the task, and re-executing the instances in any
+    precedence-respecting order (in particular concurrently, in
+    :mod:`repro.runtime`) reproduces the recorded outputs exactly.
     """
 
     strata: list[list[str]] = field(default_factory=list)
@@ -135,23 +142,25 @@ def seminaive_evaluate(
         ]
         iteration_records: list[dict] = []
 
-        # iteration 0: every rule, full database
+        # iteration 0: every rule, full database.  Two-phase (snapshot)
+        # semantics: all rules join against the stratum's entry state,
+        # and their outputs merge only after every rule has run — no
+        # rule sees a fact derived earlier in the same iteration.
         delta: dict[str, Relation] = {}
         rec0: dict = {}
+        staged: list[tuple[Rule, set]] = []
         for ri, rule in rules:
             produced = eval_rule(rule, db)
-            new_facts = {
-                fact
-                for fact in produced
-                if db.add_fact(rule.head.predicate, fact)
-            }
             if produced or record:
                 rec0[(ri, None)] = produced
-            for fact in new_facts:
-                delta.setdefault(
-                    rule.head.predicate,
-                    Relation(rule.head.predicate, len(fact)),
-                ).add(fact)
+            staged.append((rule, produced))
+        for rule, produced in staged:
+            for fact in produced:
+                if db.add_fact(rule.head.predicate, fact):
+                    delta.setdefault(
+                        rule.head.predicate,
+                        Relation(rule.head.predicate, len(fact)),
+                    ).add(fact)
         iteration_records.append(rec0)
 
         # iterations 1..: recursive rules with one Δ-occurrence each
@@ -174,6 +183,7 @@ def seminaive_evaluate(
                 )
             new_delta: dict[str, Relation] = {}
             rec_k: dict = {}
+            staged_k: list[tuple[Rule, set]] = []
             for ri, rule in rec_rules:
                 for pos, lit in enumerate(rule.body):
                     if (
@@ -188,14 +198,13 @@ def seminaive_evaluate(
                             rule.body, db, delta_overrides=delta, delta_at=pos
                         )
                     }
-                    new_facts = {
-                        fact
-                        for fact in produced
-                        if db.add_fact(rule.head.predicate, fact)
-                    }
                     if produced:
                         rec_k[(ri, pos)] = produced
-                    for fact in new_facts:
+                    staged_k.append((rule, produced))
+            # merge phase: derived facts become visible to iteration k+1
+            for rule, produced in staged_k:
+                for fact in produced:
+                    if db.add_fact(rule.head.predicate, fact):
                         new_delta.setdefault(
                             rule.head.predicate,
                             Relation(rule.head.predicate, len(fact)),

@@ -1,0 +1,324 @@
+"""Runnable units of work behind a compiled update DAG.
+
+:func:`repro.datalog.compiler.compile_update` unrolls one maintenance
+round into a static DAG whose nodes are EDB sources, rule-instance
+tasks, and predicate-state nodes. This module turns that DAG into an
+:class:`ExecutionPlan`: every node becomes a :class:`WorkUnit` whose
+``execute`` *actually applies* the node's semi-naive delta rule (or
+state merge) to the values produced by its DAG inputs, via the same
+:mod:`repro.datalog.unify` joins the evaluator uses.
+
+The diff between a unit's output and its recorded value under the old
+materialization is the paper's changed/unchanged signal, computed from
+real data — :mod:`repro.runtime.executor` uses it to decide child
+activation instead of the compiler's precomputed flags.
+
+Correctness rests on the snapshot (two-phase) iteration semantics of
+:func:`repro.datalog.seminaive.seminaive_evaluate`: every recorded
+rule-instance output is a pure function of the previous iteration's
+predicate states, which are exactly the values the DAG wires into the
+task. Executing units in any precedence-respecting order — serial or
+concurrent — therefore reproduces the recorded new materialization,
+and the per-node diffs reproduce the compiled activation pattern.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from .compiler import CompiledUpdate, _cumulative_states
+from .database import Database, Relation
+from .depgraph import DependencyGraph
+from .unify import eval_rule, instantiate_head, join_body
+
+__all__ = ["WorkUnit", "ValueStore", "ExecutionPlan", "build_execution_plan"]
+
+
+@dataclass
+class WorkUnit:
+    """One runnable DAG node: a pure function of its input values."""
+
+    node: int
+    kind: str  #: ``"edb"`` | ``"pred"`` | ``"task"``
+    label: str
+    #: the node's recorded value under the *old* materialization —
+    #: diffing against it yields the real changed/unchanged signal
+    old_value: frozenset
+    run: Callable[["ValueStore"], frozenset]
+
+    def execute(self, values: "ValueStore") -> frozenset:
+        """Compute this node's output from its inputs' values."""
+        return self.run(values)
+
+
+class ValueStore:
+    """Per-round node values, falling back to old values when skipped.
+
+    A deactivated node is never executed — incremental maintenance
+    reuses its old value — so readers fall back to
+    ``plan.old_values[node]`` for any node without a computed value.
+    The executor guarantees a unit only reads nodes that are already
+    *resolved* (executed or deactivated), so the fallback is sound.
+    """
+
+    def __init__(self, plan: "ExecutionPlan") -> None:
+        self._old = plan.old_values
+        self._values: dict[int, frozenset] = {}
+
+    def __getitem__(self, node: int) -> frozenset:
+        got = self._values.get(node)
+        return self._old[node] if got is None else got
+
+    def set(self, node: int, value: frozenset) -> None:
+        """Record a computed value (coordinator thread only)."""
+        self._values[node] = value
+
+    def computed(self, node: int) -> bool:
+        """Whether ``node`` was actually executed this round."""
+        return node in self._values
+
+
+@dataclass
+class ExecutionPlan:
+    """Every node of a compiled update as a runnable :class:`WorkUnit`."""
+
+    compiled: CompiledUpdate
+    units: list[WorkUnit]
+    old_values: list[frozenset]
+    #: predicate → node id carrying its final value
+    final_nodes: dict[str, int] = field(default_factory=dict)
+
+    def new_store(self) -> ValueStore:
+        """A fresh value store for one execution of this plan."""
+        return ValueStore(self)
+
+    def materialization(self, values: ValueStore) -> Database:
+        """Assemble the full database the executed round produced."""
+        out = Database()
+        ref = self.compiled.db_new
+        for pred, rel in ref.relations.items():
+            fresh = out.relation(pred, rel.arity)
+            node = self.final_nodes.get(pred)
+            if node is not None:
+                facts = values[node]
+            else:
+                # relation never mentioned by the program: carried
+                # through from the EDB untouched
+                facts = _facts_of(self.compiled.edb_new, pred)
+            for fact in facts:
+                fresh.add(fact)
+        return out
+
+    def execute_serial(self) -> tuple[ValueStore, dict[int, bool]]:
+        """Reference execution: run every unit in level order.
+
+        Returns the value store and the real per-node change flags —
+        the test oracle for both the concurrent executor and the
+        compiler's precomputed activation pattern.
+        """
+        values = self.new_store()
+        diffs: dict[int, bool] = {}
+        levels = self.compiled.trace.levels
+        for node in np.argsort(levels, kind="stable"):
+            unit = self.units[int(node)]
+            value = unit.execute(values)
+            values.set(unit.node, value)
+            diffs[unit.node] = value != unit.old_value
+        return values, diffs
+
+
+def _facts_of(db: Database, pred: str) -> frozenset:
+    rel = db.relations.get(pred)
+    return frozenset(rel) if rel is not None else frozenset()
+
+
+def _relation_from(pred: str, arity: int, facts: frozenset) -> Relation:
+    rel = Relation(pred, arity)
+    for f in facts:
+        rel.add(f)
+    return rel
+
+
+def build_execution_plan(cu: CompiledUpdate) -> ExecutionPlan:
+    """Rebuild every node of ``cu`` as a runnable unit of work."""
+    program = cu.program
+    rules = program.proper_rules
+    depgraph = DependencyGraph(program)
+    strata = depgraph.stratify()
+    ev_old, ev_new = cu.eval_old, cu.eval_new
+    states_old = _cumulative_states(program, ev_old, cu.edb_old)
+    n_iters = [
+        max(len(ev_old.iterations[si]), len(ev_new.iterations[si]))
+        for si in range(len(strata))
+    ]
+    stratum_of = {p: si for si, comp in enumerate(strata) for p in comp}
+    edb_set = program.edb_predicates()
+
+    # program facts are every predicate's baseline state
+    base: dict[str, frozenset] = {}
+    fact_sets: dict[str, set] = {}
+    for fact_rule in program.facts:
+        fact_sets.setdefault(fact_rule.head.predicate, set()).add(
+            tuple(t.value for t in fact_rule.head.terms)  # type: ignore[union-attr]
+        )
+    for p, s in fact_sets.items():
+        base[p] = frozenset(s)
+
+    arity_of: dict[str, int] = {}
+    for db in (cu.edb_old, cu.edb_new, cu.db_old, cu.db_new):
+        for p, rel in db.relations.items():
+            arity_of.setdefault(p, rel.arity)
+    for rule in program.rules:
+        for atom in [rule.head] + [
+            lit.atom for lit in rule.body if lit.atom is not None
+        ]:
+            arity_of.setdefault(atom.predicate, atom.arity)
+
+    key_to_id = {
+        key: nid for nid, key in enumerate(cu.node_keys) if key is not None
+    }
+
+    def out_id(p: str) -> int:
+        """Node carrying ``p``'s final value (mirrors the compiler)."""
+        if p in edb_set:
+            return key_to_id[("edb", p)]
+        si = stratum_of[p]
+        return key_to_id[("pred", p, si, n_iters[si] - 1)]
+
+    # writer tasks per predicate-state node, from the task keys
+    writers: dict[tuple[str, int, int], list[int]] = {}
+    for nid, key in enumerate(cu.node_keys):
+        if key is not None and key[0] == "task":
+            _, si, k, ri, _pos = key
+            head = rules[ri].head.predicate
+            writers.setdefault((head, si, k), []).append(nid)
+    for ws in writers.values():
+        ws.sort()
+
+    def baseline(q: str) -> frozenset:
+        """Program facts plus any stray EDB facts for ``q`` — the state
+        a stratum-local predicate starts from in the new evaluation."""
+        return base.get(q, frozenset()) | _facts_of(cu.edb_new, q)
+
+    def make_edb_unit(nid: int, p: str) -> WorkUnit:
+        facts = base.get(p, frozenset())
+        old = _facts_of(cu.edb_old, p) | facts
+        new = _facts_of(cu.edb_new, p) | facts
+        return WorkUnit(
+            node=nid, kind="edb", label=f"edb:{p}", old_value=old,
+            run=lambda _values, _v=new: _v,
+        )
+
+    def make_pred_unit(nid: int, p: str, si: int, k: int) -> WorkUnit:
+        ko = min(k, len(ev_old.iterations[si]) - 1)
+        old = states_old.get((p, si, ko), states_old.get((p, si, -1)))
+        prev_id = key_to_id[("pred", p, si, k - 1)] if k > 0 else None
+        entry = baseline(p)
+        task_ids = tuple(writers.get((p, si, k), ()))
+
+        def run(values: ValueStore) -> frozenset:
+            acc = set(values[prev_id]) if prev_id is not None else set(entry)
+            for tid in task_ids:
+                acc |= values[tid]
+            return frozenset(acc)
+
+        return WorkUnit(
+            node=nid, kind="pred", label=f"{p}@{si}.{k}",
+            old_value=old if old is not None else frozenset(), run=run,
+        )
+
+    def make_task_unit(
+        nid: int, si: int, k: int, ri: int, pos: int | None
+    ) -> WorkUnit:
+        rule = rules[ri]
+        rec_old = (
+            ev_old.iterations[si][k]
+            if k < len(ev_old.iterations[si])
+            else {}
+        )
+        old = frozenset(rec_old.get((ri, pos), frozenset()))
+        stratum_set = set(strata[si])
+
+        # where each body predicate's input value comes from: a node id,
+        # or a constant baseline for stratum-local predicates at k == 0
+        sources: dict[str, int | None] = {}
+        for lit in rule.body:
+            if lit.atom is None:
+                continue
+            q = lit.atom.predicate
+            if q in sources:
+                continue
+            if q in stratum_set and q not in edb_set:
+                sources[q] = (
+                    key_to_id[("pred", q, si, k - 1)] if k > 0 else None
+                )
+            else:
+                sources[q] = out_id(q)
+
+        if pos is not None:
+            dq = rule.body[pos].atom.predicate  # type: ignore[union-attr]
+            delta_cur = key_to_id[("pred", dq, si, k - 1)]
+            delta_prev = (
+                key_to_id[("pred", dq, si, k - 2)] if k >= 2 else None
+            )
+        else:
+            dq = None
+            delta_cur = delta_prev = None
+
+        def run(values: ValueStore) -> frozenset:
+            db = Database()
+            for q, src in sources.items():
+                facts = values[src] if src is not None else baseline(q)
+                db.relations[q] = _relation_from(q, arity_of[q], facts)
+            if pos is None:
+                return frozenset(eval_rule(rule, db))
+            older = (
+                values[delta_prev]
+                if delta_prev is not None
+                else baseline(dq)
+            )
+            delta_facts = values[delta_cur] - older
+            if not delta_facts:
+                return frozenset()
+            delta_rel = _relation_from(dq, arity_of[dq], delta_facts)
+            return frozenset(
+                instantiate_head(rule.head, subst)
+                for subst in join_body(
+                    rule.body, db,
+                    delta_overrides={dq: delta_rel}, delta_at=pos,
+                )
+            )
+
+        suffix = f".d{pos}" if pos is not None else ""
+        return WorkUnit(
+            node=nid, kind="task", label=f"r{ri}@{si}.{k}{suffix}",
+            old_value=old, run=run,
+        )
+
+    units: list[WorkUnit] = []
+    for nid, key in enumerate(cu.node_keys):
+        if key is None:  # pragma: no cover - compiler keys every node
+            raise ValueError(f"node {nid} has no builder key")
+        if key[0] == "edb":
+            units.append(make_edb_unit(nid, key[1]))
+        elif key[0] == "pred":
+            units.append(make_pred_unit(nid, key[1], key[2], key[3]))
+        elif key[0] == "task":
+            units.append(make_task_unit(nid, key[1], key[2], key[3], key[4]))
+        else:  # pragma: no cover - exhaustive over compiler kinds
+            raise ValueError(f"unknown node key {key!r}")
+
+    final_nodes: dict[str, int] = {}
+    for p in cu.db_new.relations:
+        if p in edb_set or p in stratum_of:
+            final_nodes[p] = out_id(p)
+
+    return ExecutionPlan(
+        compiled=cu,
+        units=units,
+        old_values=[u.old_value for u in units],
+        final_nodes=final_nodes,
+    )

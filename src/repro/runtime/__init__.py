@@ -1,0 +1,60 @@
+"""Real concurrent execution of Datalog maintenance rounds.
+
+Everything below :mod:`repro.sim` is a discrete-event *model* of the
+paper's system; this package is the system. A maintenance round is
+compiled (:mod:`repro.datalog.compiler`), rebuilt as runnable units
+(:mod:`repro.datalog.units`), and then driven by any registered
+:class:`~repro.schedulers.base.Scheduler` over a thread pool — with
+per-node output diffs, not precompiled flags, deciding activation.
+
+* :mod:`~repro.runtime.executor` — the concurrent round executor.
+* :mod:`~repro.runtime.recorder` — wall-clock rounds as
+  :class:`~repro.sim.result.SimulationResult` schedules, so
+  :mod:`repro.verify` and :mod:`repro.sim.timeline` apply unchanged.
+* :mod:`~repro.runtime.service` — the update-stream service: bounded
+  queue, batch coalescing, one compile + execute + verify per round.
+* :mod:`~repro.runtime.metrics` — per-round structured metrics (JSON).
+* :mod:`~repro.runtime.workloads_live` — update-stream generators.
+"""
+
+from .executor import (
+    LiveActivationState,
+    RoundExecutor,
+    RoundOutcome,
+    UnitExecutionError,
+)
+from .metrics import MetricsLog, RoundMetrics
+from .recorder import RoundArtifacts, record_round
+from .service import (
+    BackpressureError,
+    MaterializationDivergenceError,
+    RoundReport,
+    UpdateStreamService,
+)
+from .workloads_live import (
+    PROGRAM_ALIASES,
+    STREAM_KINDS,
+    LiveWorkload,
+    live_workload,
+    make_stream,
+)
+
+__all__ = [
+    "LiveActivationState",
+    "RoundExecutor",
+    "RoundOutcome",
+    "UnitExecutionError",
+    "RoundArtifacts",
+    "record_round",
+    "BackpressureError",
+    "MaterializationDivergenceError",
+    "RoundReport",
+    "UpdateStreamService",
+    "MetricsLog",
+    "RoundMetrics",
+    "LiveWorkload",
+    "live_workload",
+    "make_stream",
+    "PROGRAM_ALIASES",
+    "STREAM_KINDS",
+]

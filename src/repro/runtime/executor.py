@@ -1,0 +1,323 @@
+"""Concurrent execution of one compiled maintenance round.
+
+The executor is the runtime twin of :func:`repro.sim.engine.simulate`:
+the same scheduler ABC, the same hook order (bootstrap → ``on_activate``
+→ loop of ``select`` / dispatch / completion → ``on_complete``), the
+same dispatch validation — but "executing a task" means a worker thread
+actually runs the node's :class:`~repro.datalog.units.WorkUnit` against
+the shared value store, and the changed/unchanged signal that decides
+child activation is the *real* diff between the unit's output and its
+value under the old materialization.
+
+Threading model
+---------------
+One coordinator (the caller's thread) owns all scheduler and activation
+state; worker threads only run units and timestamp themselves. Workers
+communicate results back over a queue, so every scheduler hook and
+every ``ValueStore.set`` happens on the coordinator — schedulers need
+no locking, exactly as in the simulator. A unit only reads values of
+nodes that were resolved before it was dispatched, and the completion
+queue's put/get pair orders those writes before the worker's reads.
+"""
+
+from __future__ import annotations
+
+import queue
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+from time import perf_counter
+
+import numpy as np
+
+from ..datalog.units import ExecutionPlan, ValueStore, WorkUnit
+from ..schedulers.base import ReadinessOracle, Scheduler, SchedulerContext
+from ..sim.engine import InvalidDispatchError, SchedulerStallError
+from ..sim.faults import DeadlineExceededError
+from ..tasks.activation import ActivationState
+
+__all__ = [
+    "LiveActivationState",
+    "RoundExecutor",
+    "RoundOutcome",
+    "UnitExecutionError",
+]
+
+
+class UnitExecutionError(RuntimeError):
+    """A work unit raised while executing; the round is aborted."""
+
+    def __init__(self, node: int, label: str, cause: BaseException) -> None:
+        super().__init__(
+            f"unit {node} ({label}) failed: {type(cause).__name__}: {cause}"
+        )
+        self.node = node
+
+
+class LiveActivationState(ActivationState):
+    """Activation bookkeeping driven by *observed* diffs.
+
+    :class:`~repro.tasks.activation.ActivationState` delivers change
+    signals from a precompiled per-edge array; in a real run the signal
+    only exists once the node has executed and its output has been
+    diffed. Completion therefore stamps the observed flag onto all of
+    the node's out-edges first — the compiler derives its per-edge
+    flags the same way (``changed[source]`` broadcast over out-edges),
+    so when real diffs match the compiled ones the cascades are
+    identical — and then reuses the parent class's resolution logic
+    unchanged.
+    """
+
+    def __init__(self, plan: ExecutionPlan) -> None:
+        trace = plan.compiled.trace
+        super().__init__(
+            dag=trace.dag,
+            initial=np.asarray(trace.initial_tasks, dtype=np.int64),
+            changed_edges=np.zeros(trace.dag.n_edges, dtype=bool),
+        )
+
+    def complete_live(
+        self, u: int, changed: bool
+    ) -> tuple[list[int], list[int]]:
+        """Record ``u``'s completion with its observed change flag."""
+        lo, hi = self.dag.out_edge_range(u)
+        self.changed_edges[lo:hi] = changed
+        return self.complete(u)
+
+
+@dataclass
+class RoundOutcome:
+    """Everything one executed round produced and measured."""
+
+    scheduler_name: str
+    workers: int
+    values: ValueStore
+    #: real changed/unchanged signal per executed node
+    diffs: dict[int, bool] = field(default_factory=dict)
+    #: wall-clock ``(start, finish)`` per executed node, seconds
+    #: relative to the round's origin
+    records: dict[int, tuple[float, float]] = field(default_factory=dict)
+    wall_latency_s: float = 0.0
+    #: coordinator time spent inside scheduler hooks
+    overhead_s: float = 0.0
+    #: coordination dead time: completion-to-dispatch windows during
+    #: which at least one worker idled (the real-run analog of the
+    #: simulator's inline-charged scheduling overhead)
+    stall_s: float = 0.0
+    #: thread-pool handoff latency, Σ max(0, unit start − dispatch)
+    dispatch_lag_s: float = 0.0
+    #: maximal intervals (round-relative) during which the coordinator
+    #: was deciding or handing work to the pool — the periods the
+    #: simulator models as instantaneous
+    coord_intervals: list[tuple[float, float]] = field(default_factory=list)
+    prepare_s: float = 0.0
+    select_calls: int = 0
+    scheduler_ops: int = 0
+    precompute_ops: int = 0
+    precompute_memory_cells: int = 0
+    runtime_peak_memory_cells: int = 0
+
+
+class RoundExecutor:
+    """Runs one :class:`~repro.datalog.units.ExecutionPlan` for real."""
+
+    def __init__(
+        self,
+        plan: ExecutionPlan,
+        scheduler: Scheduler,
+        workers: int = 4,
+        deadline: float | None = None,
+    ) -> None:
+        if workers <= 0:
+            raise ValueError(f"workers must be positive, got {workers}")
+        self.plan = plan
+        self.scheduler = scheduler
+        self.workers = workers
+        self.deadline = deadline
+
+    # ------------------------------------------------------------------
+    def run(self) -> RoundOutcome:
+        """Execute the round; returns measurements and real diffs.
+
+        Raises :class:`~repro.sim.engine.InvalidDispatchError` /
+        :class:`~repro.sim.engine.SchedulerStallError` on scheduler
+        misbehavior (validated against the live activation state, like
+        the simulator validates against ground truth) and
+        :class:`UnitExecutionError` if a unit raises.
+        """
+        plan, scheduler, workers = self.plan, self.scheduler, self.workers
+        trace = plan.compiled.trace
+        state = LiveActivationState(plan)
+        scheduler.reset_counters()
+        oracle = ReadinessOracle(state.is_ready)
+        scheduler.bind_oracle(oracle)
+        ctx = SchedulerContext(
+            trace=trace, processors=workers, oracle=oracle
+        )
+        t_prep = perf_counter()
+        scheduler.prepare(ctx)
+        prepare_s = perf_counter() - t_prep
+
+        values = plan.new_store()
+        outcome = RoundOutcome(
+            scheduler_name=scheduler.name,
+            workers=workers,
+            values=values,
+            prepare_s=prepare_s,
+        )
+        completions: queue.SimpleQueue = queue.SimpleQueue()
+        origin = perf_counter()
+
+        def clock() -> float:
+            return perf_counter() - origin
+
+        def run_unit(unit: WorkUnit) -> None:
+            t0 = perf_counter()
+            try:
+                value, err = unit.execute(values), None
+            except BaseException as exc:  # propagated by the coordinator
+                value, err = None, exc
+            completions.put((unit.node, value, t0, perf_counter(), err))
+
+        inflight = 0
+        overhead = 0.0
+        stall = 0.0
+        dispatch_lag = 0.0
+        # open coordination window: (start, busy workers during it)
+        window: tuple[float, float] | None = None
+        #: nodes submitted since the last window close
+        just_submitted: list[int] = []
+        #: node → the window-close instant after its submit; a unit
+        #: starting later than this kept a worker idle on pool handoff
+        handoff_from: dict[int, float] = {}
+        coord: list[tuple[float, float]] = []
+        pool = ThreadPoolExecutor(
+            max_workers=workers, thread_name_prefix="repro-runtime"
+        )
+        try:
+            dispatchable0, activated0 = state.bootstrap()
+            oracle.push_ready_events(dispatchable0)
+            h0 = perf_counter()
+            for v in activated0:
+                scheduler.on_activate(v, 0.0)
+            overhead += perf_counter() - h0
+
+            while True:
+                # dispatch: keep asking while the scheduler produces work
+                while inflight < workers:
+                    t = clock()
+                    h0 = perf_counter()
+                    chosen = scheduler.select(workers - inflight, t)
+                    overhead += perf_counter() - h0
+                    outcome.select_calls += 1
+                    if not chosen:
+                        break
+                    if len(chosen) > workers - inflight:
+                        raise InvalidDispatchError(
+                            f"{scheduler.name} returned {len(chosen)} tasks "
+                            f"for {workers - inflight} idle workers"
+                        )
+                    for v in chosen:
+                        try:
+                            state.mark_dispatched(v)
+                        except RuntimeError as exc:
+                            raise InvalidDispatchError(
+                                f"{scheduler.name} dispatched task {v} "
+                                f"illegally: {exc}"
+                            ) from exc
+                        pool.submit(run_unit, plan.units[v])
+                        just_submitted.append(v)
+                        inflight += 1
+
+                # the coordination window that began at the last popped
+                # completion ends here: from now on any worker idleness
+                # is the scheduler's choice, not coordination latency
+                now = perf_counter()
+                for v in just_submitted:
+                    handoff_from[v] = now
+                just_submitted.clear()
+                if window is not None:
+                    w_start, busy = window
+                    if busy > 0:
+                        stall += max(0.0, now - w_start)
+                    if now > w_start:
+                        coord.append((w_start - origin, now - origin))
+                    window = None
+
+                if inflight == 0:
+                    if state.all_done():
+                        break
+                    raise SchedulerStallError(
+                        f"{scheduler.name} stalled on {trace.name}: "
+                        f"{state.pending_count()} task(s) pending, none "
+                        "running, none selected"
+                    )
+
+                node, value, t0, t1, err = self._next_completion(
+                    completions, state, clock
+                )
+                inflight -= 1
+                # window opens at the worker's finish stamp (covers the
+                # queue-wake latency too); `now` closed the previous one
+                window = (max(t1, now), inflight)
+                h = handoff_from.pop(node, t0)
+                if t0 > h:
+                    dispatch_lag += t0 - h
+                    coord.append((h - origin, t0 - origin))
+                if err is not None:
+                    raise UnitExecutionError(
+                        node, plan.units[node].label, err
+                    ) from err
+                values.set(node, value)
+                changed = value != plan.units[node].old_value
+                outcome.diffs[node] = changed
+                outcome.records[node] = (t0 - origin, t1 - origin)
+
+                t = clock()
+                h0 = perf_counter()
+                dispatchable, newly_activated = state.complete_live(
+                    node, changed
+                )
+                oracle.push_ready_events(dispatchable)
+                for v in newly_activated:
+                    scheduler.on_activate(v, t)
+                scheduler.on_complete(node, t)
+                overhead += perf_counter() - h0
+        finally:
+            pool.shutdown(wait=True, cancel_futures=True)
+
+        outcome.wall_latency_s = clock()
+        outcome.overhead_s = overhead
+        outcome.stall_s = stall
+        outcome.dispatch_lag_s = dispatch_lag
+        coord.sort()
+        merged: list[tuple[float, float]] = []
+        for a, b in coord:
+            if merged and a <= merged[-1][1]:
+                if b > merged[-1][1]:
+                    merged[-1] = (merged[-1][0], b)
+            else:
+                merged.append((a, b))
+        outcome.coord_intervals = merged
+        outcome.scheduler_ops = scheduler.ops
+        outcome.precompute_ops = scheduler.precompute_ops
+        outcome.precompute_memory_cells = scheduler.precompute_memory_cells
+        outcome.runtime_peak_memory_cells = (
+            scheduler.runtime_peak_memory_cells
+        )
+        return outcome
+
+    # ------------------------------------------------------------------
+    def _next_completion(self, completions, state, clock):
+        """Block for the next worker completion, honoring the deadline."""
+        if self.deadline is None:
+            return completions.get()
+        while True:
+            remaining = self.deadline - clock()
+            if remaining <= 0:
+                raise DeadlineExceededError(
+                    self.deadline, clock(), state.pending_count()
+                )
+            try:
+                return completions.get(timeout=remaining)
+            except queue.Empty:
+                continue

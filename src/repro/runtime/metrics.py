@@ -1,0 +1,114 @@
+"""Per-round structured metrics for the update-stream service.
+
+Every maintenance round emits one :class:`RoundMetrics` record; the
+:class:`MetricsLog` aggregates them into throughput (rounds/sec) and
+latency percentiles and serializes the whole log as JSON — the shape
+the benchmarks write to ``BENCH_runtime.json``.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, field
+from typing import IO, Any
+
+import numpy as np
+
+__all__ = ["RoundMetrics", "MetricsLog"]
+
+
+@dataclass
+class RoundMetrics:
+    """What one maintenance round cost and touched."""
+
+    index: int
+    trace_name: str
+    scheduler: str
+    workers: int
+    #: update batches merged into this round's delta
+    batches_coalesced: int
+    #: queue depth observed at round start, before draining
+    queue_depth: int
+    n_nodes: int
+    n_active: int
+    tasks_executed: int
+    #: net facts inserted + deleted across the materialization
+    changed_facts: int
+    #: wall-clock end-to-end round latency (compile + execute + verify)
+    latency_s: float
+    compile_s: float
+    execute_s: float
+    verify_s: float
+    #: busy-span of the recorded schedule (idle-compressed)
+    makespan_s: float
+    scheduler_ops: int
+    precompute_ops: int
+    utilization: float
+
+    def to_json_dict(self) -> dict[str, Any]:
+        """Plain-dict form for JSON emission."""
+        return asdict(self)
+
+
+@dataclass
+class MetricsLog:
+    """Append-only log of round metrics plus summary statistics."""
+
+    rounds: list[RoundMetrics] = field(default_factory=list)
+
+    def append(self, m: RoundMetrics) -> None:
+        """Record one finished round."""
+        self.rounds.append(m)
+
+    # ------------------------------------------------------------------
+    def latencies(self) -> np.ndarray:
+        """Round latencies in seconds, in arrival order."""
+        return np.array([m.latency_s for m in self.rounds], dtype=np.float64)
+
+    def latency_percentiles(
+        self, qs: tuple[float, ...] = (50.0, 99.0)
+    ) -> dict[str, float]:
+        """``{"p50": ..., "p99": ...}`` over round latencies."""
+        lat = self.latencies()
+        if lat.size == 0:
+            return {f"p{q:g}": 0.0 for q in qs}
+        return {
+            f"p{q:g}": float(np.percentile(lat, q)) for q in qs
+        }
+
+    def rounds_per_second(self) -> float:
+        """Throughput over the summed round latencies."""
+        lat = self.latencies()
+        total = float(lat.sum())
+        return len(self.rounds) / total if total > 0 else 0.0
+
+    # ------------------------------------------------------------------
+    def to_json_dict(self) -> dict[str, Any]:
+        """Full log plus summary, ready for ``json.dump``."""
+        return {
+            "schema": 1,
+            "n_rounds": len(self.rounds),
+            "rounds_per_sec": self.rounds_per_second(),
+            "latency": self.latency_percentiles((50.0, 90.0, 99.0)),
+            "total_tasks_executed": int(
+                sum(m.tasks_executed for m in self.rounds)
+            ),
+            "total_batches": int(
+                sum(m.batches_coalesced for m in self.rounds)
+            ),
+            "rounds": [m.to_json_dict() for m in self.rounds],
+        }
+
+    def dump(self, fh: IO[str]) -> None:
+        """Write the JSON form to a file handle."""
+        json.dump(self.to_json_dict(), fh, indent=2)
+        fh.write("\n")
+
+    def summary(self) -> str:
+        """One-line human-readable summary."""
+        pct = self.latency_percentiles((50.0, 99.0))
+        return (
+            f"{len(self.rounds)} rounds, "
+            f"{self.rounds_per_second():.1f} rounds/s, "
+            f"p50={pct['p50'] * 1e3:.2f}ms p99={pct['p99'] * 1e3:.2f}ms"
+        )

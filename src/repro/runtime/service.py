@@ -1,0 +1,306 @@
+"""The update-stream service: queued fact updates → maintenance rounds.
+
+Producers :meth:`~UpdateStreamService.submit` :class:`Delta` batches
+onto a bounded queue; the service thread (whoever calls
+:meth:`~UpdateStreamService.run_round`) drains *everything* queued at
+that moment, merges it into one net delta (later operations win, so the
+merged round is equivalent to applying the batches in order), compiles
+the activation set for the current accumulated EDB, executes it
+concurrently under the configured scheduler, records the round as a
+simulator-compatible schedule, and verifies it:
+
+* every recorded round passes the strict invariant checker
+  (:func:`repro.verify.check_invariants`) over its measured timeline;
+* the materialization assembled from the executed units is compared —
+  byte for byte — against a from-scratch semi-naive evaluation of the
+  accumulated database (the compiler's ``db_new``).
+
+Backpressure is the bounded queue: when it is full, non-blocking
+submits raise :class:`BackpressureError` and blocking submits wait,
+slowing producers to the service's round rate.
+
+One scheduler *instance* serves every round — ``reset_counters`` (which
+also clears the bound readiness oracle's pending events) is the
+between-rounds reset, exercised here exactly as the scheduler ABC
+promises.
+"""
+
+from __future__ import annotations
+
+import queue
+from dataclasses import dataclass
+from time import perf_counter
+from typing import Callable
+
+from ..datalog.ast import Program
+from ..datalog.compiler import CompiledUpdate, compile_update
+from ..datalog.database import Database
+from ..datalog.incremental import Delta, merge_deltas
+from ..datalog.units import build_execution_plan
+from ..schedulers.base import Scheduler
+from ..verify.invariants import VerificationReport
+from .executor import RoundExecutor
+from .metrics import MetricsLog, RoundMetrics
+from .recorder import RoundArtifacts, record_round
+
+__all__ = [
+    "BackpressureError",
+    "MaterializationDivergenceError",
+    "RoundReport",
+    "UpdateStreamService",
+]
+
+
+class BackpressureError(RuntimeError):
+    """The update queue is full and the submit was non-blocking."""
+
+
+class MaterializationDivergenceError(RuntimeError):
+    """A round's output differs from from-scratch evaluation."""
+
+    def __init__(self, round_index: int, detail: str) -> None:
+        super().__init__(
+            f"round {round_index}: runtime materialization diverges from "
+            f"from-scratch semi-naive evaluation ({detail})"
+        )
+        self.round_index = round_index
+
+
+@dataclass
+class RoundReport:
+    """Everything one service round produced."""
+
+    index: int
+    #: the net delta the round maintained (batches merged)
+    delta: Delta
+    compiled: CompiledUpdate
+    artifacts: RoundArtifacts
+    verification: VerificationReport | None
+    metrics: RoundMetrics
+    #: did the runtime materialization match from-scratch evaluation?
+    materialization_ok: bool = True
+
+
+def _facts_delta(old: Database, new: Database) -> int:
+    """Net facts inserted plus deleted between two materializations."""
+    od, nd = old.as_dict(), new.as_dict()
+    total = 0
+    for pred in od.keys() | nd.keys():
+        a = od.get(pred, frozenset())
+        b = nd.get(pred, frozenset())
+        total += len(a ^ b)
+    return total
+
+
+class UpdateStreamService:
+    """Drives real incremental maintenance over a stream of updates.
+
+    Parameters
+    ----------
+    program, edb:
+        The Datalog program and its initial EDB. The service owns a
+        private copy of the EDB and accumulates every maintained delta
+        into it.
+    scheduler:
+        The one scheduler instance reused across all rounds.
+    workers:
+        Thread-pool width per round.
+    capacity:
+        Bound of the update queue (backpressure threshold).
+    verify:
+        Run the strict invariant checker on every recorded round and
+        compare the materialization against from-scratch evaluation.
+    strict:
+        Raise (:class:`AssertionError` from the checker /
+        :class:`MaterializationDivergenceError`) on verification
+        failure instead of recording it in the report.
+    deadline_s:
+        Optional per-round wall-clock deadline handed to the executor.
+    """
+
+    def __init__(
+        self,
+        program: Program,
+        edb: Database,
+        scheduler: Scheduler,
+        workers: int = 4,
+        capacity: int = 64,
+        verify: bool = True,
+        strict: bool = True,
+        deadline_s: float | None = None,
+        work_per_derivation: float = 1e-3,
+        name: str = "live",
+    ) -> None:
+        if capacity <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        self.program = program
+        self.scheduler = scheduler
+        self.workers = workers
+        self.verify = verify
+        self.strict = strict
+        self.deadline_s = deadline_s
+        self.work_per_derivation = work_per_derivation
+        self.name = name
+        self.metrics = MetricsLog()
+        self._edb = edb.copy()
+        self._queue: queue.Queue[Delta] = queue.Queue(maxsize=capacity)
+        self._rounds_run = 0
+        self._materialization: Database | None = None
+
+    # ------------------------------------------------------------------
+    # producer side
+    def submit(
+        self,
+        delta: Delta,
+        block: bool = True,
+        timeout: float | None = None,
+    ) -> None:
+        """Enqueue one update batch; the bounded queue is backpressure."""
+        try:
+            self._queue.put(delta, block=block, timeout=timeout)
+        except queue.Full:
+            raise BackpressureError(
+                f"update queue full ({self._queue.maxsize} batches) — "
+                "the service is not keeping up"
+            ) from None
+
+    def pending_batches(self) -> int:
+        """Approximate number of queued, not-yet-maintained batches."""
+        return self._queue.qsize()
+
+    # ------------------------------------------------------------------
+    # service side
+    def database(self) -> Database:
+        """Copy of the accumulated EDB (all maintained batches applied)."""
+        return self._edb.copy()
+
+    def materialization(self) -> Database | None:
+        """The last round's full materialization (``None`` before any)."""
+        return self._materialization
+
+    def _drain(self, block: bool, timeout: float | None) -> list[Delta]:
+        """Pop everything queued right now (first pop may block)."""
+        batches: list[Delta] = []
+        try:
+            batches.append(self._queue.get(block=block, timeout=timeout))
+        except queue.Empty:
+            return batches
+        while True:
+            try:
+                batches.append(self._queue.get_nowait())
+            except queue.Empty:
+                return batches
+
+    def run_round(
+        self, block: bool = False, timeout: float | None = None
+    ) -> RoundReport | None:
+        """Maintain everything queued right now as one round.
+
+        Returns ``None`` when the queue is empty (after blocking up to
+        ``timeout`` if requested). Batches that arrive while a round is
+        in flight wait for — and are coalesced into — the next round.
+        """
+        depth = self._queue.qsize()
+        batches = self._drain(block, timeout)
+        if not batches:
+            return None
+        t_round = perf_counter()
+        delta = merge_deltas(batches)
+
+        t0 = perf_counter()
+        cu = compile_update(
+            self.program,
+            self._edb,
+            delta,
+            work_per_derivation=self.work_per_derivation,
+            name=f"{self.name}:r{self._rounds_run}",
+        )
+        plan = build_execution_plan(cu)
+        compile_s = perf_counter() - t0
+
+        t0 = perf_counter()
+        outcome = RoundExecutor(
+            plan,
+            self.scheduler,
+            workers=self.workers,
+            deadline=self.deadline_s,
+        ).run()
+        execute_s = perf_counter() - t0
+
+        t0 = perf_counter()
+        artifacts = record_round(outcome, cu.trace)
+        report: VerificationReport | None = None
+        mat_ok = True
+        if self.verify:
+            report = artifacts.check()
+            if self.strict and not report.ok:
+                raise AssertionError(
+                    f"round {self._rounds_run} failed invariants:\n"
+                    + "\n".join(v.format() for v in report.violations)
+                )
+            mat = plan.materialization(outcome.values)
+            mat_ok = mat.as_dict() == cu.db_new.as_dict()
+            if not mat_ok and self.strict:
+                raise MaterializationDivergenceError(
+                    self._rounds_run,
+                    f"{_facts_delta(mat, cu.db_new)} facts differ",
+                )
+        verify_s = perf_counter() - t0
+
+        self._edb = cu.edb_new
+        self._materialization = cu.db_new
+        for _ in batches:
+            self._queue.task_done()
+
+        metrics = RoundMetrics(
+            index=self._rounds_run,
+            trace_name=cu.trace.name,
+            scheduler=self.scheduler.name,
+            workers=self.workers,
+            batches_coalesced=len(batches),
+            queue_depth=depth,
+            n_nodes=cu.trace.dag.n_nodes,
+            n_active=cu.trace.n_active,
+            tasks_executed=len(outcome.records),
+            changed_facts=_facts_delta(cu.db_old, cu.db_new),
+            latency_s=perf_counter() - t_round,
+            compile_s=compile_s,
+            execute_s=execute_s,
+            verify_s=verify_s,
+            makespan_s=artifacts.result.makespan,
+            scheduler_ops=outcome.scheduler_ops,
+            precompute_ops=outcome.precompute_ops,
+            utilization=artifacts.result.utilization,
+        )
+        self.metrics.append(metrics)
+        self._rounds_run += 1
+        return RoundReport(
+            index=metrics.index,
+            delta=delta,
+            compiled=cu,
+            artifacts=artifacts,
+            verification=report,
+            metrics=metrics,
+            materialization_ok=mat_ok,
+        )
+
+    def run(
+        self,
+        rounds: int,
+        timeout: float | None = None,
+        on_round: Callable[[RoundReport], None] | None = None,
+    ) -> list[RoundReport]:
+        """Run up to ``rounds`` rounds, blocking for updates.
+
+        Stops early if ``timeout`` (per blocking wait) expires with an
+        empty queue.
+        """
+        reports: list[RoundReport] = []
+        for _ in range(rounds):
+            rep = self.run_round(block=True, timeout=timeout)
+            if rep is None:
+                break
+            reports.append(rep)
+            if on_round is not None:
+                on_round(rep)
+        return reports

@@ -85,6 +85,10 @@ class ReadinessOracle:
         self._ready_events = []
         return out
 
+    def clear(self) -> None:
+        """Drop any pending ready events (between service rounds)."""
+        self._ready_events = []
+
 
 @dataclass
 class SchedulerContext:
@@ -122,6 +126,10 @@ class Scheduler(ABC):
         self.precompute_memory_cells: int = 0
         #: peak integer cells used by runtime structures
         self.runtime_peak_memory_cells: int = 0
+        #: the oracle of the most recent run (set by the driver via
+        #: :meth:`bind_oracle`), so :meth:`reset_counters` can clear
+        #: its stale ready events when the instance is reused
+        self._bound_oracle: ReadinessOracle | None = None
 
     # ------------------------------------------------------------------
     @abstractmethod
@@ -171,12 +179,28 @@ class Scheduler(ABC):
         if cells > self.runtime_peak_memory_cells:
             self.runtime_peak_memory_cells = cells
 
+    def bind_oracle(self, oracle: ReadinessOracle) -> None:
+        """Attach the run's oracle (engine/executor side, not a hook).
+
+        Binding lets :meth:`reset_counters` clear the oracle's pending
+        ready-event buffer, so a scheduler instance reused across
+        service rounds cannot observe events left over from a previous
+        round (a run can finish with pushed-but-undrained events).
+        """
+        self._bound_oracle = oracle
+
     def reset_counters(self) -> None:
-        """Zero all cost counters (engine calls this before a run)."""
+        """Zero all cost counters (engine calls this before a run).
+
+        Also clears any pending ready events of the bound oracle, so a
+        reused scheduler instance starts each round with a clean feed.
+        """
         self.ops = 0
         self.precompute_ops = 0
         self.precompute_memory_cells = 0
         self.runtime_peak_memory_cells = 0
+        if self._bound_oracle is not None:
+            self._bound_oracle.clear()
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"<{type(self).__name__} {self.name!r}>"

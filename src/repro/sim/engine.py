@@ -170,6 +170,7 @@ def simulate(
     state = trace.fresh_activation_state()
     scheduler.reset_counters()
     oracle = ReadinessOracle(state.is_ready)
+    scheduler.bind_oracle(oracle)
     ctx = SchedulerContext(
         trace=trace,
         processors=processors,

@@ -26,20 +26,43 @@ __all__ = [
 ]
 
 
-def busy_profile(result: SimulationResult) -> tuple[np.ndarray, np.ndarray]:
+def busy_profile(
+    result: SimulationResult, merge_tol: float | None = None
+) -> tuple[np.ndarray, np.ndarray]:
     """Step function of busy processors: ``(times, busy_after_time)``.
 
     ``times`` is sorted; ``busy[i]`` holds between ``times[i]`` and
     ``times[i+1]``. Empty schedule yields empty arrays.
+
+    Events are merged by sort-and-sweep: timestamps within ``merge_tol``
+    of the current group's anchor collapse into one step. Wall-clock
+    recordings (``repro.runtime``) produce start/finish pairs that are
+    equal up to float rounding, and exact-key grouping would split them
+    into separate steps, showing phantom one-tick utilization dips. The
+    default tolerance is a billionth of the schedule's span — far below
+    any real gap, wide enough to absorb rounding noise. Pass ``0.0``
+    for exact grouping.
     """
     if not result.schedule:
         return np.zeros(0), np.zeros(0, dtype=np.int64)
-    events: dict[float, int] = {}
+    raw: list[tuple[float, int]] = []
     for rec in result.schedule:
-        events[rec.start] = events.get(rec.start, 0) + rec.processors
-        events[rec.finish] = events.get(rec.finish, 0) - rec.processors
-    times = np.array(sorted(events))
-    deltas = np.array([events[t] for t in times], dtype=np.int64)
+        raw.append((rec.start, rec.processors))
+        raw.append((rec.finish, -rec.processors))
+    raw.sort(key=lambda e: e[0])
+    if merge_tol is None:
+        span = raw[-1][0] - raw[0][0]
+        merge_tol = abs(span) * 1e-9
+    times_list: list[float] = []
+    deltas_list: list[int] = []
+    for t, d in raw:
+        if times_list and t - times_list[-1] <= merge_tol:
+            deltas_list[-1] += d
+        else:
+            times_list.append(t)
+            deltas_list.append(d)
+    times = np.array(times_list)
+    deltas = np.array(deltas_list, dtype=np.int64)
     return times, np.cumsum(deltas)
 
 

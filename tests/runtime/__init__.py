@@ -1,0 +1,1 @@
+"""Tests for the real concurrent runtime (repro.runtime)."""

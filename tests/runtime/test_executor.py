@@ -1,0 +1,186 @@
+"""The concurrent executor under every registered scheduler.
+
+The acceptance bar: for every scheduler, a real concurrent round
+produces a byte-identical materialization and a recorded schedule that
+passes the strict invariant checker.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datalog.units import build_execution_plan
+from repro.runtime.executor import RoundExecutor, UnitExecutionError
+from repro.runtime.recorder import record_round
+from repro.schedulers import scheduler_registry
+from repro.schedulers.base import Scheduler
+from repro.sim import InvalidDispatchError, SchedulerStallError
+from repro.sim.faults import DeadlineExceededError
+
+
+REGISTRY = scheduler_registry()
+
+
+@pytest.mark.parametrize("sched_name", sorted(REGISTRY))
+@pytest.mark.parametrize(
+    "wl_name", ("transitive_closure", "retail_analytics", "points_to")
+)
+class TestAllSchedulers:
+    def test_round_is_correct_and_verified(
+        self, compiled_workloads, wl_name, sched_name
+    ):
+        cu = compiled_workloads[wl_name]
+        plan = build_execution_plan(cu)
+        outcome = RoundExecutor(
+            plan, REGISTRY[sched_name](), workers=4
+        ).run()
+        mat = plan.materialization(outcome.values)
+        assert mat.as_dict() == cu.db_new.as_dict()
+        report = record_round(outcome, cu.trace).check()
+        assert report.ok, "\n".join(v.format() for v in report.violations)
+
+
+@pytest.mark.parametrize("workers", (1, 2, 8))
+def test_worker_counts(compiled_workloads, workers):
+    cu = compiled_workloads["same_generation"]
+    plan = build_execution_plan(cu)
+    outcome = RoundExecutor(
+        plan, REGISTRY["hybrid"](), workers=workers
+    ).run()
+    assert plan.materialization(outcome.values).as_dict() == (
+        cu.db_new.as_dict()
+    )
+    report = record_round(outcome, cu.trace).check()
+    assert report.ok
+
+
+def test_executes_only_active_nodes(compiled_workloads):
+    cu = compiled_workloads["retail_rollup"]
+    plan = build_execution_plan(cu)
+    outcome = RoundExecutor(plan, REGISTRY["hybrid"](), workers=4).run()
+    executed = cu.trace.propagation.executed
+    for node in outcome.records:
+        assert executed[node]
+    assert len(outcome.records) == int(executed.sum())
+
+
+def test_measurements_are_sane(compiled_workloads):
+    cu = compiled_workloads["transitive_closure"]
+    plan = build_execution_plan(cu)
+    outcome = RoundExecutor(plan, REGISTRY["levelbased"](), workers=4).run()
+    assert outcome.wall_latency_s > 0
+    for start, finish in outcome.records.values():
+        assert 0 <= start <= finish <= outcome.wall_latency_s
+    assert outcome.select_calls > 0
+    assert outcome.scheduler_ops > 0
+
+
+def test_rejects_nonpositive_workers(compiled_workloads):
+    plan = build_execution_plan(compiled_workloads["retail_rollup"])
+    with pytest.raises(ValueError, match="workers"):
+        RoundExecutor(plan, REGISTRY["hybrid"](), workers=0)
+
+
+class _EagerIllegalScheduler(Scheduler):
+    """Dispatches every activated node immediately, ready or not."""
+
+    name = "eager-illegal"
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._pending: list[int] = []
+
+    def prepare(self, ctx) -> None:
+        self._pending = []
+
+    def on_activate(self, v: int, t: float) -> None:
+        self._pending.append(v)
+
+    def on_complete(self, v: int, t: float) -> None:
+        pass
+
+    def select(self, max_tasks: int, t: float) -> list[int]:
+        out, self._pending = (
+            self._pending[:max_tasks],
+            self._pending[max_tasks:],
+        )
+        return out
+
+
+class _StallingScheduler(Scheduler):
+    """Never selects anything."""
+
+    name = "staller"
+
+    def prepare(self, ctx) -> None:
+        pass
+
+    def on_activate(self, v: int, t: float) -> None:
+        pass
+
+    def on_complete(self, v: int, t: float) -> None:
+        pass
+
+    def select(self, max_tasks: int, t: float) -> list[int]:
+        return []
+
+
+class _OverDispatchScheduler(_EagerIllegalScheduler):
+    """Returns more tasks than there are idle workers."""
+
+    name = "over-dispatch"
+
+    def select(self, max_tasks: int, t: float) -> list[int]:
+        out, self._pending = self._pending, []
+        return out
+
+
+def test_illegal_dispatch_is_caught(compiled_workloads):
+    plan = build_execution_plan(compiled_workloads["transitive_closure"])
+    with pytest.raises(InvalidDispatchError):
+        RoundExecutor(plan, _EagerIllegalScheduler(), workers=2).run()
+
+
+def test_stall_is_caught(compiled_workloads):
+    plan = build_execution_plan(compiled_workloads["retail_rollup"])
+    with pytest.raises(SchedulerStallError):
+        RoundExecutor(plan, _StallingScheduler(), workers=2).run()
+
+
+def test_over_dispatch_is_caught(compiled_workloads):
+    plan = build_execution_plan(compiled_workloads["transitive_closure"])
+    with pytest.raises(InvalidDispatchError, match="idle workers"):
+        RoundExecutor(plan, _OverDispatchScheduler(), workers=1).run()
+
+
+def test_unit_exception_aborts_round(compiled_workloads):
+    cu = compiled_workloads["retail_rollup"]
+    plan = build_execution_plan(cu)
+    victim = int(cu.trace.initial_tasks[0])
+
+    def boom(_values):
+        raise RuntimeError("injected unit failure")
+
+    plan.units[victim].run = boom
+    with pytest.raises(UnitExecutionError) as exc_info:
+        RoundExecutor(plan, REGISTRY["hybrid"](), workers=2).run()
+    assert exc_info.value.node == victim
+
+
+def test_deadline_fires(compiled_workloads):
+    cu = compiled_workloads["retail_rollup"]
+    plan = build_execution_plan(cu)
+    victim = int(cu.trace.initial_tasks[0])
+    original = plan.units[victim].run
+
+    def slow(values):
+        import time
+
+        time.sleep(0.5)
+        return original(values)
+
+    plan.units[victim].run = slow
+    with pytest.raises(DeadlineExceededError):
+        RoundExecutor(
+            plan, REGISTRY["hybrid"](), workers=2, deadline=0.05
+        ).run()

@@ -1,0 +1,127 @@
+"""Gap compression and coordination-stall accounting."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datalog.units import build_execution_plan
+from repro.runtime.executor import RoundExecutor
+from repro.runtime.recorder import (
+    compress_idle_gaps,
+    coordination_stall,
+    record_round,
+)
+from repro.schedulers import scheduler_registry
+
+
+class TestCompressIdleGaps:
+    def test_empty(self):
+        assert compress_idle_gaps({}) == ({}, 0.0)
+
+    def test_leading_idle_removed(self):
+        out, gap = compress_idle_gaps({0: (2.0, 3.0)})
+        assert out == {0: (0.0, 1.0)}
+        assert gap == pytest.approx(2.0)
+
+    def test_interior_gap_removed(self):
+        out, gap = compress_idle_gaps({0: (0.0, 1.0), 1: (3.0, 4.0)})
+        assert out == {0: (0.0, 1.0), 1: (1.0, 2.0)}
+        assert gap == pytest.approx(2.0)
+
+    def test_overlaps_preserved(self):
+        records = {0: (1.0, 3.0), 1: (2.0, 4.0), 2: (6.0, 7.0)}
+        out, gap = compress_idle_gaps(records)
+        assert gap == pytest.approx(3.0)  # 1.0 leading + 2.0 interior
+        # durations exact
+        for node, (s, f) in records.items():
+            cs, cf = out[node]
+            assert cf - cs == pytest.approx(f - s)
+        # the overlap between 0 and 1 is untouched
+        assert out[1][0] - out[0][0] == pytest.approx(1.0)
+
+    def test_no_gaps_is_identity(self):
+        records = {0: (0.0, 2.0), 1: (1.0, 3.0)}
+        out, gap = compress_idle_gaps(records)
+        assert gap == 0.0
+        assert out == records
+
+
+class TestCoordinationStall:
+    def test_no_intervals(self):
+        assert coordination_stall({0: (0.0, 1.0)}, [], 4) == 0.0
+
+    def test_single_worker_never_stalls(self):
+        assert (
+            coordination_stall({0: (0.0, 1.0)}, [(0.0, 1.0)], 1) == 0.0
+        )
+
+    def test_partial_idle_overlap_counted(self):
+        # one node busy 0..2 (of 2 workers); coordination 0.5..1.0
+        records = {0: (0.0, 2.0)}
+        stall = coordination_stall(records, [(0.5, 1.0)], 2)
+        assert stall == pytest.approx(0.5)
+
+    def test_full_busy_not_counted(self):
+        # both workers busy 0..1: coordination there is free
+        records = {0: (0.0, 1.0), 1: (0.0, 1.0), 2: (1.0, 3.0)}
+        stall = coordination_stall(records, [(0.2, 1.5)], 2)
+        assert stall == pytest.approx(0.5)  # only the 1.0..1.5 part
+
+    def test_whole_idle_not_counted(self):
+        # nothing runs 1..2 — compression owns that stretch
+        records = {0: (0.0, 1.0), 1: (2.0, 3.0)}
+        stall = coordination_stall(records, [(1.0, 2.0)], 2)
+        assert stall == 0.0
+
+
+class TestRecordRound:
+    @pytest.fixture(scope="class")
+    def round_data(self, compiled_workloads):
+        cu = compiled_workloads["transitive_closure"]
+        plan = build_execution_plan(cu)
+        sched = scheduler_registry()["hybrid"]()
+        outcome = RoundExecutor(plan, sched, workers=4).run()
+        return cu, outcome
+
+    def test_schedule_matches_outcome(self, round_data):
+        cu, outcome = round_data
+        art = record_round(outcome, cu.trace)
+        assert len(art.result.schedule) == len(outcome.records)
+        assert art.result.tasks_executed == len(outcome.records)
+        assert art.result.processors == outcome.workers
+
+    def test_durations_become_work(self, round_data):
+        cu, outcome = round_data
+        art = record_round(outcome, cu.trace)
+        for rec in art.result.schedule:
+            dur = rec.finish - rec.start
+            assert art.trace.work[rec.node] == pytest.approx(dur)
+
+    def test_extras_report_translations(self, round_data):
+        cu, outcome = round_data
+        art = record_round(outcome, cu.trace)
+        extras = art.result.extras
+        assert extras["wall_latency_s"] == outcome.wall_latency_s
+        assert extras["compressed_idle_s"] >= 0.0
+        assert extras["coordination_stall_s"] >= 0.0
+        assert (
+            art.result.execution_makespan
+            == pytest.approx(
+                max(
+                    0.0,
+                    art.result.makespan - extras["coordination_stall_s"],
+                )
+            )
+        )
+
+    def test_uncompressed_keeps_wall_alignment(self, round_data):
+        cu, outcome = round_data
+        art = record_round(outcome, cu.trace, compress=False)
+        assert art.result.extras["compressed_idle_s"] == 0.0
+        raw_last = max(f for _, f in outcome.records.values())
+        assert art.result.makespan == pytest.approx(raw_last)
+
+    def test_strict_check_passes(self, round_data):
+        cu, outcome = round_data
+        report = record_round(outcome, cu.trace).check()
+        assert report.ok, "\n".join(v.format() for v in report.violations)

@@ -1,0 +1,107 @@
+"""Live workload generators: validity, determinism, stream shapes."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datalog.incremental import apply_delta, merge_deltas
+from repro.runtime.workloads_live import (
+    PROGRAM_ALIASES,
+    STREAM_KINDS,
+    live_workload,
+    make_stream,
+)
+
+
+def all_facts(db):
+    return db.as_dict()
+
+
+class TestLiveWorkload:
+    def test_aliases_resolve(self):
+        for alias in ("tc", "sg", "retail", "analytics", "pt"):
+            wl = live_workload(alias)
+            assert wl.name in PROGRAM_ALIASES.values()
+
+    def test_unknown_name(self):
+        with pytest.raises(KeyError, match="unknown live program"):
+            live_workload("nope")
+
+    def test_batches_touch_only_edb_predicates(self):
+        wl = live_workload("retail", seed=1)
+        idb = wl.program.idb_predicates()
+        for _ in range(20):
+            delta = wl.random_batch(3)
+            for pred in delta.touched_predicates():
+                assert pred not in idb
+
+    def test_deletions_are_of_present_facts(self):
+        """The mirror keeps deletions valid across many batches."""
+        wl = live_workload("tc", seed=2)
+        db = wl.edb.copy()
+        for _ in range(30):
+            delta = wl.random_batch(3)
+            for pred, facts in delta.deletions.items():
+                for f in facts:
+                    assert f in db.relations[pred]
+            db = apply_delta(db, delta)
+
+    def test_deterministic_across_instances(self):
+        a = live_workload("sg", seed=9)
+        b = live_workload("sg", seed=9)
+        for _ in range(10):
+            da = a.random_batch(2)
+            db_ = b.random_batch(2)
+            assert da.insertions == db_.insertions
+            assert da.deletions == db_.deletions
+
+    def test_hot_key_is_pinned(self):
+        wl = live_workload("retail", seed=4)
+        pred, key = wl.hot_key
+        delta = wl.random_batch(8, hot=True)
+        for p in delta.touched_predicates():
+            assert p == pred
+        for facts in delta.insertions.values():
+            for f in facts:
+                assert f[0] == key
+
+
+class TestStreams:
+    def test_unknown_kind(self):
+        wl = live_workload("retail")
+        with pytest.raises(ValueError, match="unknown stream kind"):
+            list(make_stream(wl, "trickle", rounds=1))
+
+    @pytest.mark.parametrize("kind", STREAM_KINDS)
+    def test_yields_requested_rounds(self, kind):
+        wl = live_workload("retail", seed=0)
+        ticks = list(make_stream(wl, kind, rounds=6))
+        assert len(ticks) == 6
+        for batches in ticks:
+            assert len(batches) >= 1
+
+    def test_bursty_has_bursts(self):
+        wl = live_workload("retail", seed=0)
+        sizes = [
+            len(b)
+            for b in make_stream(
+                wl, "bursty", rounds=8, burst_every=4, burst_batches=5
+            )
+        ]
+        assert sizes.count(5) == 2
+        assert sizes.count(1) == 6
+
+    def test_stream_applies_cleanly(self):
+        """Accumulated stream deltas compose over the initial EDB."""
+        wl = live_workload("pt", seed=6)
+        db = wl.edb.copy()
+        deltas = []
+        for batches in make_stream(wl, "steady", rounds=5):
+            deltas.extend(batches)
+        merged = merge_deltas(deltas)
+        stepped = db
+        for d in deltas:
+            stepped = apply_delta(stepped, d)
+        assert (
+            apply_delta(db, merged).as_dict() == stepped.as_dict()
+        )

@@ -56,6 +56,50 @@ class TestBusyProfile:
         assert 0.0 < u <= 1.0
 
 
+class TestMergeTolerance:
+    """Float-noise event merging (phantom-dip fix for real runs)."""
+
+    @staticmethod
+    def noisy_result():
+        """Back-to-back tasks whose boundary differs by float noise."""
+        from repro.sim.result import DispatchRecord
+
+        res = run(two_chain_trace(), LevelBasedScheduler())
+        res.schedule.clear()
+        res.schedule.extend(
+            [
+                DispatchRecord(node=0, start=0.0, finish=1.0, processors=1),
+                DispatchRecord(
+                    node=1, start=1.0 + 1e-12, finish=2.0, processors=1
+                ),
+            ]
+        )
+        return res
+
+    def test_exact_grouping_shows_phantom_dip(self):
+        times, busy = busy_profile(self.noisy_result(), merge_tol=0.0)
+        assert 0 in busy[:-1]  # one-tick dip at the noisy boundary
+
+    def test_default_tolerance_absorbs_noise(self):
+        times, busy = busy_profile(self.noisy_result())
+        assert np.all(busy[:-1] >= 1)
+        assert busy[-1] == 0
+
+    def test_tolerance_does_not_merge_real_gaps(self):
+        from repro.sim.result import DispatchRecord
+
+        res = run(two_chain_trace(), LevelBasedScheduler())
+        res.schedule.clear()
+        res.schedule.extend(
+            [
+                DispatchRecord(node=0, start=0.0, finish=1.0, processors=1),
+                DispatchRecord(node=1, start=1.5, finish=2.0, processors=1),
+            ]
+        )
+        gaps = idle_gaps(res)
+        assert gaps == [(1.0, 1.5)]
+
+
 class TestLevelEnvelopes:
     def test_levelbased_envelopes_do_not_overlap(self):
         trace = two_chain_trace()
