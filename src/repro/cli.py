@@ -12,6 +12,9 @@ Commands
               materialized relations.
 ``serve``     Run *real* concurrent maintenance (repro.runtime) over a
               generated update stream, verifying every round.
+``trace``     Like ``serve`` but with the repro.obs recorder attached:
+              emits a Chrome trace_event timeline of every round and
+              prints the slowest rounds by phase.
 ``verify``    Run the scheduler contract linter over source paths
               and/or the trace invariant checker over result files.
 
@@ -27,6 +30,7 @@ Examples
     python -m repro generate --trace 11 --scale 0.05 -o trace11.json
     python -m repro datalog program.dl
     python -m repro serve --program retail --stream bursty --scheduler hybrid --rounds 20
+    python -m repro trace --stream retail --scheduler levelbased -o trace.json
     python -m repro verify --lint src/repro/schedulers --trace result.json
 """
 
@@ -306,6 +310,100 @@ def cmd_serve(args) -> int:
     return 0 if consistent else 1
 
 
+def cmd_trace(args) -> int:
+    """``repro trace``: serve an update stream with tracing on.
+
+    Runs the same real maintenance loop as ``repro serve`` but with a
+    recording trace sink: every round emits nested spans (queue wait,
+    drain, merge, compile, plan-build, per-worker unit execution,
+    verify) plus scheduler decision counters. Writes the timeline as
+    Chrome ``trace_event`` JSON — load it at ``chrome://tracing`` or
+    https://ui.perfetto.dev — and prints the top-``--top`` slowest
+    rounds with their per-phase breakdown.
+    """
+    from .obs import TraceRecorder, validate_chrome_trace, write_chrome_trace
+    from .runtime import UpdateStreamService, live_workload, make_stream
+
+    try:
+        wl = live_workload(args.stream, seed=args.seed)
+    except KeyError as exc:
+        raise SystemExit(f"trace: {exc.args[0]}") from None
+    scheduler = _resolve_scheduler(args.scheduler)
+    recorder = TraceRecorder()
+    recorder.set_thread_name("service")
+    service = UpdateStreamService(
+        wl.program,
+        wl.edb,
+        scheduler,
+        workers=args.workers,
+        name=f"trace:{wl.name}",
+        sink=recorder,
+    )
+    try:
+        stream = make_stream(
+            wl, args.kind, rounds=args.rounds, batch_size=args.batch_size
+        )
+    except ValueError as exc:
+        raise SystemExit(f"trace: {exc}") from None
+    print(
+        f"tracing {wl.name} ({args.kind} stream) under {scheduler.name}, "
+        f"{args.workers} workers"
+    )
+    for batches in stream:
+        for delta in batches:
+            service.submit(delta)
+        service.run_round()
+
+    rounds = service.metrics.rounds
+    if rounds:
+        top = sorted(rounds, key=lambda m: m.latency_s, reverse=True)
+        rows = []
+        for m in top[: args.top]:
+            other = m.latency_s - (m.compile_s + m.execute_s + m.verify_s)
+            rows.append(
+                [
+                    m.index,
+                    f"{m.latency_s * 1e3:.2f}",
+                    f"{m.queue_wait_s * 1e3:.2f}",
+                    f"{m.compile_s * 1e3:.2f}",
+                    f"{m.execute_s * 1e3:.2f}",
+                    f"{m.verify_s * 1e3:.2f}",
+                    f"{max(0.0, other) * 1e3:.2f}",
+                    m.tasks_executed,
+                ]
+            )
+        print(
+            render_table(
+                ["round", "latency ms", "queue-wait", "compile",
+                 "execute", "verify", "other", "tasks"],
+                rows,
+                title=f"slowest {min(args.top, len(rounds))} rounds "
+                      f"of {len(rounds)}",
+            )
+        )
+    print(service.metrics.summary())
+
+    out = Path(args.output)
+    with out.open("w") as fh:
+        n_events = write_chrome_trace(recorder, fh)
+    from .obs import chrome_trace
+
+    errors = validate_chrome_trace(chrome_trace(recorder))
+    if errors:  # pragma: no cover - exporter/validator must agree
+        for e in errors:
+            print(f"trace: schema error: {e}", file=sys.stderr)
+        return 1
+    print(f"wrote {out} ({n_events} events) — open at chrome://tracing")
+    if args.jsonl:
+        from .obs import write_jsonl
+
+        jl = Path(args.jsonl)
+        with jl.open("w") as fh:
+            n_lines = write_jsonl(recorder, fh)
+        print(f"wrote {jl} ({n_lines} records)")
+    return 0
+
+
 def cmd_verify(args) -> int:
     """``repro verify``: contract linter + trace invariant checker."""
     from .sim import SimulationResult
@@ -441,6 +539,41 @@ def build_parser() -> argparse.ArgumentParser:
         help="write the per-round metrics log to this file",
     )
     p.set_defaults(fn=cmd_serve)
+
+    p = sub.add_parser(
+        "trace",
+        help="serve an update stream with tracing, emit a Chrome trace",
+    )
+    p.add_argument(
+        "--stream", default="retail",
+        help="live workload name or alias (e.g. retail, tc, sg, pt)",
+    )
+    p.add_argument(
+        "--kind", default="steady",
+        choices=("steady", "bursty", "hotkey"),
+        help="update stream shape",
+    )
+    p.add_argument("--scheduler", default="levelbased",
+                   help=f"one of {sorted(SCHEDULERS)} or lbl:<k>")
+    p.add_argument("--rounds", type=int, default=12,
+                   help="number of stream ticks to trace")
+    p.add_argument("-w", "--workers", type=int, default=4,
+                   help="executor thread-pool width")
+    p.add_argument("--batch-size", type=int, default=2,
+                   help="update operations per generated batch")
+    p.add_argument("--seed", type=int, default=0,
+                   help="stream generator seed")
+    p.add_argument("--top", type=int, default=5,
+                   help="how many slowest rounds to tabulate")
+    p.add_argument(
+        "-o", "--output", default="trace.json",
+        help="Chrome trace_event JSON output path (default trace.json)",
+    )
+    p.add_argument(
+        "--jsonl", default=None, metavar="PATH",
+        help="also write the flat JSONL span log to this file",
+    )
+    p.set_defaults(fn=cmd_trace)
 
     p = sub.add_parser(
         "verify",

@@ -1,0 +1,194 @@
+"""Histogram-backed metrics registry.
+
+The runtime's per-round aggregates (``repro.runtime.metrics``) and the
+``repro trace`` diagnosis both need percentile estimates over streams
+of latencies without retaining every sample. :class:`Histogram` is the
+standard log-linear bucketing scheme (HdrHistogram's idea): bucket
+boundaries grow geometrically, so relative quantile error is bounded by
+the configured ``precision`` regardless of the value range, memory is
+``O(log(max/min))``, and merging/observing is O(1).
+
+:class:`MetricsRegistry` is the shared namespace: get-or-create
+histograms and monotonic counters by name, dump everything as one JSON
+dict.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Iterable
+
+__all__ = ["Counter", "Histogram", "MetricsRegistry"]
+
+
+class Counter:
+    """A named monotonic counter."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value: float = 0
+
+    def inc(self, n: float = 1) -> None:
+        """Add ``n`` (must be non-negative)."""
+        if n < 0:
+            raise ValueError(f"counter {self.name}: negative increment {n}")
+        self.value += n
+
+    def to_json_dict(self) -> dict[str, Any]:
+        return {"type": "counter", "value": self.value}
+
+
+class Histogram:
+    """Log-linear histogram with bounded relative quantile error.
+
+    Values at or below ``min_value`` land in a dedicated zero bucket
+    (reported as 0.0); everything else maps to bucket
+    ``floor(log(v / min_value) / log(growth))`` where ``growth`` is
+    chosen so the geometric midpoint of a bucket is within
+    ``precision`` of any member. Exact ``count``/``sum``/``min``/
+    ``max`` are tracked alongside, and percentile estimates are clamped
+    into ``[min, max]`` so the extremes are exact.
+    """
+
+    __slots__ = (
+        "name", "precision", "_min_value", "_log_growth",
+        "counts", "zero_count", "count", "sum", "min", "max",
+    )
+
+    def __init__(
+        self,
+        name: str = "",
+        precision: float = 0.01,
+        min_value: float = 1e-9,
+    ) -> None:
+        if not 0 < precision < 1:
+            raise ValueError(f"precision must be in (0, 1), got {precision}")
+        if min_value <= 0:
+            raise ValueError(f"min_value must be positive, got {min_value}")
+        self.name = name
+        self.precision = precision
+        self._min_value = min_value
+        # bucket [b, b*g): representative sqrt(g)*b has relative error
+        # ≤ (sqrt(g) - 1) against any member; g = (1+p)^2 bounds it by p
+        self._log_growth = 2.0 * math.log1p(precision)
+        self.counts: dict[int, int] = {}
+        self.zero_count = 0
+        self.count = 0
+        self.sum = 0.0
+        self.min = math.inf
+        self.max = -math.inf
+
+    # ------------------------------------------------------------------
+    def _index(self, v: float) -> int:
+        return int(math.log(v / self._min_value) // self._log_growth)
+
+    def _representative(self, idx: int) -> float:
+        return self._min_value * math.exp((idx + 0.5) * self._log_growth)
+
+    def observe(self, v: float) -> None:
+        """Record one sample (negative values are clamped to zero)."""
+        self.count += 1
+        self.sum += v
+        if v < self.min:
+            self.min = v
+        if v > self.max:
+            self.max = v
+        if v <= self._min_value:
+            self.zero_count += 1
+        else:
+            idx = self._index(v)
+            self.counts[idx] = self.counts.get(idx, 0) + 1
+
+    def observe_many(self, values: Iterable[float]) -> None:
+        """Record a batch of samples."""
+        for v in values:
+            self.observe(v)
+
+    # ------------------------------------------------------------------
+    def percentile(self, q: float) -> float:
+        """Estimate the ``q``-th percentile (``q`` in [0, 100])."""
+        if not 0 <= q <= 100:
+            raise ValueError(f"percentile must be in [0, 100], got {q}")
+        if self.count == 0:
+            return 0.0
+        rank = q / 100.0 * (self.count - 1)
+        seen = self.zero_count
+        if rank < seen:
+            return 0.0 if self.min >= 0 else self.min
+        for idx in sorted(self.counts):
+            seen += self.counts[idx]
+            if rank < seen:
+                est = self._representative(idx)
+                return min(max(est, self.min), self.max)
+        return self.max
+
+    def percentiles(
+        self, qs: Iterable[float] = (50.0, 99.0)
+    ) -> dict[str, float]:
+        """``{"p50": ..., ...}`` over the recorded samples."""
+        return {f"p{q:g}": self.percentile(q) for q in qs}
+
+    @property
+    def mean(self) -> float:
+        """Arithmetic mean of the recorded samples (0.0 when empty)."""
+        return self.sum / self.count if self.count else 0.0
+
+    def to_json_dict(self) -> dict[str, Any]:
+        """Summary plus the sparse bucket table."""
+        out: dict[str, Any] = {
+            "type": "histogram",
+            "count": self.count,
+            "sum": self.sum,
+            "mean": self.mean,
+        }
+        if self.count:
+            out["min"] = self.min
+            out["max"] = self.max
+            out.update(self.percentiles((50.0, 90.0, 99.0)))
+            out["buckets"] = [
+                [round(self._representative(i), 12), self.counts[i]]
+                for i in sorted(self.counts)
+            ]
+            if self.zero_count:
+                out["zero_count"] = self.zero_count
+        return out
+
+
+class MetricsRegistry:
+    """Named histograms and counters, created on first use."""
+
+    def __init__(self) -> None:
+        self._histograms: dict[str, Histogram] = {}
+        self._counters: dict[str, Counter] = {}
+
+    def histogram(
+        self,
+        name: str,
+        precision: float = 0.01,
+        min_value: float = 1e-9,
+    ) -> Histogram:
+        """Get or create the named histogram."""
+        h = self._histograms.get(name)
+        if h is None:
+            h = Histogram(name, precision=precision, min_value=min_value)
+            self._histograms[name] = h
+        return h
+
+    def counter(self, name: str) -> Counter:
+        """Get or create the named counter."""
+        c = self._counters.get(name)
+        if c is None:
+            c = Counter(name)
+            self._counters[name] = c
+        return c
+
+    def to_json_dict(self) -> dict[str, Any]:
+        """Every metric keyed by name."""
+        out: dict[str, Any] = {}
+        for name, h in sorted(self._histograms.items()):
+            out[name] = h.to_json_dict()
+        for name, c in sorted(self._counters.items()):
+            out[name] = c.to_json_dict()
+        return out

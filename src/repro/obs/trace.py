@@ -1,0 +1,362 @@
+"""Structured spans over a pluggable trace sink.
+
+One :class:`TraceSink` instance is threaded through a run (service →
+executor → schedulers, or the simulation engine). Instrumentation
+points open nested :class:`Span` contexts; each finished span is a
+:class:`SpanRecord` carrying wall-clock (or simulated-clock) bounds,
+the recording thread, its parent span, and any counters attributed to
+it while it was the innermost open span.
+
+Two sinks exist:
+
+* :data:`NULL_SINK` — the no-op sink. ``enabled`` is ``False``, every
+  ``span()`` call returns one shared, allocation-free context manager,
+  and every recording method returns immediately. Instrumented code
+  guards its per-event work behind ``sink.enabled``, so tracing off
+  costs a single attribute read per potential event.
+* :class:`TraceRecorder` — the real sink. Each thread appends finished
+  spans to its own buffer (created once, registered under a lock, then
+  never shared), so workers record without contending: the common path
+  is lock-free per thread.
+
+Clock domains
+-------------
+Real spans are stamped with ``perf_counter()`` relative to the
+recorder's epoch and live under :data:`PID_REAL`. Simulated rounds
+record via :meth:`TraceSink.record_span` with simulation-time seconds
+under :data:`PID_SIM` — the exporters place both domains in one
+timeline file, so a simulated and a real round render side by side in
+``chrome://tracing`` / Perfetto.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from time import perf_counter
+from typing import Any
+
+__all__ = [
+    "PID_REAL",
+    "PID_SIM",
+    "NULL_SINK",
+    "NullSink",
+    "Span",
+    "SpanRecord",
+    "TraceRecorder",
+    "TraceSink",
+]
+
+#: process lane for wall-clock (runtime) spans in exported traces
+PID_REAL = 1
+#: process lane for simulated-clock spans
+PID_SIM = 2
+
+
+@dataclass(frozen=True)
+class SpanRecord:
+    """One finished span or instant event.
+
+    ``t1`` is ``None`` for instant events. Times are seconds in the
+    record's clock domain (``pid``): recorder-epoch-relative wall clock
+    for :data:`PID_REAL`, simulation time for :data:`PID_SIM`.
+    """
+
+    name: str
+    cat: str
+    t0: float
+    t1: float | None
+    pid: int
+    tid: int
+    parent: str | None = None
+    args: dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def duration(self) -> float:
+        """Span length in seconds (0.0 for instants)."""
+        return 0.0 if self.t1 is None else self.t1 - self.t0
+
+
+class _NoopSpan:
+    """The shared span of the disabled sink; every method is a no-op."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NoopSpan":
+        return self
+
+    def __exit__(self, *exc: object) -> bool:
+        return False
+
+    def add(self, key: str, n: float = 1) -> None:
+        """Discard a counter increment."""
+
+    def set(self, key: str, value: Any) -> None:
+        """Discard an attribute."""
+
+
+_NOOP_SPAN = _NoopSpan()
+
+
+class TraceSink:
+    """Recording surface shared by the no-op and the real sink.
+
+    The base class *is* the no-op implementation; instrumented code
+    holds a ``TraceSink`` reference and checks :attr:`enabled` before
+    doing any per-event work that allocates.
+    """
+
+    #: fast guard for instrumentation sites
+    enabled: bool = False
+
+    def span(
+        self,
+        name: str,
+        cat: str = "phase",
+        args: dict[str, Any] | None = None,
+    ) -> Any:
+        """A context manager timing one nested span (no-op here)."""
+        return _NOOP_SPAN
+
+    def record_span(
+        self,
+        name: str,
+        cat: str,
+        t0: float,
+        t1: float,
+        tid: int = 0,
+        pid: int = PID_SIM,
+        args: dict[str, Any] | None = None,
+    ) -> None:
+        """Record an already-measured span (clock-domain seconds)."""
+
+    def record_span_abs(
+        self,
+        name: str,
+        cat: str,
+        t0_abs: float,
+        t1_abs: float,
+        tid: int | None = None,
+        args: dict[str, Any] | None = None,
+    ) -> None:
+        """Record a wall span from absolute ``perf_counter()`` stamps."""
+
+    def record_instant(
+        self,
+        name: str,
+        t: float | None = None,
+        tid: int | None = None,
+        pid: int = PID_REAL,
+        args: dict[str, Any] | None = None,
+    ) -> None:
+        """Record a zero-duration marker (``None`` time = now)."""
+
+    def add_to_current(self, key: str, n: float = 1) -> None:
+        """Attribute a counter to the innermost open span, if any."""
+
+    def set_thread_name(self, name: str) -> None:
+        """Label the calling thread's lane in exported timelines."""
+
+
+class NullSink(TraceSink):
+    """Explicitly-named alias of the disabled sink."""
+
+
+#: the shared disabled sink — instrumentation default
+NULL_SINK = NullSink()
+
+
+class Span:
+    """One open span of a :class:`TraceRecorder` (context manager)."""
+
+    __slots__ = ("name", "cat", "args", "t0", "t1", "parent", "_rec")
+
+    def __init__(
+        self,
+        rec: "TraceRecorder",
+        name: str,
+        cat: str,
+        args: dict[str, Any] | None,
+    ) -> None:
+        self._rec = rec
+        self.name = name
+        self.cat = cat
+        self.args: dict[str, Any] = dict(args) if args else {}
+        self.t0 = 0.0
+        self.t1: float | None = None
+        self.parent: str | None = None
+
+    def add(self, key: str, n: float = 1) -> None:
+        """Accumulate a counter onto this span."""
+        self.args[key] = self.args.get(key, 0) + n
+
+    def set(self, key: str, value: Any) -> None:
+        """Attach an attribute to this span."""
+        self.args[key] = value
+
+    def __enter__(self) -> "Span":
+        tls = self._rec._tls_state()
+        self.parent = tls.stack[-1].name if tls.stack else None
+        tls.stack.append(self)
+        self.t0 = self._rec.now()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.t1 = self._rec.now()
+        tls = self._rec._tls_state()
+        if tls.stack and tls.stack[-1] is self:
+            tls.stack.pop()
+        if exc_type is not None:
+            self.args.setdefault("error", exc_type.__name__)
+        tls.buffer.append(
+            SpanRecord(
+                name=self.name,
+                cat=self.cat,
+                t0=self.t0,
+                t1=self.t1,
+                pid=PID_REAL,
+                tid=tls.tid,
+                parent=self.parent,
+                args=self.args,
+            )
+        )
+        return False
+
+
+class _ThreadState:
+    """Per-thread buffer + open-span stack of one recorder."""
+
+    __slots__ = ("tid", "buffer", "stack")
+
+    def __init__(self, tid: int) -> None:
+        self.tid = tid
+        self.buffer: list[SpanRecord] = []
+        self.stack: list[Span] = []
+
+
+class TraceRecorder(TraceSink):
+    """Collects spans into per-thread buffers; the enabled sink."""
+
+    enabled = True
+
+    def __init__(self) -> None:
+        self.epoch = perf_counter()
+        self._tls = threading.local()
+        self._lock = threading.Lock()
+        self._states: list[_ThreadState] = []
+        self._thread_names: dict[int, str] = {}
+        self._extra: list[SpanRecord] = []  # record_span/instant target
+
+    # ------------------------------------------------------------------
+    def now(self) -> float:
+        """Seconds since the recorder's epoch (the real clock)."""
+        return perf_counter() - self.epoch
+
+    def _tls_state(self) -> _ThreadState:
+        state = getattr(self._tls, "state", None)
+        if state is None:
+            state = _ThreadState(threading.get_ident())
+            self._tls.state = state
+            with self._lock:
+                self._states.append(state)
+        return state
+
+    # ------------------------------------------------------------------
+    def span(
+        self,
+        name: str,
+        cat: str = "phase",
+        args: dict[str, Any] | None = None,
+    ) -> Span:
+        return Span(self, name, cat, args)
+
+    def record_span(
+        self,
+        name: str,
+        cat: str,
+        t0: float,
+        t1: float,
+        tid: int = 0,
+        pid: int = PID_SIM,
+        args: dict[str, Any] | None = None,
+    ) -> None:
+        rec = SpanRecord(
+            name=name, cat=cat, t0=t0, t1=t1, pid=pid, tid=tid,
+            args=dict(args) if args else {},
+        )
+        with self._lock:
+            self._extra.append(rec)
+
+    def record_span_abs(
+        self,
+        name: str,
+        cat: str,
+        t0_abs: float,
+        t1_abs: float,
+        tid: int | None = None,
+        args: dict[str, Any] | None = None,
+    ) -> None:
+        self.record_span(
+            name,
+            cat,
+            t0_abs - self.epoch,
+            t1_abs - self.epoch,
+            tid=self._tls_state().tid if tid is None else tid,
+            pid=PID_REAL,
+            args=args,
+        )
+
+    def record_instant(
+        self,
+        name: str,
+        t: float | None = None,
+        tid: int | None = None,
+        pid: int = PID_REAL,
+        args: dict[str, Any] | None = None,
+    ) -> None:
+        rec = SpanRecord(
+            name=name,
+            cat="instant",
+            t0=self.now() if t is None else t,
+            t1=None,
+            pid=pid,
+            tid=self._tls_state().tid if tid is None else tid,
+            args=dict(args) if args else {},
+        )
+        with self._lock:
+            self._extra.append(rec)
+
+    def add_to_current(self, key: str, n: float = 1) -> None:
+        stack = self._tls_state().stack
+        if stack:
+            stack[-1].add(key, n)
+
+    def current_span(self) -> Span | None:
+        """The calling thread's innermost open span (``None`` if none)."""
+        stack = self._tls_state().stack
+        return stack[-1] if stack else None
+
+    def set_thread_name(self, name: str) -> None:
+        tid = self._tls_state().tid
+        if self._thread_names.get(tid) != name:
+            with self._lock:
+                self._thread_names[tid] = name
+
+    # ------------------------------------------------------------------
+    def thread_names(self) -> dict[int, str]:
+        """Snapshot of ``tid → label`` registered by workers."""
+        with self._lock:
+            return dict(self._thread_names)
+
+    def records(self) -> list[SpanRecord]:
+        """All finished records, merged across threads, by start time.
+
+        Call after the instrumented run finished (open spans are not
+        included; buffers of live worker threads are read as-is).
+        """
+        with self._lock:
+            merged: list[SpanRecord] = list(self._extra)
+            for state in self._states:
+                merged.extend(state.buffer)
+        merged.sort(key=lambda r: (r.pid, r.t0, r.t1 is None))
+        return merged

@@ -29,6 +29,7 @@ from .service import (
     BackpressureError,
     MaterializationDivergenceError,
     RoundReport,
+    RoundVerificationError,
     UpdateStreamService,
 )
 from .workloads_live import (
@@ -49,6 +50,7 @@ __all__ = [
     "BackpressureError",
     "MaterializationDivergenceError",
     "RoundReport",
+    "RoundVerificationError",
     "UpdateStreamService",
     "MetricsLog",
     "RoundMetrics",

@@ -23,6 +23,7 @@ queue's put/get pair orders those writes before the worker's reads.
 from __future__ import annotations
 
 import queue
+import threading
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 from time import perf_counter
@@ -30,6 +31,7 @@ from time import perf_counter
 import numpy as np
 
 from ..datalog.units import ExecutionPlan, ValueStore, WorkUnit
+from ..obs.trace import NULL_SINK, TraceSink
 from ..schedulers.base import ReadinessOracle, Scheduler, SchedulerContext
 from ..sim.engine import InvalidDispatchError, SchedulerStallError
 from ..sim.faults import DeadlineExceededError
@@ -126,6 +128,7 @@ class RoundExecutor:
         scheduler: Scheduler,
         workers: int = 4,
         deadline: float | None = None,
+        sink: TraceSink = NULL_SINK,
     ) -> None:
         if workers <= 0:
             raise ValueError(f"workers must be positive, got {workers}")
@@ -133,6 +136,7 @@ class RoundExecutor:
         self.scheduler = scheduler
         self.workers = workers
         self.deadline = deadline
+        self.sink = sink
 
     # ------------------------------------------------------------------
     def run(self) -> RoundOutcome:
@@ -145,16 +149,20 @@ class RoundExecutor:
         :class:`UnitExecutionError` if a unit raises.
         """
         plan, scheduler, workers = self.plan, self.scheduler, self.workers
+        sink = self.sink
+        tracing = sink.enabled
         trace = plan.compiled.trace
         state = LiveActivationState(plan)
         scheduler.reset_counters()
         oracle = ReadinessOracle(state.is_ready)
         scheduler.bind_oracle(oracle)
+        scheduler.bind_sink(sink)
         ctx = SchedulerContext(
             trace=trace, processors=workers, oracle=oracle
         )
         t_prep = perf_counter()
-        scheduler.prepare(ctx)
+        with sink.span("prepare", "phase", args={"sched": scheduler.name}):
+            scheduler.prepare(ctx)
         prepare_s = perf_counter() - t_prep
 
         values = plan.new_store()
@@ -170,13 +178,27 @@ class RoundExecutor:
         def clock() -> float:
             return perf_counter() - origin
 
-        def run_unit(unit: WorkUnit) -> None:
+        def exec_unit(unit: WorkUnit) -> None:
             t0 = perf_counter()
             try:
                 value, err = unit.execute(values), None
             except BaseException as exc:  # propagated by the coordinator
                 value, err = None, exc
             completions.put((unit.node, value, t0, perf_counter(), err))
+
+        if tracing:
+            # per-WorkUnit span recorded by the worker itself, into its
+            # own thread-local buffer — the worker id is the span's tid
+            def run_unit(unit: WorkUnit) -> None:
+                sink.set_thread_name(threading.current_thread().name)
+                with sink.span(
+                    f"unit:{unit.node}",
+                    "unit",
+                    args={"node": unit.node, "label": unit.label},
+                ):
+                    exec_unit(unit)
+        else:
+            run_unit = exec_unit
 
         inflight = 0
         overhead = 0.0
@@ -197,17 +219,26 @@ class RoundExecutor:
             dispatchable0, activated0 = state.bootstrap()
             oracle.push_ready_events(dispatchable0)
             h0 = perf_counter()
+            ops0 = scheduler.ops
             for v in activated0:
                 scheduler.on_activate(v, 0.0)
             overhead += perf_counter() - h0
+            if tracing:
+                sink.add_to_current("activate_ops", scheduler.ops - ops0)
 
             while True:
                 # dispatch: keep asking while the scheduler produces work
                 while inflight < workers:
                     t = clock()
                     h0 = perf_counter()
+                    ops0 = scheduler.ops
                     chosen = scheduler.select(workers - inflight, t)
                     overhead += perf_counter() - h0
+                    if tracing:
+                        sink.add_to_current(
+                            "ready_scan_ops", scheduler.ops - ops0
+                        )
+                        sink.add_to_current("select_calls", 1)
                     outcome.select_calls += 1
                     if not chosen:
                         break
@@ -274,6 +305,7 @@ class RoundExecutor:
 
                 t = clock()
                 h0 = perf_counter()
+                ops0 = scheduler.ops
                 dispatchable, newly_activated = state.complete_live(
                     node, changed
                 )
@@ -282,6 +314,10 @@ class RoundExecutor:
                     scheduler.on_activate(v, t)
                 scheduler.on_complete(node, t)
                 overhead += perf_counter() - h0
+                if tracing:
+                    sink.add_to_current(
+                        "complete_ops", scheduler.ops - ops0
+                    )
         finally:
             pool.shutdown(wait=True, cancel_futures=True)
 

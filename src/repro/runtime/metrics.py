@@ -4,6 +4,14 @@ Every maintenance round emits one :class:`RoundMetrics` record; the
 :class:`MetricsLog` aggregates them into throughput (rounds/sec) and
 latency percentiles and serializes the whole log as JSON — the shape
 the benchmarks write to ``BENCH_runtime.json``.
+
+Aggregation is backed by the :class:`~repro.obs.MetricsRegistry`'s
+log-linear histograms (1% relative precision) instead of ad-hoc lists:
+each appended round feeds the per-phase latency histograms
+(``latency_s`` / ``compile_s`` / ``execute_s`` / ``verify_s`` /
+``queue_wait_s``) and the task/batch counters, and the summary
+percentiles read straight from them. The raw per-round records are
+still kept for the JSON log.
 """
 
 from __future__ import annotations
@@ -14,7 +22,18 @@ from typing import IO, Any
 
 import numpy as np
 
+from ..obs.metrics import MetricsRegistry
+
 __all__ = ["RoundMetrics", "MetricsLog"]
+
+#: RoundMetrics field → histogram name fed on append
+_PHASE_HISTOGRAMS = (
+    "latency_s",
+    "compile_s",
+    "execute_s",
+    "verify_s",
+    "queue_wait_s",
+)
 
 
 @dataclass
@@ -34,7 +53,9 @@ class RoundMetrics:
     tasks_executed: int
     #: net facts inserted + deleted across the materialization
     changed_facts: int
-    #: wall-clock end-to-end round latency (compile + execute + verify)
+    #: wall-clock end-to-end round latency (compile + execute + verify);
+    #: starts when the drain returns, so queue wait is *not* included —
+    #: it is reported separately below
     latency_s: float
     compile_s: float
     execute_s: float
@@ -44,6 +65,9 @@ class RoundMetrics:
     scheduler_ops: int
     precompute_ops: int
     utilization: float
+    #: how long the round's *oldest* coalesced batch sat in the queue
+    #: before the drain picked it up
+    queue_wait_s: float = 0.0
 
     def to_json_dict(self) -> dict[str, Any]:
         """Plain-dict form for JSON emission."""
@@ -55,10 +79,15 @@ class MetricsLog:
     """Append-only log of round metrics plus summary statistics."""
 
     rounds: list[RoundMetrics] = field(default_factory=list)
+    registry: MetricsRegistry = field(default_factory=MetricsRegistry)
 
     def append(self, m: RoundMetrics) -> None:
-        """Record one finished round."""
+        """Record one finished round (and feed the histograms)."""
         self.rounds.append(m)
+        for name in _PHASE_HISTOGRAMS:
+            self.registry.histogram(name).observe(getattr(m, name))
+        self.registry.counter("tasks_executed").inc(m.tasks_executed)
+        self.registry.counter("batches_coalesced").inc(m.batches_coalesced)
 
     # ------------------------------------------------------------------
     def latencies(self) -> np.ndarray:
@@ -68,19 +97,22 @@ class MetricsLog:
     def latency_percentiles(
         self, qs: tuple[float, ...] = (50.0, 99.0)
     ) -> dict[str, float]:
-        """``{"p50": ..., "p99": ...}`` over round latencies."""
-        lat = self.latencies()
-        if lat.size == 0:
+        """``{"p50": ..., "p99": ...}`` over round latencies.
+
+        Read from the log-linear histogram: each value carries the
+        registry's bounded relative error (1% by default) instead of
+        being exact, in exchange for O(buckets) memory however long
+        the service runs.
+        """
+        h = self.registry.histogram("latency_s")
+        if h.count == 0:
             return {f"p{q:g}": 0.0 for q in qs}
-        return {
-            f"p{q:g}": float(np.percentile(lat, q)) for q in qs
-        }
+        return {f"p{q:g}": h.percentile(q) for q in qs}
 
     def rounds_per_second(self) -> float:
         """Throughput over the summed round latencies."""
-        lat = self.latencies()
-        total = float(lat.sum())
-        return len(self.rounds) / total if total > 0 else 0.0
+        h = self.registry.histogram("latency_s")
+        return h.count / h.sum if h.sum > 0 else 0.0
 
     # ------------------------------------------------------------------
     def to_json_dict(self) -> dict[str, Any]:
@@ -91,11 +123,15 @@ class MetricsLog:
             "rounds_per_sec": self.rounds_per_second(),
             "latency": self.latency_percentiles((50.0, 90.0, 99.0)),
             "total_tasks_executed": int(
-                sum(m.tasks_executed for m in self.rounds)
+                self.registry.counter("tasks_executed").value
             ),
             "total_batches": int(
-                sum(m.batches_coalesced for m in self.rounds)
+                self.registry.counter("batches_coalesced").value
             ),
+            "histograms": {
+                name: self.registry.histogram(name).to_json_dict()
+                for name in _PHASE_HISTOGRAMS
+            },
             "rounds": [m.to_json_dict() for m in self.rounds],
         }
 

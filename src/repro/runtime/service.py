@@ -19,6 +19,38 @@ Backpressure is the bounded queue: when it is full, non-blocking
 submits raise :class:`BackpressureError` and blocking submits wait,
 slowing producers to the service's round rate.
 
+Failed-round policy
+-------------------
+A round can fail mid-flight — an executor deadline, a work unit
+raising, a strict verification failure
+(:class:`RoundVerificationError` / :class:`MaterializationDivergenceError`).
+Failure must never corrupt the queue or lose updates, so
+:meth:`~UpdateStreamService.run_round` guarantees:
+
+* ``task_done()`` is called for every drained batch whether the round
+  succeeds or not (``try/finally``), so producers blocked in
+  ``Queue.join()`` always wake;
+* the round's merged delta is **re-queued at the front** — it merges
+  ahead of newer batches into the next round — for up to
+  ``max_round_retries`` consecutive failures;
+* when the retry budget is exhausted the delta is dropped from the
+  service but surfaced to the caller on the raised exception
+  (``exc.failed_delta``; ``exc.delta_requeued`` says which path was
+  taken), so callers can recover or re-submit;
+* the EDB is only advanced *after* verification, so a failed round
+  leaves ``database()`` exactly where the last successful round left
+  it — producers' live-EDB mirrors stay consistent.
+
+Tracing
+-------
+Pass a recording :class:`~repro.obs.TraceSink` as ``sink`` and every
+round emits nested spans — ``queue_wait`` / ``drain`` / ``merge``,
+then a ``round`` span containing ``compile`` / ``plan-build`` /
+``execute`` (itself containing the executor's per-unit worker spans
+and scheduler decision counters) / ``verify`` — which the Chrome
+exporter renders as one timeline. With the default
+:data:`~repro.obs.NULL_SINK` all instrumentation is no-op.
+
 One scheduler *instance* serves every round — ``reset_counters`` (which
 also clears the bound readiness oracle's pending events) is the
 between-rounds reset, exercised here exactly as the scheduler ABC
@@ -28,6 +60,7 @@ promises.
 from __future__ import annotations
 
 import queue
+from collections import deque
 from dataclasses import dataclass
 from time import perf_counter
 from typing import Callable
@@ -37,6 +70,7 @@ from ..datalog.compiler import CompiledUpdate, compile_update
 from ..datalog.database import Database
 from ..datalog.incremental import Delta, merge_deltas
 from ..datalog.units import build_execution_plan
+from ..obs import NULL_SINK, TraceSink
 from ..schedulers.base import Scheduler
 from ..verify.invariants import VerificationReport
 from .executor import RoundExecutor
@@ -47,6 +81,7 @@ __all__ = [
     "BackpressureError",
     "MaterializationDivergenceError",
     "RoundReport",
+    "RoundVerificationError",
     "UpdateStreamService",
 ]
 
@@ -64,6 +99,25 @@ class MaterializationDivergenceError(RuntimeError):
             f"from-scratch semi-naive evaluation ({detail})"
         )
         self.round_index = round_index
+
+
+class RoundVerificationError(AssertionError):
+    """Strict mode: a recorded round failed the invariant checker.
+
+    Carries the failing :class:`~repro.verify.VerificationReport` so
+    callers can catch by type and inspect the violations — the typed
+    replacement for the bare ``AssertionError`` this path used to
+    raise (subclassing it keeps old ``except AssertionError`` callers
+    working).
+    """
+
+    def __init__(self, round_index: int, report: VerificationReport) -> None:
+        super().__init__(
+            f"round {round_index} failed invariants:\n"
+            + "\n".join(v.format() for v in report.violations)
+        )
+        self.round_index = round_index
+        self.report = report
 
 
 @dataclass
@@ -111,11 +165,18 @@ class UpdateStreamService:
         Run the strict invariant checker on every recorded round and
         compare the materialization against from-scratch evaluation.
     strict:
-        Raise (:class:`AssertionError` from the checker /
+        Raise (:class:`RoundVerificationError` /
         :class:`MaterializationDivergenceError`) on verification
         failure instead of recording it in the report.
     deadline_s:
         Optional per-round wall-clock deadline handed to the executor.
+    max_round_retries:
+        How many consecutive failed rounds re-queue their merged delta
+        at the front before it is dropped (and surfaced on the raised
+        exception). See the module docstring's failed-round policy.
+    sink:
+        Trace sink for per-round spans; the default no-op sink makes
+        every instrumentation point free.
     """
 
     def __init__(
@@ -130,9 +191,15 @@ class UpdateStreamService:
         deadline_s: float | None = None,
         work_per_derivation: float = 1e-3,
         name: str = "live",
+        max_round_retries: int = 2,
+        sink: TraceSink = NULL_SINK,
     ) -> None:
         if capacity <= 0:
             raise ValueError(f"capacity must be positive, got {capacity}")
+        if max_round_retries < 0:
+            raise ValueError(
+                f"max_round_retries must be >= 0, got {max_round_retries}"
+            )
         self.program = program
         self.scheduler = scheduler
         self.workers = workers
@@ -141,9 +208,17 @@ class UpdateStreamService:
         self.deadline_s = deadline_s
         self.work_per_derivation = work_per_derivation
         self.name = name
+        self.max_round_retries = max_round_retries
+        self.sink = sink
         self.metrics = MetricsLog()
         self._edb = edb.copy()
-        self._queue: queue.Queue[Delta] = queue.Queue(maxsize=capacity)
+        #: (delta, enqueue stamp) pairs; the stamp feeds queue_wait_s
+        self._queue: queue.Queue[tuple[Delta, float]] = queue.Queue(
+            maxsize=capacity
+        )
+        #: failed rounds' merged deltas, consumed before the queue
+        self._retry: deque[tuple[Delta, float]] = deque()
+        self._round_attempts = 0
         self._rounds_run = 0
         self._materialization: Database | None = None
 
@@ -157,7 +232,8 @@ class UpdateStreamService:
     ) -> None:
         """Enqueue one update batch; the bounded queue is backpressure."""
         try:
-            self._queue.put(delta, block=block, timeout=timeout)
+            self._queue.put((delta, perf_counter()), block=block,
+                            timeout=timeout)
         except queue.Full:
             raise BackpressureError(
                 f"update queue full ({self._queue.maxsize} batches) — "
@@ -165,8 +241,9 @@ class UpdateStreamService:
             ) from None
 
     def pending_batches(self) -> int:
-        """Approximate number of queued, not-yet-maintained batches."""
-        return self._queue.qsize()
+        """Approximate number of queued, not-yet-maintained batches
+        (including a failed round's re-queued delta, if any)."""
+        return self._queue.qsize() + len(self._retry)
 
     # ------------------------------------------------------------------
     # service side
@@ -178,18 +255,40 @@ class UpdateStreamService:
         """The last round's full materialization (``None`` before any)."""
         return self._materialization
 
-    def _drain(self, block: bool, timeout: float | None) -> list[Delta]:
-        """Pop everything queued right now (first pop may block)."""
+    def _drain(
+        self, block: bool, timeout: float | None
+    ) -> tuple[list[Delta], list[float], int]:
+        """Pop everything pending right now (first pop may block).
+
+        A failed round's re-queued delta comes first — ahead of newer
+        queue batches — and suppresses blocking (the retry must not
+        wait for fresh input). Returns the batches, their enqueue
+        stamps, and how many came off the queue (= how many
+        ``task_done()`` calls the round owes).
+        """
         batches: list[Delta] = []
-        try:
-            batches.append(self._queue.get(block=block, timeout=timeout))
-        except queue.Empty:
-            return batches
+        stamps: list[float] = []
+        for delta, ts in self._retry:
+            batches.append(delta)
+            stamps.append(ts)
+        self._retry.clear()
+        n_queue = 0
+        if not batches:
+            try:
+                delta, ts = self._queue.get(block=block, timeout=timeout)
+            except queue.Empty:
+                return batches, stamps, 0
+            batches.append(delta)
+            stamps.append(ts)
+            n_queue = 1
         while True:
             try:
-                batches.append(self._queue.get_nowait())
+                delta, ts = self._queue.get_nowait()
             except queue.Empty:
-                return batches
+                return batches, stamps, n_queue
+            batches.append(delta)
+            stamps.append(ts)
+            n_queue += 1
 
     def run_round(
         self, block: bool = False, timeout: float | None = None
@@ -199,79 +298,160 @@ class UpdateStreamService:
         Returns ``None`` when the queue is empty (after blocking up to
         ``timeout`` if requested). Batches that arrive while a round is
         in flight wait for — and are coalesced into — the next round.
+
+        On failure the queue's unfinished-task accounting is settled
+        regardless (producers in ``Queue.join()`` never hang) and the
+        merged delta follows the failed-round policy (module
+        docstring): front-re-queue within ``max_round_retries``,
+        otherwise surfaced as ``exc.failed_delta`` on the re-raised
+        exception.
         """
-        depth = self._queue.qsize()
-        batches = self._drain(block, timeout)
+        depth = self.pending_batches()
+        t_drain = perf_counter()
+        batches, stamps, n_queue = self._drain(block, timeout)
         if not batches:
             return None
         t_round = perf_counter()
+        sink = self.sink
+        oldest = min(stamps)
+        queue_wait_s = max(0.0, t_round - oldest)
         delta = merge_deltas(batches)
+        if sink.enabled:
+            sink.record_span_abs(
+                "queue_wait", "queue", oldest, t_round,
+                args={"batches": len(batches)},
+            )
+            sink.record_span_abs(
+                "drain", "phase", t_drain, t_round,
+                args={"batches": len(batches), "from_queue": n_queue},
+            )
+            sink.record_span_abs("merge", "phase", t_round, perf_counter())
+        try:
+            report = self._maintain(
+                delta, len(batches), depth, t_round, queue_wait_s
+            )
+        except BaseException as exc:
+            self._note_failed_round(delta, oldest, exc)
+            raise
+        finally:
+            for _ in range(n_queue):
+                self._queue.task_done()
+        self._round_attempts = 0
+        return report
 
-        t0 = perf_counter()
-        cu = compile_update(
-            self.program,
-            self._edb,
-            delta,
-            work_per_derivation=self.work_per_derivation,
-            name=f"{self.name}:r{self._rounds_run}",
-        )
-        plan = build_execution_plan(cu)
-        compile_s = perf_counter() - t0
+    def _note_failed_round(
+        self, delta: Delta, enqueued_at: float, exc: BaseException
+    ) -> None:
+        """Apply the failed-round policy before the exception re-raises."""
+        self._round_attempts += 1
+        requeued = self._round_attempts <= self.max_round_retries
+        if requeued:
+            self._retry.appendleft((delta, enqueued_at))
+        else:
+            # budget exhausted: drop the poison delta from the service
+            # (the caller holds it via exc.failed_delta) and reset the
+            # budget for whatever round comes next
+            self._round_attempts = 0
+        exc.failed_delta = delta  # type: ignore[attr-defined]
+        exc.delta_requeued = requeued  # type: ignore[attr-defined]
+        if self.sink.enabled:
+            self.sink.record_instant(
+                "round-failed",
+                args={
+                    "round": self._rounds_run,
+                    "error": type(exc).__name__,
+                    "requeued": requeued,
+                    "attempt": self._round_attempts if requeued else (
+                        self.max_round_retries + 1
+                    ),
+                },
+            )
 
-        t0 = perf_counter()
-        outcome = RoundExecutor(
-            plan,
-            self.scheduler,
-            workers=self.workers,
-            deadline=self.deadline_s,
-        ).run()
-        execute_s = perf_counter() - t0
-
-        t0 = perf_counter()
-        artifacts = record_round(outcome, cu.trace)
-        report: VerificationReport | None = None
-        mat_ok = True
-        if self.verify:
-            report = artifacts.check()
-            if self.strict and not report.ok:
-                raise AssertionError(
-                    f"round {self._rounds_run} failed invariants:\n"
-                    + "\n".join(v.format() for v in report.violations)
+    def _maintain(
+        self,
+        delta: Delta,
+        n_batches: int,
+        depth: int,
+        t_round: float,
+        queue_wait_s: float,
+    ) -> RoundReport:
+        """Compile, execute, verify, and commit one merged round."""
+        sink = self.sink
+        with sink.span(
+            "round", "round",
+            args={"index": self._rounds_run, "batches": n_batches},
+        ):
+            t0 = perf_counter()
+            with sink.span("compile", "phase"):
+                cu = compile_update(
+                    self.program,
+                    self._edb,
+                    delta,
+                    work_per_derivation=self.work_per_derivation,
+                    name=f"{self.name}:r{self._rounds_run}",
                 )
-            mat = plan.materialization(outcome.values)
-            mat_ok = mat.as_dict() == cu.db_new.as_dict()
-            if not mat_ok and self.strict:
-                raise MaterializationDivergenceError(
-                    self._rounds_run,
-                    f"{_facts_delta(mat, cu.db_new)} facts differ",
-                )
-        verify_s = perf_counter() - t0
+            with sink.span("plan-build", "phase"):
+                plan = build_execution_plan(cu)
+            compile_s = perf_counter() - t0
 
-        self._edb = cu.edb_new
-        self._materialization = cu.db_new
-        for _ in batches:
-            self._queue.task_done()
+            t0 = perf_counter()
+            with sink.span("execute", "phase") as sp_exec:
+                outcome = RoundExecutor(
+                    plan,
+                    self.scheduler,
+                    workers=self.workers,
+                    deadline=self.deadline_s,
+                    sink=sink,
+                ).run()
+            execute_s = perf_counter() - t0
+            if sink.enabled:
+                sp_exec.set("scheduler_ops", outcome.scheduler_ops)
+                sp_exec.set("tasks_executed", len(outcome.records))
 
-        metrics = RoundMetrics(
-            index=self._rounds_run,
-            trace_name=cu.trace.name,
-            scheduler=self.scheduler.name,
-            workers=self.workers,
-            batches_coalesced=len(batches),
-            queue_depth=depth,
-            n_nodes=cu.trace.dag.n_nodes,
-            n_active=cu.trace.n_active,
-            tasks_executed=len(outcome.records),
-            changed_facts=_facts_delta(cu.db_old, cu.db_new),
-            latency_s=perf_counter() - t_round,
-            compile_s=compile_s,
-            execute_s=execute_s,
-            verify_s=verify_s,
-            makespan_s=artifacts.result.makespan,
-            scheduler_ops=outcome.scheduler_ops,
-            precompute_ops=outcome.precompute_ops,
-            utilization=artifacts.result.utilization,
-        )
+            t0 = perf_counter()
+            with sink.span("verify", "phase"):
+                artifacts = record_round(outcome, cu.trace)
+                report: VerificationReport | None = None
+                mat_ok = True
+                if self.verify:
+                    report = artifacts.check()
+                    if self.strict and not report.ok:
+                        raise RoundVerificationError(
+                            self._rounds_run, report
+                        )
+                    mat = plan.materialization(outcome.values)
+                    mat_ok = mat.as_dict() == cu.db_new.as_dict()
+                    if not mat_ok and self.strict:
+                        raise MaterializationDivergenceError(
+                            self._rounds_run,
+                            f"{_facts_delta(mat, cu.db_new)} facts differ",
+                        )
+            verify_s = perf_counter() - t0
+
+            self._edb = cu.edb_new
+            self._materialization = cu.db_new
+
+            metrics = RoundMetrics(
+                index=self._rounds_run,
+                trace_name=cu.trace.name,
+                scheduler=self.scheduler.name,
+                workers=self.workers,
+                batches_coalesced=n_batches,
+                queue_depth=depth,
+                n_nodes=cu.trace.dag.n_nodes,
+                n_active=cu.trace.n_active,
+                tasks_executed=len(outcome.records),
+                changed_facts=_facts_delta(cu.db_old, cu.db_new),
+                latency_s=perf_counter() - t_round,
+                compile_s=compile_s,
+                execute_s=execute_s,
+                verify_s=verify_s,
+                makespan_s=artifacts.result.makespan,
+                scheduler_ops=outcome.scheduler_ops,
+                precompute_ops=outcome.precompute_ops,
+                utilization=artifacts.result.utilization,
+                queue_wait_s=queue_wait_s,
+            )
         self.metrics.append(metrics)
         self._rounds_run += 1
         return RoundReport(

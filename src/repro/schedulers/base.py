@@ -42,6 +42,8 @@ from typing import TYPE_CHECKING, Callable
 
 import numpy as np
 
+from ..obs.trace import NULL_SINK, TraceSink
+
 if TYPE_CHECKING:  # pragma: no cover
     from ..dag.graph import Dag
     from ..tasks.trace import JobTrace
@@ -130,6 +132,10 @@ class Scheduler(ABC):
         #: :meth:`bind_oracle`), so :meth:`reset_counters` can clear
         #: its stale ready events when the instance is reused
         self._bound_oracle: ReadinessOracle | None = None
+        #: the trace sink of the current run (set by the driver via
+        #: :meth:`bind_sink`); :data:`~repro.obs.NULL_SINK` when
+        #: tracing is off, so :meth:`charge_ops` stays branch-cheap
+        self._bound_sink: TraceSink = NULL_SINK
 
     # ------------------------------------------------------------------
     @abstractmethod
@@ -174,6 +180,31 @@ class Scheduler(ABC):
         self.on_activate(v, t)
 
     # ------------------------------------------------------------------
+    def charge_ops(self, n: int = 1, counter: str | None = None) -> None:
+        """Charge ``n`` abstract ops, attributed to the active span.
+
+        Identical to ``self.ops += n`` for cost accounting; when the
+        bound :class:`~repro.obs.TraceSink` is recording and a
+        ``counter`` name is given, the charge is additionally
+        attributed to the innermost open span (e.g. ``"requeue_events"``
+        on a failure requeue, ``"lookahead_probes"`` in an LBL scan),
+        which is how scheduler decision counters reach the timeline.
+        """
+        self.ops += n
+        sink = self._bound_sink
+        if sink.enabled and counter is not None:
+            sink.add_to_current(counter, n)
+
+    def bind_sink(self, sink: TraceSink) -> None:
+        """Attach the run's trace sink (engine/executor side, not a hook).
+
+        Drivers bind the sink alongside the oracle on every run —
+        including the disabled :data:`~repro.obs.NULL_SINK` — so a
+        scheduler instance reused across rounds never attributes
+        counters to a stale recorder.
+        """
+        self._bound_sink = sink
+
     def note_runtime_memory(self, cells: int) -> None:
         """Update the runtime peak-memory watermark."""
         if cells > self.runtime_peak_memory_cells:

@@ -113,7 +113,7 @@ class HybridScheduler(Scheduler):
         self._buckets[lvl].append(v)
         self._undispatched += 1
         self._n_queued += 1
-        self.ops += 1
+        self.charge_ops(1, "requeue_events")
         self._lb_ops += 1
         before = self._lbx.ops
         self._lbx.on_failure(v, t)

@@ -82,7 +82,7 @@ class LevelBasedScheduler(Scheduler):
         self._buckets[lvl].append(v)
         self._undispatched += 1
         self._n_queued += 1
-        self.ops += 1
+        self.charge_ops(1, "requeue_events")
         self.note_runtime_memory(self._n_queued)
 
     def select(self, max_tasks: int, t: float) -> list[int]:

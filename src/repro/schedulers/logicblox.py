@@ -159,7 +159,7 @@ class LogicBloxScheduler(Scheduler):
         # key never left the active key set (the task never completed),
         # so re-activating via on_activate would double-count the key
         # and permanently block every descendant's scan.
-        self.ops += 1
+        self.charge_ops(1, "requeue_events")
         if self.policy == "fresh":
             self._in_queue[v] = self._seq
             self._seq += 1

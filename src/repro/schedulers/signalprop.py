@@ -66,7 +66,7 @@ class SignalPropagationScheduler(Scheduler):
         # once), so a requeue is a single ready-queue push; nothing to
         # re-propagate.
         self._ready.append(v)
-        self.ops += 1
+        self.charge_ops(1, "requeue_events")
         self.note_runtime_memory(len(self._ready))
 
     # ------------------------------------------------------------------

@@ -46,6 +46,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from ..obs.trace import NULL_SINK, PID_SIM, TraceSink
 from ..schedulers.base import ReadinessOracle, Scheduler, SchedulerContext
 from ..tasks.model import ExecutionModel, max_useful_processors
 from ..tasks.trace import JobTrace
@@ -129,6 +130,7 @@ def simulate(
     deadline: float | None = None,
     watchdog: int | None = None,
     debug_stats: dict | None = None,
+    sink: TraceSink = NULL_SINK,
 ) -> SimulationResult:
     """Run ``scheduler`` on ``trace`` with ``processors`` cores.
 
@@ -156,6 +158,15 @@ def simulate(
 
     ``debug_stats``, when a dict, receives engine internals after the
     run (currently ``peak_event_heap``) — used by regression tests.
+
+    ``sink`` — a recording :class:`~repro.obs.TraceSink` captures the
+    run on the *simulation* clock (Chrome-trace pid
+    :data:`~repro.obs.PID_SIM`): one lane per processor with a span per
+    task attempt, fault spans for failed attempts, and instant markers
+    for retries, quarantines, and processor churn. All instrumentation
+    is gated on ``sink.enabled``, so the default no-op sink leaves the
+    engine's behavior — including event ordering and float arithmetic —
+    byte-identical.
     """
     if processors <= 0:
         raise ValueError(f"processors must be positive, got {processors}")
@@ -171,6 +182,23 @@ def simulate(
     scheduler.reset_counters()
     oracle = ReadinessOracle(state.is_ready)
     scheduler.bind_oracle(oracle)
+    scheduler.bind_sink(sink)
+    tracing = sink.enabled
+    # sim-clock visualization lanes: one per processor, lowest free
+    # lane per dispatched attempt (tracing only — never touches `t`)
+    free_lanes: list[int] = list(range(processors)) if tracing else []
+    lane_of: dict[int, int] = {}
+
+    def _take_lane(node: int) -> None:
+        lane_of[node] = (
+            heapq.heappop(free_lanes) if free_lanes else processors
+        )
+
+    def _drop_lane(node: int) -> int:
+        lane = lane_of.pop(node, processors)
+        if lane < processors:
+            heapq.heappush(free_lanes, lane)
+        return lane
     ctx = SchedulerContext(
         trace=trace,
         processors=processors,
@@ -321,6 +349,8 @@ def simulate(
             else:
                 push_event(rec.span_end, _EV_COMPLETE, node, rec.version)
         running[node] = rec
+        if tracing:
+            _take_lane(node)
 
     def reallot_idle(now: float) -> None:
         """Give leftover idle processors to running malleable tasks."""
@@ -375,6 +405,11 @@ def simulate(
             "task-retry", now, node, attempts.get(node, 0) + 1
         )
         oracle.push_ready_events([node])
+        if tracing:
+            sink.record_instant(
+                "retry", t=now, tid=processors, pid=PID_SIM,
+                args={"node": node, "attempt": attempts.get(node, 0) + 1},
+            )
         ops_before = scheduler.ops
         scheduler.on_failure(node, now)
         charge(scheduler.ops - ops_before)
@@ -383,6 +418,11 @@ def simulate(
         """Degrade mode: resolve ``node`` without running it."""
         dispatchable, suppressed = state.fail_permanently(node)
         quarantined.append(node)
+        if tracing:
+            sink.record_instant(
+                "quarantine", t=now, tid=processors, pid=PID_SIM,
+                args={"node": node},
+            )
         fault_log.record("quarantine", now, node, attempts.get(node, 0))
         prop_executed = trace.propagation.executed
         for v in suppressed:
@@ -414,6 +454,12 @@ def simulate(
             return
         node = max(running)
         rec = running.pop(node)
+        if tracing:
+            sink.record_span(
+                f"task:{node}", "sim-kill", rec.start, now,
+                tid=_drop_lane(node), pid=PID_SIM,
+                args={"node": node, "alloc": rec.alloc, "killed": True},
+            )
         ver_base[node] = rec.version + 1
         update_malleable(rec, now)
         idle += rec.alloc - 1  # one core died; the rest return to the pool
@@ -538,6 +584,12 @@ def simulate(
             busy_proc_seconds += duration * rec.alloc
             tasks_executed += 1
             total_work_done += float(work[node])
+            if tracing:
+                sink.record_span(
+                    f"task:{node}", "sim-task", rec.start, t,
+                    tid=_drop_lane(node), pid=PID_SIM,
+                    args={"node": node, "alloc": rec.alloc},
+                )
             if record_schedule:
                 schedule.append(
                     DispatchRecord(
@@ -559,6 +611,12 @@ def simulate(
             assert faults is not None
             update_malleable(rec, t)
             del running[node]
+            if tracing:
+                sink.record_span(
+                    f"task:{node}", "sim-fault", rec.start, t,
+                    tid=_drop_lane(node), pid=PID_SIM,
+                    args={"node": node, "alloc": rec.alloc, "failed": True},
+                )
             ver_base[node] = rec.version + 1
             idle += rec.alloc
             lost = (t - rec.start) * rec.alloc
@@ -594,6 +652,11 @@ def simulate(
             downtime = churn_downtimes.popleft()
             schedule_next_proc_failure()
             floor = min(faults.min_processors, processors)
+            if tracing:
+                sink.record_instant(
+                    "proc-fail", t=t, tid=processors, pid=PID_SIM,
+                    args={"capacity": capacity, "downtime": downtime},
+                )
             if capacity <= floor:
                 fault_log.record(
                     "proc-fail", t, applied=0.0, downtime=downtime
@@ -614,9 +677,28 @@ def simulate(
             _bump_fault_live(-1)
             capacity += 1
             idle += 1
+            if tracing:
+                sink.record_instant(
+                    "proc-recover", t=t, tid=processors, pid=PID_SIM,
+                    args={"capacity": capacity},
+                )
             fault_log.record("proc-recover", t, applied=1.0)
 
     makespan = t
+    if tracing:
+        sink.record_span(
+            f"simulate:{trace.name}", "sim-run", 0.0, makespan,
+            tid=processors, pid=PID_SIM,
+            args={
+                "scheduler": scheduler.name,
+                "processors": processors,
+                "tasks_executed": tasks_executed,
+                "scheduler_ops": scheduler.ops,
+                "precompute_ops": scheduler.precompute_ops,
+                "select_calls": select_calls,
+                "charged_overhead": charged_overhead,
+            },
+        )
     exec_makespan = max(0.0, makespan - (charged_overhead if overhead.charge_inline else 0.0))
     util = (
         busy_proc_seconds / (processors * exec_makespan)

@@ -36,9 +36,16 @@ Rules
     ``super().__init__()`` (the base class owns the cost counters),
     overriding engine-reserved methods (``reset_counters``,
     ``note_runtime_memory``), mutating the shared
-    :class:`~repro.schedulers.base.SchedulerContext`, or overriding
+    :class:`~repro.schedulers.base.SchedulerContext`, overriding
     ``on_failure`` without ever charging ``self.ops`` (a requeue
-    re-enters the scheduler's modeled machinery and is never free).
+    re-enters the scheduler's modeled machinery and is never free), or
+    charging ops *outside an active span*: a method that mutates
+    ``self.ops`` (or calls ``charge_ops``) but is neither a scheduling
+    hook nor reachable from one through ``self`` calls. The engine and
+    executor attribute per-hook ops deltas to the currently open trace
+    span; ops charged from anywhere else (``__init__``, an external
+    entry point, a dangling helper) are invisible to that attribution
+    and skew both the trace and the overhead accounting.
 
 Suppression
 -----------
@@ -315,6 +322,64 @@ def _loop_charges_ops(loop: ast.stmt, aliases: _Aliases) -> bool:
     return False
 
 
+def _charges_ops(fn: ast.FunctionDef) -> ast.AST | None:
+    """First node in ``fn`` that charges the scheduler's op counter."""
+    for node in ast.walk(fn):
+        if (
+            isinstance(node, ast.AugAssign)
+            and isinstance(node.target, ast.Attribute)
+            and node.target.attr == "ops"
+            and _chain_root(node.target) == "self"
+        ):
+            return node
+        if (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr == "charge_ops"
+            and _chain_root(node.func) == "self"
+        ):
+            return node
+    return None
+
+
+def _self_call_graph(
+    methods: list[ast.FunctionDef],
+) -> dict[str, set[str]]:
+    """``method name → names of self methods it calls`` (one class)."""
+    graph: dict[str, set[str]] = {}
+    for fn in methods:
+        calls: set[str] = set()
+        for node in ast.walk(fn):
+            if (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and isinstance(node.func.value, ast.Name)
+                and node.func.value.id == "self"
+            ):
+                calls.add(node.func.attr)
+        graph[fn.name] = calls
+    return graph
+
+
+def _hook_reachable(methods: list[ast.FunctionDef]) -> set[str]:
+    """Methods reachable from the engine-invoked entry points.
+
+    The engine opens a trace span around every hook invocation (and
+    ``prepare``), so these are exactly the methods whose op charges
+    land inside an active span.
+    """
+    graph = _self_call_graph(methods)
+    roots = (_HOOK_METHODS | {"prepare"}) & set(graph)
+    seen = set(roots)
+    stack = list(roots)
+    while stack:
+        for callee in graph.get(stack.pop(), ()):
+            if callee in graph and callee not in seen:
+                seen.add(callee)
+                stack.append(callee)
+    return seen
+
+
 def _ctx_param_names(fn: ast.FunctionDef) -> set[str]:
     names: set[str] = set()
     for arg in list(fn.args.posonlyargs) + list(fn.args.args) + list(
@@ -342,6 +407,7 @@ def _lint_class(
     out: list[LintFinding],
 ) -> None:
     methods = [n for n in cls.body if isinstance(n, ast.FunctionDef)]
+    in_span = _hook_reachable(methods)
 
     aliases = _Aliases()
     # two passes so `o = ctx.oracle; self._o = o` chains resolve
@@ -379,6 +445,23 @@ def _lint_class(
                 "reset_counters/note_runtime_memory belong to the engine "
                 "contract; override the four scheduling hooks instead",
             )
+
+        # ---- api-contract: ops charged outside an active span -------
+        if fn.name not in in_span:
+            charge_site = _charges_ops(fn)
+            if charge_site is not None:
+                add(
+                    charge_site,
+                    API_CONTRACT,
+                    f"{fn.name}() charges self.ops outside an active "
+                    "span (not reachable from any scheduling hook)",
+                    "the engine attributes per-hook ops deltas to the "
+                    "open trace span; charge ops only from "
+                    "select/on_activate/on_complete/on_failure/prepare "
+                    "or helpers they call (or suppress with "
+                    "# verify: ignore[api-contract] if the entry point "
+                    "is engine-invoked another way)",
+                )
 
         ctx_names = _ctx_param_names(fn)
         local = _Aliases()

@@ -1,0 +1,176 @@
+"""Exporters: Chrome trace_event schema, JSONL, and the validator."""
+
+from __future__ import annotations
+
+import io
+import json
+
+from repro.obs import (
+    PID_REAL,
+    PID_SIM,
+    TraceRecorder,
+    chrome_trace,
+    jsonl_records,
+    validate_chrome_trace,
+    write_chrome_trace,
+    write_jsonl,
+)
+
+
+def recorded() -> TraceRecorder:
+    rec = TraceRecorder()
+    rec.set_thread_name("service")
+    with rec.span("round", "round", args={"index": 0}):
+        with rec.span("compile", "phase"):
+            pass
+    rec.record_span("task:3", "sim-task", 0.5, 1.5, tid=1)
+    rec.record_instant("round-failed", args={"round": 0})
+    return rec
+
+
+class TestChromeExport:
+    def test_emitted_payload_passes_validator(self):
+        payload = chrome_trace(recorded())
+        assert validate_chrome_trace(payload) == []
+
+    def test_span_becomes_complete_event_in_microseconds(self):
+        rec = TraceRecorder()
+        rec.record_span("task:1", "sim-task", 1.0, 3.0, tid=2)
+        payload = chrome_trace(rec)
+        (ev,) = [e for e in payload["traceEvents"] if e["ph"] == "X"]
+        assert ev["name"] == "task:1"
+        assert ev["ts"] == 1.0 * 1e6
+        assert ev["dur"] == 2.0 * 1e6
+        assert ev["pid"] == PID_SIM
+        assert ev["tid"] == 2
+
+    def test_instants_carry_scope(self):
+        payload = chrome_trace(recorded())
+        instants = [e for e in payload["traceEvents"] if e["ph"] == "i"]
+        assert instants and all(e["s"] == "t" for e in instants)
+
+    def test_metadata_names_processes_and_threads(self):
+        payload = chrome_trace(recorded())
+        meta = [e for e in payload["traceEvents"] if e["ph"] == "M"]
+        proc = {
+            e["pid"]: e["args"]["name"]
+            for e in meta
+            if e["name"] == "process_name"
+        }
+        assert "wall clock" in proc[PID_REAL]
+        assert "sim clock" in proc[PID_SIM]
+        thread = [e for e in meta if e["name"] == "thread_name"]
+        assert any(e["args"]["name"] == "service" for e in thread)
+
+    def test_write_chrome_trace_roundtrips(self):
+        rec = recorded()
+        buf = io.StringIO()
+        n = write_chrome_trace(rec, buf)
+        payload = json.loads(buf.getvalue())
+        assert len(payload["traceEvents"]) == n
+        assert validate_chrome_trace(payload) == []
+
+
+class TestJsonl:
+    def test_records_carry_parent_and_duration(self):
+        recs = jsonl_records(recorded())
+        by_name = {r["name"]: r for r in recs}
+        assert by_name["compile"]["parent"] == "round"
+        assert by_name["compile"]["type"] == "span"
+        assert by_name["compile"]["dur_s"] >= 0.0
+        assert by_name["round-failed"]["type"] == "instant"
+        assert "dur_s" not in by_name["round-failed"]
+
+    def test_write_jsonl_one_object_per_line(self):
+        buf = io.StringIO()
+        n = write_jsonl(recorded(), buf)
+        lines = [ln for ln in buf.getvalue().splitlines() if ln]
+        assert len(lines) == n
+        for ln in lines:
+            json.loads(ln)
+
+
+class TestValidator:
+    def test_rejects_non_object(self):
+        assert validate_chrome_trace([1, 2]) != []
+
+    def test_rejects_missing_trace_events(self):
+        assert validate_chrome_trace({"foo": []}) != []
+
+    def test_rejects_empty_event_list(self):
+        assert validate_chrome_trace({"traceEvents": []}) != []
+
+    def test_rejects_missing_required_keys(self):
+        errs = validate_chrome_trace(
+            {"traceEvents": [{"name": "x", "ph": "X"}]}
+        )
+        assert any("missing keys" in e for e in errs)
+
+    def test_rejects_unknown_phase(self):
+        errs = validate_chrome_trace(
+            {
+                "traceEvents": [
+                    {"name": "x", "ph": "Q", "ts": 0, "pid": 1, "tid": 0}
+                ]
+            }
+        )
+        assert any("unknown phase" in e for e in errs)
+
+    def test_rejects_complete_event_without_dur(self):
+        errs = validate_chrome_trace(
+            {
+                "traceEvents": [
+                    {"name": "x", "ph": "X", "ts": 0, "pid": 1, "tid": 0}
+                ]
+            }
+        )
+        assert any("'dur'" in e for e in errs)
+
+    def test_rejects_negative_dur(self):
+        errs = validate_chrome_trace(
+            {
+                "traceEvents": [
+                    {
+                        "name": "x", "ph": "X", "ts": 0, "dur": -1,
+                        "pid": 1, "tid": 0,
+                    }
+                ]
+            }
+        )
+        assert any("'dur'" in e for e in errs)
+
+    def test_rejects_instant_without_scope(self):
+        errs = validate_chrome_trace(
+            {
+                "traceEvents": [
+                    {"name": "x", "ph": "i", "ts": 0, "pid": 1, "tid": 0}
+                ]
+            }
+        )
+        assert any("scope" in e for e in errs)
+
+    def test_rejects_metadata_without_name_arg(self):
+        errs = validate_chrome_trace(
+            {
+                "traceEvents": [
+                    {
+                        "name": "process_name", "ph": "M", "ts": 0,
+                        "pid": 1, "tid": 0, "args": {},
+                    }
+                ]
+            }
+        )
+        assert any("args.name" in e for e in errs)
+
+    def test_rejects_non_integer_pid(self):
+        errs = validate_chrome_trace(
+            {
+                "traceEvents": [
+                    {
+                        "name": "x", "ph": "X", "ts": 0, "dur": 1,
+                        "pid": "real", "tid": 0,
+                    }
+                ]
+            }
+        )
+        assert any("'pid'" in e for e in errs)

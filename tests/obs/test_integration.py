@@ -1,0 +1,182 @@
+"""End-to-end tracing: service spans reconcile with RoundMetrics, the
+simulator records on the sim clock without perturbing results, and the
+``repro trace`` CLI emits a schema-valid Chrome trace."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.obs import (
+    PID_SIM,
+    TraceRecorder,
+    chrome_trace,
+    validate_chrome_trace,
+)
+from repro.runtime import UpdateStreamService, live_workload, make_stream
+from repro.schedulers import scheduler_registry
+from repro.sim import simulate
+from repro.workloads import make_trace
+
+REGISTRY = scheduler_registry()
+
+
+def traced_service(rounds=6, scheduler="levelbased"):
+    wl = live_workload("retail", seed=5)
+    rec = TraceRecorder()
+    svc = UpdateStreamService(
+        wl.program, wl.edb, REGISTRY[scheduler](), workers=4, sink=rec
+    )
+    for batches in make_stream(wl, "steady", rounds=rounds, batch_size=2):
+        for delta in batches:
+            svc.submit(delta)
+        svc.run_round()
+    return rec, svc
+
+
+class TestServiceReconciliation:
+    @pytest.fixture(scope="class")
+    def run(self):
+        return traced_service()
+
+    def test_round_span_covers_99_percent_of_latency(self, run):
+        rec, svc = run
+        rounds = {
+            r.args["index"]: r
+            for r in rec.records()
+            if r.name == "round"
+        }
+        assert len(rounds) == len(svc.metrics.rounds)
+        for m in svc.metrics.rounds:
+            span = rounds[m.index]
+            assert span.duration >= 0.99 * m.latency_s
+
+    def test_phase_spans_reconcile_with_metrics(self, run):
+        rec, svc = run
+        records = rec.records()
+        rounds = sorted(
+            (r for r in records if r.name == "round"),
+            key=lambda r: r.args["index"],
+        )
+        by_parent_window = {}
+        for r in records:
+            if r.cat == "phase" and r.parent == "round":
+                by_parent_window.setdefault(r.name, []).append(r)
+
+        def child_in(round_span, name):
+            return next(
+                c
+                for c in by_parent_window.get(name, ())
+                if round_span.t0 <= c.t0 and (c.t1 or 0) <= (round_span.t1 or 0)
+            )
+
+        for m, round_span in zip(svc.metrics.rounds, rounds):
+            tol = max(0.01 * m.latency_s, 1e-3)
+            compile_spans = (
+                child_in(round_span, "compile").duration
+                + child_in(round_span, "plan-build").duration
+            )
+            assert compile_spans == pytest.approx(m.compile_s, abs=tol)
+            assert child_in(round_span, "execute").duration == pytest.approx(
+                m.execute_s, abs=tol
+            )
+            assert child_in(round_span, "verify").duration == pytest.approx(
+                m.verify_s, abs=tol
+            )
+
+    def test_queue_phases_recorded_per_round(self, run):
+        rec, svc = run
+        n = len(svc.metrics.rounds)
+        names = [r.name for r in rec.records()]
+        assert names.count("queue_wait") == n
+        assert names.count("drain") == n
+        assert names.count("merge") == n
+
+    def test_unit_spans_carry_worker_lanes_and_counters(self, run):
+        rec, svc = run
+        records = rec.records()
+        units = [r for r in records if r.cat == "unit"]
+        total_tasks = sum(m.tasks_executed for m in svc.metrics.rounds)
+        assert len(units) == total_tasks
+        service_tid = next(r.tid for r in records if r.name == "round")
+        assert all(u.tid != service_tid for u in units)
+        worker_labels = set(rec.thread_names().values())
+        assert any(lbl.startswith("repro-runtime") for lbl in worker_labels)
+        # scheduler decision counters attributed to the execute span
+        ex = next(r for r in records if r.name == "execute")
+        assert ex.args.get("select_calls", 0) >= 1
+        assert "ready_scan_ops" in ex.args
+        assert ex.args.get("scheduler_ops", 0) >= 1
+
+    def test_export_is_schema_valid(self, run):
+        rec, _ = run
+        assert validate_chrome_trace(chrome_trace(rec)) == []
+
+
+class TestSimulatorTracing:
+    def test_sim_spans_on_sim_clock_without_perturbing_result(self):
+        trace = make_trace(2, scale=0.5)
+        base = simulate(trace, REGISTRY["hybrid"](), processors=4)
+        rec = TraceRecorder()
+        traced = simulate(
+            trace, REGISTRY["hybrid"](), processors=4, sink=rec
+        )
+        # tracing must not change the simulation (golden determinism)
+        assert traced.makespan == base.makespan
+        assert traced.scheduling_ops == base.scheduling_ops
+        assert traced.tasks_executed == base.tasks_executed
+        records = rec.records()
+        tasks = [r for r in records if r.cat == "sim-task"]
+        assert len(tasks) == base.tasks_executed
+        assert all(r.pid == PID_SIM for r in tasks)
+        assert all(0 <= r.tid < 4 for r in tasks)
+        assert all((r.t1 or 0) <= base.makespan + 1e-9 for r in tasks)
+        run_span = next(r for r in records if r.cat == "sim-run")
+        assert run_span.t0 == 0.0
+        assert run_span.t1 == pytest.approx(base.makespan)
+        assert run_span.args["scheduler_ops"] == base.scheduling_ops
+
+    def test_fault_run_records_retry_markers(self):
+        from repro.sim import FaultPlan
+
+        trace = make_trace(2, scale=0.5)
+        rec = TraceRecorder()
+        simulate(
+            trace,
+            REGISTRY["hybrid"](),
+            processors=4,
+            faults=FaultPlan(seed=7, task_fail_prob=0.1, max_retries=None),
+            sink=rec,
+        )
+        records = rec.records()
+        assert any(r.cat == "sim-fault" for r in records)
+        assert any(r.name == "retry" for r in records)
+
+
+class TestTraceCli:
+    def test_trace_command_writes_valid_chrome_trace(self, tmp_path, capsys):
+        out = tmp_path / "trace.json"
+        jsonl = tmp_path / "trace.jsonl"
+        rc = main(
+            [
+                "trace",
+                "--stream", "retail",
+                "--scheduler", "levelbased",
+                "--rounds", "4",
+                "-o", str(out),
+                "--jsonl", str(jsonl),
+            ]
+        )
+        assert rc == 0
+        payload = json.loads(out.read_text())
+        assert validate_chrome_trace(payload) == []
+        assert sum(1 for ln in jsonl.read_text().splitlines() if ln) > 0
+        text = capsys.readouterr().out
+        assert "slowest" in text
+        assert "queue-wait" in text
+
+    def test_trace_command_rejects_unknown_workload(self, tmp_path):
+        with pytest.raises(SystemExit, match="unknown live program"):
+            main(["trace", "--stream", "nope", "-o", str(tmp_path / "t.json")])

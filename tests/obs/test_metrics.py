@@ -1,0 +1,113 @@
+"""Histogram accuracy, counter semantics, and the registry."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.obs import Counter, Histogram, MetricsRegistry
+
+
+class TestHistogram:
+    @pytest.mark.parametrize("q", [10.0, 50.0, 90.0, 99.0])
+    def test_percentiles_within_relative_precision(self, q):
+        rng = np.random.default_rng(42)
+        samples = rng.lognormal(mean=-5.0, sigma=1.2, size=5000)
+        h = Histogram("latency_s", precision=0.01)
+        h.observe_many(samples)
+        exact = float(np.percentile(samples, q))
+        est = h.percentile(q)
+        # bucketing error ≤ precision; sampling-rank convention adds a
+        # little slack, 2% covers both comfortably on 5000 samples
+        assert est == pytest.approx(exact, rel=0.02)
+
+    def test_exact_count_sum_min_max(self):
+        vals = [0.003, 0.018, 0.5, 0.0072]
+        h = Histogram()
+        h.observe_many(vals)
+        assert h.count == 4
+        assert h.sum == pytest.approx(sum(vals))
+        assert h.min == min(vals)
+        assert h.max == max(vals)
+        assert h.mean == pytest.approx(sum(vals) / 4)
+
+    def test_percentile_clamped_to_observed_range(self):
+        h = Histogram()
+        h.observe(0.25)
+        for q in (0.0, 50.0, 100.0):
+            assert h.percentile(q) == pytest.approx(0.25, rel=0.01)
+        assert h.percentile(100.0) <= h.max
+        assert h.percentile(0.0) >= h.min
+
+    def test_empty_histogram(self):
+        h = Histogram()
+        assert h.percentile(99.0) == 0.0
+        assert h.mean == 0.0
+        assert h.to_json_dict()["count"] == 0
+
+    def test_zero_and_tiny_values_use_zero_bucket(self):
+        h = Histogram(min_value=1e-9)
+        h.observe(0.0)
+        h.observe(1e-12)
+        h.observe(0.1)
+        assert h.zero_count == 2
+        assert h.percentile(0.0) == 0.0
+        assert h.percentile(100.0) == pytest.approx(0.1, rel=0.01)
+
+    def test_memory_is_bucket_bounded(self):
+        rng = np.random.default_rng(7)
+        h = Histogram(precision=0.01)
+        h.observe_many(rng.uniform(1e-4, 1e-1, size=20000))
+        # ~6.9 decades of log1p(0.01)*2 buckets ≈ 350 max for the range
+        assert len(h.counts) < 400
+
+    def test_json_shape(self):
+        h = Histogram("x")
+        h.observe_many([0.01, 0.02, 0.04])
+        d = h.to_json_dict()
+        assert d["type"] == "histogram"
+        assert d["count"] == 3
+        assert {"p50", "p90", "p99"} <= set(d)
+        assert all(c >= 1 for _, c in d["buckets"])
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            Histogram(precision=0.0)
+        with pytest.raises(ValueError):
+            Histogram(precision=1.5)
+        with pytest.raises(ValueError):
+            Histogram(min_value=0.0)
+        h = Histogram()
+        with pytest.raises(ValueError):
+            h.percentile(101.0)
+
+
+class TestCounter:
+    def test_increments(self):
+        c = Counter("tasks")
+        c.inc()
+        c.inc(4)
+        assert c.value == 5
+        assert c.to_json_dict() == {"type": "counter", "value": 5}
+
+    def test_rejects_negative(self):
+        c = Counter("tasks")
+        with pytest.raises(ValueError):
+            c.inc(-1)
+
+
+class TestRegistry:
+    def test_get_or_create_is_stable(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("latency_s")
+        assert reg.histogram("latency_s") is h
+        c = reg.counter("rounds")
+        assert reg.counter("rounds") is c
+
+    def test_json_dict_merges_both_kinds(self):
+        reg = MetricsRegistry()
+        reg.histogram("latency_s").observe(0.02)
+        reg.counter("rounds").inc()
+        d = reg.to_json_dict()
+        assert d["latency_s"]["type"] == "histogram"
+        assert d["rounds"]["type"] == "counter"

@@ -1,0 +1,207 @@
+"""Span recording: nesting, per-thread buffers, and the no-op sink."""
+
+from __future__ import annotations
+
+import threading
+from time import perf_counter
+
+from repro.obs import (
+    NULL_SINK,
+    PID_REAL,
+    PID_SIM,
+    NullSink,
+    TraceRecorder,
+    TraceSink,
+)
+from repro.obs.trace import _NOOP_SPAN
+
+
+class TestRecorderSpans:
+    def test_span_records_bounds_and_category(self):
+        rec = TraceRecorder()
+        with rec.span("round", "round", args={"index": 0}):
+            pass
+        (r,) = rec.records()
+        assert r.name == "round"
+        assert r.cat == "round"
+        assert r.pid == PID_REAL
+        assert r.t1 is not None and r.t1 >= r.t0 >= 0.0
+        assert r.args["index"] == 0
+        assert r.duration == r.t1 - r.t0
+
+    def test_nested_spans_carry_parent_links(self):
+        rec = TraceRecorder()
+        with rec.span("round", "round"):
+            with rec.span("compile", "phase"):
+                pass
+            with rec.span("execute", "phase"):
+                with rec.span("unit:3", "unit"):
+                    pass
+        by_name = {r.name: r for r in rec.records()}
+        assert by_name["round"].parent is None
+        assert by_name["compile"].parent == "round"
+        assert by_name["execute"].parent == "round"
+        assert by_name["unit:3"].parent == "execute"
+
+    def test_inner_spans_close_before_outer(self):
+        rec = TraceRecorder()
+        with rec.span("outer"):
+            with rec.span("inner"):
+                pass
+        by_name = {r.name: r for r in rec.records()}
+        assert by_name["outer"].t0 <= by_name["inner"].t0
+        assert by_name["inner"].t1 <= by_name["outer"].t1
+
+    def test_exception_stamps_error_and_closes_span(self):
+        rec = TraceRecorder()
+        try:
+            with rec.span("round", "round"):
+                raise ValueError("boom")
+        except ValueError:
+            pass
+        (r,) = rec.records()
+        assert r.args["error"] == "ValueError"
+        assert r.t1 is not None
+
+    def test_add_to_current_attributes_to_innermost(self):
+        rec = TraceRecorder()
+        with rec.span("outer"):
+            rec.add_to_current("ops", 2)
+            with rec.span("inner"):
+                rec.add_to_current("ops", 5)
+                rec.add_to_current("ops", 1)
+        by_name = {r.name: r for r in rec.records()}
+        assert by_name["outer"].args["ops"] == 2
+        assert by_name["inner"].args["ops"] == 6
+
+    def test_add_to_current_without_open_span_is_noop(self):
+        rec = TraceRecorder()
+        rec.add_to_current("ops", 3)
+        assert rec.records() == []
+
+    def test_current_span_reflects_stack(self):
+        rec = TraceRecorder()
+        assert rec.current_span() is None
+        with rec.span("a") as sp:
+            assert rec.current_span() is sp
+        assert rec.current_span() is None
+
+
+class TestThreads:
+    def test_worker_spans_land_in_own_lane(self):
+        rec = TraceRecorder()
+        seen_tids = {}
+        # keep all threads alive together so OS thread ids are distinct
+        barrier = threading.Barrier(4)
+
+        def work(i):
+            rec.set_thread_name(f"worker-{i}")
+            with rec.span(f"unit:{i}", "unit"):
+                barrier.wait(timeout=5)
+            seen_tids[i] = threading.get_ident()
+
+        threads = [
+            threading.Thread(target=work, args=(i,)) for i in range(4)
+        ]
+        for th in threads:
+            th.start()
+        for th in threads:
+            th.join()
+        records = rec.records()
+        assert len(records) == 4
+        tids = {r.name: r.tid for r in records}
+        for i in range(4):
+            assert tids[f"unit:{i}"] == seen_tids[i]
+        names = rec.thread_names()
+        for i in range(4):
+            assert names[seen_tids[i]] == f"worker-{i}"
+
+    def test_parent_links_do_not_cross_threads(self):
+        rec = TraceRecorder()
+        with rec.span("service-side"):
+            done = threading.Event()
+
+            def worker():
+                with rec.span("worker-side"):
+                    pass
+                done.set()
+
+            th = threading.Thread(target=worker)
+            th.start()
+            th.join()
+            assert done.wait(1)
+        by_name = {r.name: r for r in rec.records()}
+        assert by_name["worker-side"].parent is None
+
+
+class TestExplicitRecords:
+    def test_record_span_sim_domain(self):
+        rec = TraceRecorder()
+        rec.record_span("task:7", "sim-task", 1.5, 2.25, tid=3,
+                        args={"alloc": 2})
+        (r,) = rec.records()
+        assert r.pid == PID_SIM
+        assert (r.t0, r.t1, r.tid) == (1.5, 2.25, 3)
+        assert r.args["alloc"] == 2
+
+    def test_record_span_abs_is_epoch_relative(self):
+        rec = TraceRecorder()
+        a = perf_counter()
+        b = perf_counter()
+        rec.record_span_abs("drain", "phase", a, b)
+        (r,) = rec.records()
+        assert r.pid == PID_REAL
+        assert abs(r.t0 - (a - rec.epoch)) < 1e-9
+        assert abs((r.t1 or 0.0) - (b - rec.epoch)) < 1e-9
+
+    def test_record_instant(self):
+        rec = TraceRecorder()
+        rec.record_instant("round-failed", args={"round": 2})
+        (r,) = rec.records()
+        assert r.t1 is None
+        assert r.duration == 0.0
+        assert r.cat == "instant"
+
+    def test_records_sorted_by_domain_then_time(self):
+        rec = TraceRecorder()
+        rec.record_span("sim-late", "sim", 9.0, 10.0)
+        with rec.span("real"):
+            pass
+        rec.record_span("sim-early", "sim", 1.0, 2.0)
+        names = [r.name for r in rec.records()]
+        assert names == ["real", "sim-early", "sim-late"]
+
+
+class TestDisabledSink:
+    def test_null_sink_is_disabled_tracesink(self):
+        assert isinstance(NULL_SINK, NullSink)
+        assert isinstance(NULL_SINK, TraceSink)
+        assert NULL_SINK.enabled is False
+
+    def test_span_returns_shared_noop_object(self):
+        # zero-allocation guarantee: every call yields the same object
+        s1 = NULL_SINK.span("a", "phase", args={"x": 1})
+        s2 = NULL_SINK.span("b")
+        assert s1 is s2 is _NOOP_SPAN
+
+    def test_noop_span_supports_full_surface(self):
+        with NULL_SINK.span("a") as sp:
+            sp.add("ops", 3)
+            sp.set("k", "v")
+
+    def test_all_record_methods_are_noops(self):
+        NULL_SINK.record_span("x", "c", 0.0, 1.0)
+        NULL_SINK.record_span_abs("x", "c", 0.0, 1.0)
+        NULL_SINK.record_instant("x")
+        NULL_SINK.add_to_current("ops")
+        NULL_SINK.set_thread_name("w")
+
+    def test_noop_span_swallows_nothing(self):
+        # the no-op context manager must not suppress exceptions
+        try:
+            with NULL_SINK.span("a"):
+                raise KeyError("x")
+        except KeyError:
+            pass
+        else:  # pragma: no cover
+            raise AssertionError("exception was swallowed")

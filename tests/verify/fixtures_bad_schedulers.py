@@ -161,3 +161,34 @@ class SuppressedScheduler(Scheduler):
     def select(self, max_tasks: int, t: float) -> list[int]:
         self.ops += 1
         return []
+
+
+class OffSpanChargingScheduler(Scheduler):
+    """Charges ops from entry points no engine hook ever reaches."""
+
+    name = "off-span"
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.ops += 5  # line: api-contract (outside an active span)
+        self._queue: list[int] = []
+
+    def prepare(self, ctx: SchedulerContext) -> None:
+        pass
+
+    def on_activate(self, v: int, t: float) -> None:
+        self._queue.append(v)
+        self.ops += 1
+
+    def on_complete(self, v: int, t: float) -> None:
+        self.ops += 1
+
+    def select(self, max_tasks: int, t: float) -> list[int]:
+        out = self._queue[:max_tasks]
+        del self._queue[: len(out)]
+        self.ops += len(out) + 1
+        return out
+
+    def recompute_priorities(self) -> None:
+        """Externally-invoked maintenance: its ops bypass the trace."""
+        self.charge_ops(len(self._queue))  # line: api-contract (off-span)

@@ -224,3 +224,63 @@ def test_findings_carry_location_and_format(findings):
 def test_lint_paths_rejects_non_python(tmp_path):
     with pytest.raises(ValueError, match="not a python file"):
         lint_paths([tmp_path / "nope.txt"])
+
+
+# ----------------------------------------------------------------------
+# api-contract: ops charged outside an active span
+# ----------------------------------------------------------------------
+def test_off_span_charges_fire(findings):
+    off = by_class(findings, "OffSpanChargingScheduler")
+    assert {f.rule for f in off} == {"api-contract"}
+    assert len(off) == 2
+    msgs = [f.message for f in off]
+    assert any("__init__() charges self.ops" in m for m in msgs)
+    assert any("recompute_priorities() charges self.ops" in m for m in msgs)
+    assert all("outside an active span" in m for m in msgs)
+
+
+def test_helper_reachable_from_hook_is_clean():
+    # the engine opens a span around select(); a helper it calls
+    # transitively charges inside that span
+    src = """
+class LayeredScheduler(Scheduler):
+    def select(self, max_tasks, t):
+        return self._scan(max_tasks)
+
+    def _scan(self, max_tasks):
+        return self._probe(max_tasks)
+
+    def _probe(self, max_tasks):
+        self.ops += max_tasks
+        return []
+"""
+    assert lint_source(src) == []
+
+
+def test_charge_ops_outside_hooks_fires():
+    src = """
+class SneakyScheduler(Scheduler):
+    def select(self, max_tasks, t):
+        self.ops += 1
+        return []
+
+    def refresh(self):
+        self.charge_ops(3, "refresh_ops")
+"""
+    found = lint_source(src)
+    assert len(found) == 1
+    assert found[0].rule == "api-contract"
+    assert "refresh() charges self.ops" in found[0].message
+
+
+def test_off_span_charge_suppressible():
+    src = """
+class WaivedScheduler(Scheduler):
+    def select(self, max_tasks, t):
+        self.ops += 1
+        return []
+
+    def refresh(self):
+        self.charge_ops(3)  # verify: ignore[api-contract]
+"""
+    assert lint_source(src) == []
