@@ -1,0 +1,149 @@
+"""Plan-cache speedup: rounds/sec cold vs cached per scheduler.
+
+Drives the update-stream service over the same seeded steady stream
+twice per registered scheduler — once compiling every round cold
+(``plan_cache=False``) and once through the
+:class:`~repro.datalog.plancache.CompiledProgramCache` — and reports
+rounds/sec for both plus the speedup. Verification stays ON both ways:
+the numbers are for the maintenance loop as actually served, and the
+strict materialization comparison doubles as a per-round differential
+check that the cached pipeline produced exactly the cold pipeline's
+output.
+
+Writes ``BENCH_plan_cache.json`` at the repo root. ``--quick`` (the CI
+``bench-smoke`` mode) shrinks the stream and scheduler set and enforces
+the smoke gate: cached rounds/sec must not be below cold on the steady
+stream.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_plan_cache.py [--quick]
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+from pathlib import Path
+
+import pytest
+from conftest import run_once
+
+from repro.analysis import render_table
+from repro.runtime import UpdateStreamService, live_workload, make_stream
+from repro.schedulers import scheduler_registry
+
+BENCH_JSON = Path(__file__).parent.parent / "BENCH_plan_cache.json"
+
+QUICK = bool(os.environ.get("REPRO_BENCH_QUICK"))
+PROGRAM = "pt"
+STREAM = "steady"
+ROUNDS = 12 if QUICK else 40
+WORKERS = 4
+SEED = 29
+SCHEDULERS = (
+    ["hybrid", "levelbased"] if QUICK else sorted(scheduler_registry())
+)
+
+
+def serve_stream(sched_name: str, plan_cache: bool):
+    """One full serve of the seeded stream; returns (metrics, cache stats).
+
+    Both runs rebuild the workload from the same seed, so cold and
+    cached see byte-identical update streams.
+    """
+    wl = live_workload(PROGRAM, seed=SEED)
+    svc = UpdateStreamService(
+        wl.program,
+        wl.edb,
+        scheduler_registry()[sched_name](),
+        workers=WORKERS,
+        plan_cache=plan_cache,
+        name=f"bench:{sched_name}:{'cached' if plan_cache else 'cold'}",
+    )
+    for batches in make_stream(wl, STREAM, rounds=ROUNDS):
+        for delta in batches:
+            svc.submit(delta)
+        rep = svc.run_round()
+        assert rep is None or rep.materialization_ok
+    stats = svc.plan_cache.stats() if svc.plan_cache is not None else None
+    return svc.metrics, stats
+
+
+def test_plan_cache_speedup(benchmark, emit):
+    def run():
+        out = {}
+        for name in SCHEDULERS:
+            cold, _ = serve_stream(name, plan_cache=False)
+            cached, stats = serve_stream(name, plan_cache=True)
+            out[name] = (cold, cached, stats)
+        return out
+
+    results = run_once(benchmark, run)
+
+    rows = []
+    payload = {
+        "schema": 1,
+        "quick": QUICK,
+        "stream": {
+            "program": PROGRAM,
+            "kind": STREAM,
+            "rounds": ROUNDS,
+            "workers": WORKERS,
+            "seed": SEED,
+        },
+        "schedulers": {},
+    }
+    for name, (cold, cached, stats) in results.items():
+        cold_rps = cold.rounds_per_second()
+        cached_rps = cached.rounds_per_second()
+        speedup = cached_rps / cold_rps if cold_rps else float("inf")
+        rows.append(
+            [name, f"{cold_rps:.1f}", f"{cached_rps:.1f}",
+             f"{speedup:.2f}x", stats["hits"], stats["plan_patches"]]
+        )
+        payload["schedulers"][name] = {
+            "cold_rounds_per_sec": round(cold_rps, 3),
+            "cached_rounds_per_sec": round(cached_rps, 3),
+            "speedup": round(speedup, 3),
+            "cache": stats,
+        }
+
+    text = render_table(
+        ["scheduler", "cold r/s", "cached r/s", "speedup",
+         "hits", "patched"],
+        rows,
+        title=(
+            f"plan cache — {PROGRAM}/{STREAM}, {ROUNDS} rounds, "
+            f"{WORKERS} workers (verification on"
+            + (", quick)" if QUICK else ")")
+        ),
+    )
+    emit("plan_cache", text)
+    BENCH_JSON.write_text(json.dumps(payload, indent=2) + "\n")
+
+    speedups = {
+        name: s["speedup"] for name, s in payload["schedulers"].items()
+    }
+    if QUICK:
+        # CI smoke gate: caching must not make steady-stream serving
+        # slower for any benched scheduler
+        slow = {n: s for n, s in speedups.items() if s < 1.0}
+        assert not slow, f"plan cache slower than cold: {slow}"
+    else:
+        assert max(speedups.values()) >= 1.2, (
+            f"plan cache speedup collapsed: {speedups}"
+        )
+    for name, s in payload["schedulers"].items():
+        # every scheduler actually exercised the warm path
+        assert s["cache"]["hits"] >= ROUNDS - 2, (name, s["cache"])
+
+
+if __name__ == "__main__":
+    args = [a for a in sys.argv[1:] if a != "--quick"]
+    if "--quick" in sys.argv[1:]:
+        os.environ["REPRO_BENCH_QUICK"] = "1"
+    raise SystemExit(
+        pytest.main([__file__, "--benchmark-only", "-q", *args])
+    )

@@ -71,9 +71,66 @@ def random_trace(seed: int) -> JobTrace:
     )
 
 
+DLOG_PROGRAM = """
+path(X, Y) :- edge(X, Y).
+path(X, Z) :- path(X, Y), edge(Y, Z).
+"""
+
+DLOG_EDGES = [(0, 1), (1, 2), (2, 3), (3, 4)]
+
+
+def dlog_deltas():
+    from repro.datalog import Delta
+
+    return [
+        Delta().insert("edge", (4, 5)).delete("edge", (1, 2)),
+        Delta().insert("edge", (1, 2)).insert("edge", (5, 6)),
+    ]
+
+
+def datalog_trace(cached: bool = True) -> JobTrace:
+    """A real compiled-update trace, via the plan cache or cold.
+
+    The goldens are *generated* through the cached path and *checked*
+    (tests/sim/test_faults.py) through the cold path — byte-identity of
+    the two pipelines is part of what these files pin.
+    """
+    from repro.datalog import (
+        CompiledProgramCache,
+        Database,
+        compile_update,
+        parse_program,
+    )
+
+    program = parse_program(DLOG_PROGRAM)
+    edb = Database()
+    edb.relation("edge", 2)
+    for t in DLOG_EDGES:
+        edb.add_fact("edge", t)
+    cache = CompiledProgramCache(program) if cached else None
+    cu = None
+    for delta in dlog_deltas():
+        if cache is not None:
+            cu = cache.compile(program, edb, delta, name="dlog")
+            cache.commit(cu)
+        else:
+            cu = compile_update(program, edb, delta, name="dlog")
+        edb = cu.edb_new
+    assert cu is not None
+    if cache is not None:
+        # the golden round must come from the warm path, not a cold fill
+        assert cache.hits >= 1
+    return cu.trace
+
+
 def main() -> None:
     OUT_DIR.mkdir(parents=True, exist_ok=True)
-    traces = [diamond_trace(), random_trace(7), random_trace(23)]
+    traces = [
+        diamond_trace(),
+        random_trace(7),
+        random_trace(23),
+        datalog_trace(cached=True),
+    ]
     for trace in traces:
         for label, factory in FACTORIES.items():
             res = simulate(

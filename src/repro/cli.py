@@ -263,6 +263,7 @@ def cmd_serve(args) -> int:
         capacity=args.capacity,
         verify=not args.no_verify,
         name=f"live:{wl.name}",
+        plan_cache=not args.no_plan_cache,
     )
     try:
         stream = make_stream(
@@ -290,6 +291,13 @@ def cmd_serve(args) -> int:
             f"{m.execute_s * 1e3:.2f}){flag}"
         )
     print(service.metrics.summary())
+    if service.plan_cache is not None:
+        s = service.plan_cache.stats()
+        print(
+            f"plan cache: {s['hits']} hits / {s['misses']} misses, "
+            f"{s['plan_patches']} plans patched, "
+            f"{s['invalidations']} invalidations"
+        )
     mat = service.materialization()
     if mat is None:
         print("no rounds served — nothing to compare")
@@ -338,6 +346,7 @@ def cmd_trace(args) -> int:
         workers=args.workers,
         name=f"trace:{wl.name}",
         sink=recorder,
+        plan_cache=not args.no_plan_cache,
     )
     try:
         stream = make_stream(
@@ -535,6 +544,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="skip per-round invariant + materialization checks",
     )
     p.add_argument(
+        "--no-plan-cache", action="store_true",
+        help="compile every round cold instead of reusing the "
+             "round-over-round plan cache",
+    )
+    p.add_argument(
         "--metrics", default=None, metavar="JSON",
         help="write the per-round metrics log to this file",
     )
@@ -565,6 +579,11 @@ def build_parser() -> argparse.ArgumentParser:
                    help="stream generator seed")
     p.add_argument("--top", type=int, default=5,
                    help="how many slowest rounds to tabulate")
+    p.add_argument(
+        "--no-plan-cache", action="store_true",
+        help="compile every round cold instead of reusing the "
+             "round-over-round plan cache",
+    )
     p.add_argument(
         "-o", "--output", default="trace.json",
         help="Chrome trace_event JSON output path (default trace.json)",

@@ -15,7 +15,7 @@ from .ast import (
     Rule,
     Variable,
 )
-from .compiler import CompiledUpdate, compile_update
+from .compiler import CompiledUpdate, build_compiled_update, compile_update
 from .counting import CountingEngine, RecursionError_
 from .database import Database, Relation
 from .depgraph import DependencyGraph, StratificationError
@@ -27,6 +27,7 @@ from .incremental import (
     merge_deltas,
 )
 from .parser import ParseError, parse_program, parse_rule
+from .plancache import CompiledProgramCache, RelationIndexCache
 from .provenance import Derivation, explain
 from .query import parse_goal, query, query_facts
 from .seminaive import EvaluationTrace, naive_evaluate, seminaive_evaluate
@@ -57,7 +58,10 @@ __all__ = [
     "RecursionError_",
     "MaintenanceTrace",
     "compile_update",
+    "build_compiled_update",
     "CompiledUpdate",
+    "CompiledProgramCache",
+    "RelationIndexCache",
     "explain",
     "Derivation",
     "parse_goal",

@@ -54,7 +54,7 @@ from .depgraph import DependencyGraph
 from .incremental import Delta, apply_delta
 from .seminaive import EvaluationTrace, seminaive_evaluate
 
-__all__ = ["compile_update", "CompiledUpdate"]
+__all__ = ["compile_update", "build_compiled_update", "CompiledUpdate"]
 
 
 @dataclass
@@ -126,6 +126,43 @@ def compile_update(
     edb_new = apply_delta(edb_old, delta)
     db_old, ev_old = seminaive_evaluate(program, edb_old, record=True)
     db_new, ev_new = seminaive_evaluate(program, edb_new, record=True)
+    return build_compiled_update(
+        program,
+        edb_old,
+        edb_new,
+        db_old,
+        db_new,
+        ev_old,
+        ev_new,
+        touched=delta.touched_predicates(),
+        work_per_derivation=work_per_derivation,
+        name=name,
+    )
+
+
+def build_compiled_update(
+    program: Program,
+    edb_old: Database,
+    edb_new: Database,
+    db_old: Database,
+    db_new: Database,
+    ev_old: EvaluationTrace,
+    ev_new: EvaluationTrace,
+    touched: set[str],
+    work_per_derivation: float = 1e-3,
+    name: str = "datalog-update",
+    states_old: dict[tuple, frozenset] | None = None,
+    states_new: dict[tuple, frozenset] | None = None,
+) -> CompiledUpdate:
+    """Unroll two recorded materializations into a schedulable trace.
+
+    The back half of :func:`compile_update`, exposed separately so the
+    plan cache — which reuses the previous round's *new* side as this
+    round's *old* side instead of re-evaluating it — builds its traces
+    through the exact same code path. ``states_old``/``states_new``
+    accept precomputed :func:`_cumulative_states` tables (the cache
+    carries them across rounds); when omitted they are computed here.
+    """
     if ev_old.strata != ev_new.strata:  # pragma: no cover - depgraph is static
         raise AssertionError("stratification must not depend on the data")
 
@@ -133,8 +170,10 @@ def compile_update(
     strata = depgraph.stratify()
     rules = program.proper_rules
     recursive = depgraph.recursive_predicates()
-    states_old = _cumulative_states(program, ev_old, edb_old)
-    states_new = _cumulative_states(program, ev_new, edb_new)
+    if states_old is None:
+        states_old = _cumulative_states(program, ev_old, edb_old)
+    if states_new is None:
+        states_new = _cumulative_states(program, ev_new, edb_new)
 
     stratum_of: dict[str, int] = {}
     for si, comp in enumerate(strata):
@@ -168,7 +207,6 @@ def compile_update(
 
     # EDB nodes change iff their relation actually changed (deleting an
     # absent fact, or re-inserting a present one, changes nothing)
-    touched = delta.touched_predicates()
     for p in edb_preds:
         old_rel = edb_old.relations.get(p)
         new_rel = edb_new.relations.get(p)

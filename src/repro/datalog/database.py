@@ -84,9 +84,17 @@ class Relation:
         self, bound: dict[int, int | str] | None = None
     ) -> Iterable[Tuple_]:
         """Tuples whose values at the bound positions equal the given
-        values; full scan when ``bound`` is empty."""
+        values; full scan when ``bound`` is empty.
+
+        Fully-bound patterns short-circuit to a set membership probe —
+        building (and thereafter maintaining) a hash index keyed on
+        *every* column would just duplicate the tuple set.
+        """
         if not bound:
             return self._tuples
+        if len(bound) == self.arity:
+            probe = tuple(bound[p] for p in range(self.arity))
+            return (probe,) if probe in self._tuples else ()
         positions = tuple(sorted(bound))
         index = self._ensure_index(positions)
         return index.get(tuple(bound[p] for p in positions), ())
@@ -95,6 +103,29 @@ class Relation:
         r = Relation(self.name, self.arity)
         r._tuples = set(self._tuples)
         return r
+
+    def copy_indexed(self) -> "Relation":
+        """Copy that also clones the built hash indexes.
+
+        ``copy()`` drops indexes (cheap, lazily rebuilt on demand); the
+        plan cache instead derives a changed relation's successor from
+        its predecessor — clone indexes once, then apply the round's
+        delta through :meth:`add`/:meth:`discard`, which maintain every
+        cloned index incrementally in O(|delta|).
+        """
+        r = self.copy()
+        # snapshot: concurrent match() calls may publish new lazy
+        # indexes while we iterate
+        for positions, index in list(self._indexes.items()):
+            clone: dict[tuple, set[Tuple_]] = defaultdict(set)
+            for key, bucket in index.items():
+                clone[key] = set(bucket)
+            r._indexes[positions] = clone
+        return r
+
+    def index_patterns(self) -> tuple[tuple[int, ...], ...]:
+        """The bound-position patterns currently indexed (for tests)."""
+        return tuple(sorted(self._indexes))
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"Relation({self.name}/{self.arity}, {len(self)} tuples)"

@@ -1,0 +1,431 @@
+"""Round-over-round plan caching for the serving hot path.
+
+The maintenance loop in :mod:`repro.runtime.service` is a sequence of
+rounds over one program: round ``N+1``'s *old* materialization is
+exactly round ``N``'s *new* one. Cold compilation ignores this and
+pays two from-scratch semi-naive evaluations plus a full
+:class:`~repro.datalog.units.ExecutionPlan` rebuild per round. This
+module caches everything that survives a round:
+
+* :class:`CompiledProgramCache` — the front door. ``compile()``
+  reuses the committed previous round's new side (database, evaluation
+  trace, cumulative predicate states) as this round's old side,
+  skipping one of the two evaluations; ``plan()`` patches the prior
+  round's bound plan in place when the DAG structure is unchanged,
+  instead of rebuilding closures and wiring; ``commit()`` promotes the
+  staged round after the service has verified it.
+* :class:`RelationIndexCache` — a value-addressed store of
+  :class:`~repro.datalog.database.Relation` objects keyed by
+  ``(predicate, fact set)``. Joins build hash indexes lazily on these
+  relations; because the same value is served for the same fact set,
+  the indexes built in round ``N`` are probed again in round ``N+1``,
+  and a changed relation's successor is *derived* from its predecessor
+  (clone indexes once, apply the delta incrementally) rather than
+  re-indexed from scratch.
+
+Consistency model
+-----------------
+Cache entries are immutable by convention once published: the only
+mutation a published relation sees is lazy index growth, which is
+idempotent and invisible to readers. ``compile()`` stages its results;
+nothing the staged round produced becomes the committed baseline until
+``commit()``. A failed round therefore needs no undo — the service
+simply never commits it, calls :meth:`CompiledProgramCache.rollback`,
+and the retry recompiles from the untouched committed state,
+deterministically reproducing the same staged round.
+
+Invalidation
+------------
+The cache is keyed to one program (by structural fingerprint) and one
+EDB schema (predicate → arity). A rule-set edit or a schema change
+flushes skeletons, plans, relations, and the committed baseline, and
+bumps the ``invalidations`` counter; the next round compiles cold.
+
+All hit/miss/invalidation counters are exported through
+:class:`repro.obs.metrics.MetricsRegistry` and annotated onto the
+current tracing span when a :class:`repro.obs.trace.TraceSink` is
+active.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+
+from ..obs.metrics import MetricsRegistry
+from ..obs.trace import NULL_SINK, TraceSink
+from .ast import Program
+from .compiler import (
+    CompiledUpdate,
+    _cumulative_states,
+    build_compiled_update,
+)
+from .database import Database, Relation
+from .incremental import Delta, apply_delta
+from .seminaive import EvaluationTrace, seminaive_evaluate
+from .units import ExecutionPlan, PlanSkeleton
+
+__all__ = ["CompiledProgramCache", "RelationIndexCache"]
+
+
+class RelationIndexCache:
+    """Value-addressed, LRU-bounded store of indexed relations.
+
+    Keyed by ``(predicate, frozenset-of-facts)``, so a lookup for a
+    fact set that was served before returns the *same* relation object
+    — with whatever hash indexes joins have lazily built on it since.
+    ``get(..., derive_from=...)`` turns a changed relation into its
+    successor by cloning the predecessor's indexes and applying the
+    delta through :meth:`Relation.add`/:meth:`Relation.discard`, which
+    maintain every index in O(|delta|).
+
+    Published relations must never be mutated by callers (lazy index
+    growth excepted); derivation always works on a private clone and
+    publishes it atomically under the cache lock. Because entries are
+    immutable, a failed round cannot corrupt the store — entries staged
+    for it are simply superfluous and age out of the LRU.
+    """
+
+    def __init__(self, max_entries: int = 256) -> None:
+        if max_entries < 1:
+            raise ValueError("max_entries must be >= 1")
+        self.max_entries = max_entries
+        self._entries: OrderedDict[tuple[str, frozenset], Relation] = (
+            OrderedDict()
+        )
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.derives = 0
+        self.builds = 0
+        self.evictions = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def get(
+        self,
+        pred: str,
+        arity: int,
+        facts: frozenset,
+        derive_from: frozenset | None = None,
+    ) -> Relation:
+        """The cached relation holding exactly ``facts`` for ``pred``.
+
+        ``derive_from`` names the fact set this value evolved from; if
+        that predecessor is cached, the result inherits its indexes
+        incrementally instead of starting unindexed.
+        """
+        key = (pred, facts)
+        with self._lock:
+            rel = self._entries.get(key)
+            if rel is not None:
+                self._entries.move_to_end(key)
+                self.hits += 1
+                return rel
+            base = None
+            if derive_from is not None and derive_from != facts:
+                base = self._entries.get((pred, derive_from))
+            if base is not None:
+                rel = base.copy_indexed()
+                for t in derive_from - facts:  # type: ignore[operator]
+                    rel.discard(t)
+                for t in facts - derive_from:  # type: ignore[operator]
+                    rel.add(t)
+                self.derives += 1
+            else:
+                rel = Relation(pred, arity)
+                for t in facts:
+                    rel.add(t)
+                self.builds += 1
+            self._entries[key] = rel
+            while len(self._entries) > self.max_entries:
+                self._entries.popitem(last=False)
+                self.evictions += 1
+            return rel
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+
+    def stats(self) -> dict[str, int]:
+        return {
+            "entries": len(self._entries),
+            "hits": self.hits,
+            "derives": self.derives,
+            "builds": self.builds,
+            "evictions": self.evictions,
+        }
+
+
+@dataclass
+class _Side:
+    """One committed (or staged) side of a round."""
+
+    edb: Database
+    db: Database
+    ev: EvaluationTrace
+    states: dict[tuple, frozenset]
+
+
+def _edb_schema(edb: Database) -> frozenset:
+    return frozenset((p, rel.arity) for p, rel in edb.relations.items())
+
+
+def _edb_equal(a: Database, b: Database) -> bool:
+    if a is b:
+        return True
+    if a.relations.keys() != b.relations.keys():
+        return False
+    return all(
+        set(rel) == set(b.relations[p]) for p, rel in a.relations.items()
+    )
+
+
+class CompiledProgramCache:
+    """Compile-once, patch-per-round cache over one rule program.
+
+    The service's per-round protocol::
+
+        cu = cache.compile(program, edb_old, delta)   # stage
+        plan = cache.plan(cu)                         # patch or bind
+        ...execute + verify...
+        cache.commit(cu)     # success: staged side becomes baseline
+        cache.rollback()     # failure: staged side is discarded
+
+    ``compile`` reuses the committed baseline as the old side when
+    ``edb_old`` matches it (a *hit* — one semi-naive evaluation saved);
+    otherwise it evaluates both sides cold (a *miss*). ``plan``
+    re-stamps the cached bound plan in place whenever the new round's
+    DAG structure (``node_keys``) matches a cached skeleton; task join
+    inputs are served from the shared :class:`RelationIndexCache` so
+    their hash indexes survive across rounds.
+
+    A program whose structural fingerprint differs from the cached one,
+    or an ``edb_old`` whose schema (predicate → arity) differs from the
+    committed baseline's, invalidates everything.
+    """
+
+    def __init__(
+        self,
+        program: Program,
+        metrics: MetricsRegistry | None = None,
+        sink: TraceSink = NULL_SINK,
+        max_plans: int = 8,
+        relation_cache_size: int = 256,
+    ) -> None:
+        self._program = program
+        self._fingerprint = repr(program)
+        self._schema: frozenset | None = None
+        self._metrics = metrics
+        self._sink = sink
+        self._max_plans = max_plans
+        self.relations = RelationIndexCache(relation_cache_size)
+        self._plans: OrderedDict[
+            tuple, tuple[PlanSkeleton, ExecutionPlan]
+        ] = OrderedDict()
+        self._prev: _Side | None = None
+        self._staged: _Side | None = None
+        self._staged_cu_id: int | None = None
+        self._staged_states_old: dict[tuple, frozenset] | None = None
+        self.hits = 0
+        self.misses = 0
+        self.invalidations = 0
+        self.plan_patches = 0
+        self.plan_binds = 0
+        self.rollbacks = 0
+
+    # ------------------------------------------------------------------
+    def _count(self, name: str, n: int = 1) -> None:
+        if self._metrics is not None:
+            self._metrics.counter(f"plancache.{name}").inc(n)
+        if self._sink.enabled:
+            self._sink.add_to_current(f"plancache.{name}", n)
+
+    def _invalidate(self) -> None:
+        self._plans.clear()
+        self.relations.clear()
+        self._prev = None
+        self._staged = None
+        self._staged_cu_id = None
+        self._staged_states_old = None
+        self.invalidations += 1
+        self._count("invalidations")
+
+    def _check_validity(self, program: Program, edb_old: Database) -> None:
+        if program is not self._program:
+            fingerprint = repr(program)
+            if fingerprint != self._fingerprint:
+                self._invalidate()
+                self._fingerprint = fingerprint
+                self._schema = None
+            self._program = program
+        schema = _edb_schema(edb_old)
+        if self._schema is not None and schema != self._schema:
+            self._invalidate()
+        self._schema = schema
+
+    def _shared_relations(
+        self, edb_new: Database, edb_old: Database
+    ) -> dict[str, Relation]:
+        """Indexed join inputs for the new side's evaluation.
+
+        Only predicates the evaluation never writes — EDB predicates
+        that are not fact-rule heads — may be substituted (see
+        :func:`~repro.datalog.seminaive.seminaive_evaluate`).
+        """
+        writable = {r.head.predicate for r in self._program.rules}
+        shared: dict[str, Relation] = {}
+        for pred, rel in edb_new.relations.items():
+            if pred in writable:
+                continue
+            facts = frozenset(rel)
+            old_rel = edb_old.relations.get(pred)
+            derive_from = (
+                frozenset(old_rel) if old_rel is not None else None
+            )
+            shared[pred] = self.relations.get(
+                pred, rel.arity, facts, derive_from=derive_from
+            )
+        return shared
+
+    # ------------------------------------------------------------------
+    def compile(
+        self,
+        program: Program,
+        edb_old: Database,
+        delta: Delta,
+        work_per_derivation: float = 1e-3,
+        name: str = "datalog-update",
+    ) -> CompiledUpdate:
+        """Compile one round, reusing the committed baseline when valid.
+
+        Drop-in for :func:`repro.datalog.compiler.compile_update`; the
+        result is *staged* — call :meth:`commit` once the round is
+        verified, or :meth:`rollback` if it failed.
+        """
+        for pred in delta.touched_predicates():
+            if pred in program.idb_predicates():
+                raise ValueError(
+                    f"update targets derived predicate {pred!r}"
+                )
+        self._check_validity(program, edb_old)
+
+        edb_new = apply_delta(edb_old, delta)
+        prev = self._prev
+        if prev is not None and _edb_equal(prev.edb, edb_old):
+            self.hits += 1
+            self._count("hits")
+            db_old, ev_old, states_old = prev.db, prev.ev, prev.states
+            edb_old = prev.edb
+        else:
+            self.misses += 1
+            self._count("misses")
+            db_old, ev_old = seminaive_evaluate(
+                program,
+                edb_old,
+                record=True,
+                shared_relations=self._shared_relations(edb_old, edb_old),
+            )
+            states_old = _cumulative_states(program, ev_old, edb_old)
+
+        db_new, ev_new = seminaive_evaluate(
+            program,
+            edb_new,
+            record=True,
+            shared_relations=self._shared_relations(edb_new, edb_old),
+        )
+        states_new = _cumulative_states(program, ev_new, edb_new)
+
+        cu = build_compiled_update(
+            program,
+            edb_old,
+            edb_new,
+            db_old,
+            db_new,
+            ev_old,
+            ev_new,
+            touched=delta.touched_predicates(),
+            work_per_derivation=work_per_derivation,
+            name=name,
+            states_old=states_old,
+            states_new=states_new,
+        )
+        self._staged = _Side(edb_new, db_new, ev_new, states_new)
+        self._staged_cu_id = id(cu)
+        self._staged_states_old = states_old
+        return cu
+
+    def plan(self, cu: CompiledUpdate) -> ExecutionPlan:
+        """A bound plan for ``cu`` — patched in place when possible.
+
+        The returned plan is owned by the cache and re-stamped on the
+        next call; execute it before compiling the next round.
+        """
+        states_old = (
+            self._staged_states_old
+            if self._staged_cu_id == id(cu)
+            else None
+        )
+        sig = tuple(cu.node_keys)
+        cached = self._plans.get(sig)
+        if cached is not None:
+            skeleton, plan = cached
+            skeleton.patch(plan, cu, states_old)
+            self._plans.move_to_end(sig)
+            self.plan_patches += 1
+            self._count("plan_patches")
+            return plan
+        skeleton = PlanSkeleton(cu)
+        plan = skeleton.bind(
+            cu, states_old, relation_factory=self.relations.get
+        )
+        self._plans[sig] = (skeleton, plan)
+        while len(self._plans) > self._max_plans:
+            self._plans.popitem(last=False)
+        self.plan_binds += 1
+        self._count("plan_binds")
+        return plan
+
+    def commit(self, cu: CompiledUpdate) -> None:
+        """Promote ``cu``'s staged new side to the committed baseline.
+
+        Call only after the round has been verified; the baseline is
+        what the *next* round's ``compile`` will reuse as its old side.
+        """
+        if self._staged is None or self._staged_cu_id != id(cu):
+            raise ValueError(
+                "commit does not match the staged compile "
+                "(compile the round with this cache first)"
+            )
+        self._prev = self._staged
+        self._schema = _edb_schema(self._staged.edb)
+        self._staged = None
+        self._staged_cu_id = None
+        self._staged_states_old = None
+
+    def rollback(self) -> None:
+        """Discard the staged round (failed execution/verification).
+
+        The committed baseline is untouched, so a retry recompiles the
+        round deterministically from the same state; relations staged
+        for the failed round are value-addressed and simply age out.
+        """
+        if self._staged is not None:
+            self.rollbacks += 1
+            self._count("rollbacks")
+        self._staged = None
+        self._staged_cu_id = None
+        self._staged_states_old = None
+
+    def stats(self) -> dict:
+        """Counter snapshot (also exported via the metrics registry)."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "invalidations": self.invalidations,
+            "plan_patches": self.plan_patches,
+            "plan_binds": self.plan_binds,
+            "rollbacks": self.rollbacks,
+            "relations": self.relations.stats(),
+        }

@@ -117,6 +117,7 @@ def seminaive_evaluate(
     db: Database | None = None,
     record: bool = False,
     max_iterations: int | None = None,
+    shared_relations: dict[str, Relation] | None = None,
 ) -> tuple[Database, EvaluationTrace]:
     """Stratified semi-naive fixpoint.
 
@@ -124,8 +125,27 @@ def seminaive_evaluate(
     per-iteration derivation trace used by the DAG compiler.
     ``max_iterations`` bounds each stratum's Δ rounds (see
     :func:`naive_evaluate`).
+
+    ``shared_relations`` lets a caller substitute pre-indexed
+    :class:`Relation` objects for predicates the evaluation only
+    *reads* — EDB predicates that are not fact-rule heads. The plan
+    cache passes its cross-round indexed relations here so the
+    from-scratch joins probe indexes that already exist instead of
+    rebuilding them every round. Each shared relation must hold exactly
+    the facts ``db`` holds for that predicate; predicates the
+    evaluation writes (IDB heads, fact-rule heads) are rejected because
+    sharing them would mutate the caller's objects.
     """
     db = db.copy() if db is not None else Database()
+    if shared_relations:
+        writable = {r.head.predicate for r in program.rules}
+        for pred, rel in shared_relations.items():
+            if pred in writable:
+                raise ValueError(
+                    f"cannot share relation {pred!r}: the evaluation "
+                    "writes it (IDB or fact-rule head)"
+                )
+            db.relations[pred] = rel
     _ensure_relations(program, db)
     _seed_facts(program, db)
     depgraph = DependencyGraph(program)

@@ -13,6 +13,25 @@ materialization is the paper's changed/unchanged signal, computed from
 real data — :mod:`repro.runtime.executor` uses it to decide child
 activation instead of the compiler's precomputed flags.
 
+Skeleton / binding split
+------------------------
+Plan construction is two-phase so the plan cache can reuse work across
+rounds:
+
+* :class:`PlanSkeleton` holds everything that depends only on the
+  *structure* of the compiled DAG (``node_keys``) and the program: node
+  wiring (which value-store slots each unit reads), writer lists,
+  Δ-occurrence slots, arities. Building it walks every rule body once
+  per task node — the expensive part of plan construction.
+* :meth:`PlanSkeleton.bind` stamps one round's *data* onto the skeleton
+  — per-node old values, EDB baselines — producing an
+  :class:`ExecutionPlan`. :meth:`PlanSkeleton.patch` restamps an
+  existing plan in place for a new round with the same structure, so
+  the unit closures (and their wiring) are reused verbatim.
+
+Unit closures read per-round data through the plan's :class:`RoundCtx`,
+never through captured constants, which is what makes patching sound.
+
 Correctness rests on the snapshot (two-phase) iteration semantics of
 :func:`repro.datalog.seminaive.seminaive_evaluate`: every recorded
 rule-instance output is a pure function of the previous iteration's
@@ -34,7 +53,26 @@ from .database import Database, Relation
 from .depgraph import DependencyGraph
 from .unify import eval_rule, instantiate_head, join_body
 
-__all__ = ["WorkUnit", "ValueStore", "ExecutionPlan", "build_execution_plan"]
+__all__ = [
+    "WorkUnit",
+    "ValueStore",
+    "ExecutionPlan",
+    "PlanSkeleton",
+    "RoundCtx",
+    "build_execution_plan",
+]
+
+#: builds the relation a task joins against: ``(pred, arity, facts)``.
+#: The default builds a fresh relation per call; the plan cache
+#: substitutes its cross-round indexed store.
+RelationFactory = Callable[[str, int, frozenset], Relation]
+
+
+def _fresh_relation(pred: str, arity: int, facts: frozenset) -> Relation:
+    rel = Relation(pred, arity)
+    for f in facts:
+        rel.add(f)
+    return rel
 
 
 @dataclass
@@ -81,6 +119,24 @@ class ValueStore:
         return node in self._values
 
 
+class RoundCtx:
+    """The per-round data every unit closure reads.
+
+    Mutated only between rounds (by :meth:`PlanSkeleton.patch`), never
+    while a plan is executing, so worker threads read it without locks.
+    """
+
+    __slots__ = ("baseline", "rel")
+
+    def __init__(self, rel: RelationFactory) -> None:
+        #: predicate → program facts ∪ its facts in the round's new EDB
+        #: — the entry state of a stratum-local predicate, and the
+        #: value an EDB node publishes
+        self.baseline: dict[str, frozenset] = {}
+        #: relation factory used for every join input this round
+        self.rel: RelationFactory = rel
+
+
 @dataclass
 class ExecutionPlan:
     """Every node of a compiled update as a runnable :class:`WorkUnit`."""
@@ -90,6 +146,10 @@ class ExecutionPlan:
     old_values: list[frozenset]
     #: predicate → node id carrying its final value
     final_nodes: dict[str, int] = field(default_factory=dict)
+    #: per-round data shared by the unit closures
+    ctx: RoundCtx | None = None
+    #: the static wiring this plan was bound from (enables patching)
+    skeleton: "PlanSkeleton | None" = None
 
     def new_store(self) -> ValueStore:
         """A fresh value store for one execution of this plan."""
@@ -135,115 +195,112 @@ def _facts_of(db: Database, pred: str) -> frozenset:
     return frozenset(rel) if rel is not None else frozenset()
 
 
-def _relation_from(pred: str, arity: int, facts: frozenset) -> Relation:
-    rel = Relation(pred, arity)
-    for f in facts:
-        rel.add(f)
-    return rel
+@dataclass
+class _TaskWiring:
+    """Static join wiring of one task node."""
+
+    si: int
+    k: int
+    ri: int
+    pos: int | None
+    #: body predicate → feeding node id (None: read ctx.baseline)
+    sources: dict[str, int | None]
+    dq: str | None
+    delta_cur: int | None
+    delta_prev: int | None
 
 
-def build_execution_plan(cu: CompiledUpdate) -> ExecutionPlan:
-    """Rebuild every node of ``cu`` as a runnable unit of work."""
-    program = cu.program
-    rules = program.proper_rules
-    depgraph = DependencyGraph(program)
-    strata = depgraph.stratify()
-    ev_old, ev_new = cu.eval_old, cu.eval_new
-    states_old = _cumulative_states(program, ev_old, cu.edb_old)
-    n_iters = [
-        max(len(ev_old.iterations[si]), len(ev_new.iterations[si]))
-        for si in range(len(strata))
-    ]
-    stratum_of = {p: si for si, comp in enumerate(strata) for p in comp}
-    edb_set = program.edb_predicates()
+class PlanSkeleton:
+    """Static wiring shared by every round with the same DAG structure.
 
-    # program facts are every predicate's baseline state
-    base: dict[str, frozenset] = {}
-    fact_sets: dict[str, set] = {}
-    for fact_rule in program.facts:
-        fact_sets.setdefault(fact_rule.head.predicate, set()).add(
-            tuple(t.value for t in fact_rule.head.terms)  # type: ignore[union-attr]
-        )
-    for p, s in fact_sets.items():
-        base[p] = frozenset(s)
+    Derived from ``(program, node_keys)`` only. Rebinding it to a new
+    :class:`CompiledUpdate` with identical ``node_keys`` is sound
+    because every per-round quantity lives in the plan's
+    :class:`RoundCtx` and ``old_values``.
+    """
 
-    arity_of: dict[str, int] = {}
-    for db in (cu.edb_old, cu.edb_new, cu.db_old, cu.db_new):
-        for p, rel in db.relations.items():
-            arity_of.setdefault(p, rel.arity)
-    for rule in program.rules:
-        for atom in [rule.head] + [
-            lit.atom for lit in rule.body if lit.atom is not None
-        ]:
-            arity_of.setdefault(atom.predicate, atom.arity)
+    def __init__(self, cu: CompiledUpdate) -> None:
+        program = cu.program
+        self.program = program
+        self.node_keys = list(cu.node_keys)
+        self.rules = program.proper_rules
+        depgraph = DependencyGraph(program)
+        self.strata = depgraph.stratify()
+        self.stratum_of = {
+            p: si for si, comp in enumerate(self.strata) for p in comp
+        }
+        self.edb_set = program.edb_predicates()
+        self.n_iters = self._infer_n_iters()
 
-    key_to_id = {
-        key: nid for nid, key in enumerate(cu.node_keys) if key is not None
-    }
+        # program facts are every predicate's baseline state
+        fact_sets: dict[str, set] = {}
+        for fact_rule in program.facts:
+            fact_sets.setdefault(fact_rule.head.predicate, set()).add(
+                tuple(t.value for t in fact_rule.head.terms)  # type: ignore[union-attr]
+            )
+        self.base: dict[str, frozenset] = {
+            p: frozenset(s) for p, s in fact_sets.items()
+        }
 
-    def out_id(p: str) -> int:
+        self.arity_of: dict[str, int] = {}
+        for rule in program.rules:
+            for atom in [rule.head] + [
+                lit.atom for lit in rule.body if lit.atom is not None
+            ]:
+                self.arity_of.setdefault(atom.predicate, atom.arity)
+        for db in (cu.edb_old, cu.edb_new, cu.db_old, cu.db_new):
+            for p, rel in db.relations.items():
+                self.arity_of.setdefault(p, rel.arity)
+
+        self.key_to_id = {
+            key: nid
+            for nid, key in enumerate(self.node_keys)
+            if key is not None
+        }
+
+        # writer tasks per predicate-state node, from the task keys
+        writers: dict[tuple[str, int, int], list[int]] = {}
+        for nid, key in enumerate(self.node_keys):
+            if key is not None and key[0] == "task":
+                _, si, k, ri, _pos = key
+                head = self.rules[ri].head.predicate
+                writers.setdefault((head, si, k), []).append(nid)
+        for ws in writers.values():
+            ws.sort()
+        self.writers = writers
+
+        self.task_wiring: dict[int, _TaskWiring] = {}
+        for nid, key in enumerate(self.node_keys):
+            if key is None:  # pragma: no cover - compiler keys every node
+                raise ValueError(f"node {nid} has no builder key")
+            if key[0] == "task":
+                self.task_wiring[nid] = self._wire_task(*key[1:])
+
+    # ------------------------------------------------------------------
+    def _infer_n_iters(self) -> list[int]:
+        """Iterations per stratum, recovered from the node keys."""
+        n_iters = [1] * len(self.strata)
+        for key in self.node_keys:
+            if key is not None and key[0] == "pred":
+                _, _p, si, k = key
+                n_iters[si] = max(n_iters[si], k + 1)
+        return n_iters
+
+    def out_id(self, p: str) -> int:
         """Node carrying ``p``'s final value (mirrors the compiler)."""
-        if p in edb_set:
-            return key_to_id[("edb", p)]
-        si = stratum_of[p]
-        return key_to_id[("pred", p, si, n_iters[si] - 1)]
+        if p in self.edb_set:
+            return self.key_to_id[("edb", p)]
+        si = self.stratum_of[p]
+        return self.key_to_id[("pred", p, si, self.n_iters[si] - 1)]
 
-    # writer tasks per predicate-state node, from the task keys
-    writers: dict[tuple[str, int, int], list[int]] = {}
-    for nid, key in enumerate(cu.node_keys):
-        if key is not None and key[0] == "task":
-            _, si, k, ri, _pos = key
-            head = rules[ri].head.predicate
-            writers.setdefault((head, si, k), []).append(nid)
-    for ws in writers.values():
-        ws.sort()
-
-    def baseline(q: str) -> frozenset:
-        """Program facts plus any stray EDB facts for ``q`` — the state
-        a stratum-local predicate starts from in the new evaluation."""
-        return base.get(q, frozenset()) | _facts_of(cu.edb_new, q)
-
-    def make_edb_unit(nid: int, p: str) -> WorkUnit:
-        facts = base.get(p, frozenset())
-        old = _facts_of(cu.edb_old, p) | facts
-        new = _facts_of(cu.edb_new, p) | facts
-        return WorkUnit(
-            node=nid, kind="edb", label=f"edb:{p}", old_value=old,
-            run=lambda _values, _v=new: _v,
-        )
-
-    def make_pred_unit(nid: int, p: str, si: int, k: int) -> WorkUnit:
-        ko = min(k, len(ev_old.iterations[si]) - 1)
-        old = states_old.get((p, si, ko), states_old.get((p, si, -1)))
-        prev_id = key_to_id[("pred", p, si, k - 1)] if k > 0 else None
-        entry = baseline(p)
-        task_ids = tuple(writers.get((p, si, k), ()))
-
-        def run(values: ValueStore) -> frozenset:
-            acc = set(values[prev_id]) if prev_id is not None else set(entry)
-            for tid in task_ids:
-                acc |= values[tid]
-            return frozenset(acc)
-
-        return WorkUnit(
-            node=nid, kind="pred", label=f"{p}@{si}.{k}",
-            old_value=old if old is not None else frozenset(), run=run,
-        )
-
-    def make_task_unit(
-        nid: int, si: int, k: int, ri: int, pos: int | None
-    ) -> WorkUnit:
-        rule = rules[ri]
-        rec_old = (
-            ev_old.iterations[si][k]
-            if k < len(ev_old.iterations[si])
-            else {}
-        )
-        old = frozenset(rec_old.get((ri, pos), frozenset()))
-        stratum_set = set(strata[si])
+    def _wire_task(
+        self, si: int, k: int, ri: int, pos: int | None
+    ) -> _TaskWiring:
+        rule = self.rules[ri]
+        stratum_set = set(self.strata[si])
 
         # where each body predicate's input value comes from: a node id,
-        # or a constant baseline for stratum-local predicates at k == 0
+        # or the ctx baseline for stratum-local predicates at k == 0
         sources: dict[str, int | None] = {}
         for lit in rule.body:
             if lit.atom is None:
@@ -251,39 +308,134 @@ def build_execution_plan(cu: CompiledUpdate) -> ExecutionPlan:
             q = lit.atom.predicate
             if q in sources:
                 continue
-            if q in stratum_set and q not in edb_set:
+            if q in stratum_set and q not in self.edb_set:
                 sources[q] = (
-                    key_to_id[("pred", q, si, k - 1)] if k > 0 else None
+                    self.key_to_id[("pred", q, si, k - 1)] if k > 0 else None
                 )
             else:
-                sources[q] = out_id(q)
+                sources[q] = self.out_id(q)
 
         if pos is not None:
             dq = rule.body[pos].atom.predicate  # type: ignore[union-attr]
-            delta_cur = key_to_id[("pred", dq, si, k - 1)]
+            delta_cur = self.key_to_id[("pred", dq, si, k - 1)]
             delta_prev = (
-                key_to_id[("pred", dq, si, k - 2)] if k >= 2 else None
+                self.key_to_id[("pred", dq, si, k - 2)] if k >= 2 else None
             )
         else:
             dq = None
             delta_cur = delta_prev = None
 
-        def run(values: ValueStore) -> frozenset:
+        return _TaskWiring(
+            si=si, k=k, ri=ri, pos=pos, sources=sources,
+            dq=dq, delta_cur=delta_cur, delta_prev=delta_prev,
+        )
+
+    # ------------------------------------------------------------------
+    # per-round data
+    # ------------------------------------------------------------------
+    def _round_baseline(self, edb_new: Database) -> dict[str, frozenset]:
+        baseline: dict[str, frozenset] = {}
+        for p in self.arity_of:
+            baseline[p] = self.base.get(p, frozenset()) | _facts_of(
+                edb_new, p
+            )
+        return baseline
+
+    def _old_value(
+        self,
+        key: tuple,
+        cu: CompiledUpdate,
+        states_old: dict[tuple, frozenset],
+    ) -> frozenset:
+        if key[0] == "edb":
+            p = key[1]
+            return _facts_of(cu.edb_old, p) | self.base.get(p, frozenset())
+        if key[0] == "pred":
+            _, p, si, k = key
+            ko = min(k, len(cu.eval_old.iterations[si]) - 1)
+            old = states_old.get(
+                (p, si, ko), states_old.get((p, si, -1))
+            )
+            return old if old is not None else frozenset()
+        _, si, k, ri, pos = key
+        rec_old = (
+            cu.eval_old.iterations[si][k]
+            if k < len(cu.eval_old.iterations[si])
+            else {}
+        )
+        return frozenset(rec_old.get((ri, pos), frozenset()))
+
+    def _final_nodes(self, cu: CompiledUpdate) -> dict[str, int]:
+        final_nodes: dict[str, int] = {}
+        for p in cu.db_new.relations:
+            if p in self.edb_set or p in self.stratum_of:
+                final_nodes[p] = self.out_id(p)
+        return final_nodes
+
+    # ------------------------------------------------------------------
+    # unit construction (closures read ctx, never per-round captures)
+    # ------------------------------------------------------------------
+    def _make_unit(
+        self, nid: int, key: tuple, ctx: RoundCtx
+    ) -> WorkUnit:
+        if key[0] == "edb":
+            p = key[1]
+
+            def run_edb(_values: ValueStore) -> frozenset:
+                return ctx.baseline[p]
+
+            return WorkUnit(
+                node=nid, kind="edb", label=f"edb:{p}",
+                old_value=frozenset(), run=run_edb,
+            )
+
+        if key[0] == "pred":
+            _, p, si, k = key
+            prev_id = (
+                self.key_to_id[("pred", p, si, k - 1)] if k > 0 else None
+            )
+            task_ids = tuple(self.writers.get((p, si, k), ()))
+
+            def run_pred(values: ValueStore) -> frozenset:
+                acc = (
+                    set(values[prev_id])
+                    if prev_id is not None
+                    else set(ctx.baseline[p])
+                )
+                for tid in task_ids:
+                    acc |= values[tid]
+                return frozenset(acc)
+
+            return WorkUnit(
+                node=nid, kind="pred", label=f"{p}@{si}.{k}",
+                old_value=frozenset(), run=run_pred,
+            )
+
+        wiring = self.task_wiring[nid]
+        rule = self.rules[wiring.ri]
+        arity_of = self.arity_of
+        pos, dq = wiring.pos, wiring.dq
+        sources = wiring.sources
+        delta_cur, delta_prev = wiring.delta_cur, wiring.delta_prev
+
+        def run_task(values: ValueStore) -> frozenset:
             db = Database()
             for q, src in sources.items():
-                facts = values[src] if src is not None else baseline(q)
-                db.relations[q] = _relation_from(q, arity_of[q], facts)
+                facts = (
+                    values[src] if src is not None else ctx.baseline[q]
+                )
+                db.relations[q] = ctx.rel(q, arity_of[q], facts)
             if pos is None:
                 return frozenset(eval_rule(rule, db))
             older = (
                 values[delta_prev]
                 if delta_prev is not None
-                else baseline(dq)
+                else ctx.baseline[dq]
             )
             delta_facts = values[delta_cur] - older
             if not delta_facts:
                 return frozenset()
-            delta_rel = _relation_from(dq, arity_of[dq], delta_facts)
+            delta_rel = _fresh_relation(dq, arity_of[dq], delta_facts)
             return frozenset(
                 instantiate_head(rule.head, subst)
                 for subst in join_body(
@@ -294,31 +446,81 @@ def build_execution_plan(cu: CompiledUpdate) -> ExecutionPlan:
 
         suffix = f".d{pos}" if pos is not None else ""
         return WorkUnit(
-            node=nid, kind="task", label=f"r{ri}@{si}.{k}{suffix}",
-            old_value=old, run=run,
+            node=nid, kind="task",
+            label=f"r{wiring.ri}@{wiring.si}.{wiring.k}{suffix}",
+            old_value=frozenset(), run=run_task,
         )
 
-    units: list[WorkUnit] = []
-    for nid, key in enumerate(cu.node_keys):
-        if key is None:  # pragma: no cover - compiler keys every node
-            raise ValueError(f"node {nid} has no builder key")
-        if key[0] == "edb":
-            units.append(make_edb_unit(nid, key[1]))
-        elif key[0] == "pred":
-            units.append(make_pred_unit(nid, key[1], key[2], key[3]))
-        elif key[0] == "task":
-            units.append(make_task_unit(nid, key[1], key[2], key[3], key[4]))
-        else:  # pragma: no cover - exhaustive over compiler kinds
-            raise ValueError(f"unknown node key {key!r}")
+    # ------------------------------------------------------------------
+    # bind / patch
+    # ------------------------------------------------------------------
+    def bind(
+        self,
+        cu: CompiledUpdate,
+        states_old: dict[tuple, frozenset] | None = None,
+        relation_factory: RelationFactory | None = None,
+    ) -> ExecutionPlan:
+        """Build a fresh :class:`ExecutionPlan` for ``cu``.
 
-    final_nodes: dict[str, int] = {}
-    for p in cu.db_new.relations:
-        if p in edb_set or p in stratum_of:
-            final_nodes[p] = out_id(p)
+        ``states_old`` is the cumulative predicate-state table of the
+        old evaluation; pass the cached one to avoid recomputing it.
+        """
+        ctx = RoundCtx(relation_factory or _fresh_relation)
+        units = [
+            self._make_unit(nid, key, ctx)
+            for nid, key in enumerate(self.node_keys)
+        ]
+        plan = ExecutionPlan(
+            compiled=cu,
+            units=units,
+            old_values=[frozenset()] * len(units),
+            ctx=ctx,
+            skeleton=self,
+        )
+        self.patch(plan, cu, states_old)
+        return plan
 
-    return ExecutionPlan(
-        compiled=cu,
-        units=units,
-        old_values=[u.old_value for u in units],
-        final_nodes=final_nodes,
-    )
+    def patch(
+        self,
+        plan: ExecutionPlan,
+        cu: CompiledUpdate,
+        states_old: dict[tuple, frozenset] | None = None,
+    ) -> ExecutionPlan:
+        """Restamp ``plan`` with a new round's data, in place.
+
+        Requires ``cu.node_keys`` to match the skeleton's (same DAG
+        structure). The unit closures and wiring are reused verbatim;
+        only the :class:`RoundCtx`, old values, and final-node map are
+        rewritten. Deterministic: patching for the same ``cu`` twice —
+        e.g. when a failed round is retried — yields identical state.
+        """
+        if cu.node_keys != self.node_keys:
+            raise ValueError(
+                "compiled update has a different DAG structure than "
+                "this skeleton; build a new plan instead of patching"
+            )
+        if states_old is None:
+            states_old = _cumulative_states(
+                self.program, cu.eval_old, cu.edb_old
+            )
+        assert plan.ctx is not None
+        plan.ctx.baseline = self._round_baseline(cu.edb_new)
+        old_values = [
+            self._old_value(key, cu, states_old)
+            for key in self.node_keys
+        ]
+        for unit, old in zip(plan.units, old_values):
+            unit.old_value = old
+        # rebind in place: ValueStore holds a reference to this list
+        plan.old_values[:] = old_values
+        plan.compiled = cu
+        plan.final_nodes = self._final_nodes(cu)
+        return plan
+
+
+def build_execution_plan(
+    cu: CompiledUpdate,
+    relation_factory: RelationFactory | None = None,
+) -> ExecutionPlan:
+    """Rebuild every node of ``cu`` as a runnable unit of work."""
+    return PlanSkeleton(cu).bind(cu, relation_factory=relation_factory)

@@ -69,8 +69,10 @@ from ..datalog.ast import Program
 from ..datalog.compiler import CompiledUpdate, compile_update
 from ..datalog.database import Database
 from ..datalog.incremental import Delta, merge_deltas
+from ..datalog.plancache import CompiledProgramCache
 from ..datalog.units import build_execution_plan
 from ..obs import NULL_SINK, TraceSink
+from ..obs.metrics import MetricsRegistry
 from ..schedulers.base import Scheduler
 from ..verify.invariants import VerificationReport
 from .executor import RoundExecutor
@@ -177,6 +179,19 @@ class UpdateStreamService:
     sink:
         Trace sink for per-round spans; the default no-op sink makes
         every instrumentation point free.
+    plan_cache:
+        Reuse compilation work across rounds through a
+        :class:`~repro.datalog.plancache.CompiledProgramCache`: the
+        previous round's verified materialization is this round's old
+        side, the bound execution plan is patched instead of rebuilt,
+        and join-input relations keep their hash indexes. Identical
+        outputs either way (the differential suite pins this); ``False``
+        restores cold compilation per round. The cache is committed
+        only after verification succeeds and rolled back on a failed
+        round, so retries never see state staged by the failure.
+    obs_metrics:
+        Optional :class:`~repro.obs.metrics.MetricsRegistry` receiving
+        the cache's ``plancache.*`` hit/miss/invalidation counters.
     """
 
     def __init__(
@@ -193,6 +208,8 @@ class UpdateStreamService:
         name: str = "live",
         max_round_retries: int = 2,
         sink: TraceSink = NULL_SINK,
+        plan_cache: bool = True,
+        obs_metrics: MetricsRegistry | None = None,
     ) -> None:
         if capacity <= 0:
             raise ValueError(f"capacity must be positive, got {capacity}")
@@ -211,6 +228,11 @@ class UpdateStreamService:
         self.max_round_retries = max_round_retries
         self.sink = sink
         self.metrics = MetricsLog()
+        self.plan_cache: CompiledProgramCache | None = (
+            CompiledProgramCache(program, metrics=obs_metrics, sink=sink)
+            if plan_cache
+            else None
+        )
         self._edb = edb.copy()
         #: (delta, enqueue stamp) pairs; the stamp feeds queue_wait_s
         self._queue: queue.Queue[tuple[Delta, float]] = queue.Queue(
@@ -343,6 +365,10 @@ class UpdateStreamService:
         self, delta: Delta, enqueued_at: float, exc: BaseException
     ) -> None:
         """Apply the failed-round policy before the exception re-raises."""
+        if self.plan_cache is not None:
+            # drop anything the failed round staged or patched; the
+            # retry recompiles from the last *committed* baseline
+            self.plan_cache.rollback()
         self._round_attempts += 1
         requeued = self._round_attempts <= self.max_round_retries
         if requeued:
@@ -382,16 +408,30 @@ class UpdateStreamService:
             args={"index": self._rounds_run, "batches": n_batches},
         ):
             t0 = perf_counter()
+            cache = self.plan_cache
             with sink.span("compile", "phase"):
-                cu = compile_update(
-                    self.program,
-                    self._edb,
-                    delta,
-                    work_per_derivation=self.work_per_derivation,
-                    name=f"{self.name}:r{self._rounds_run}",
-                )
+                if cache is not None:
+                    cu = cache.compile(
+                        self.program,
+                        self._edb,
+                        delta,
+                        work_per_derivation=self.work_per_derivation,
+                        name=f"{self.name}:r{self._rounds_run}",
+                    )
+                else:
+                    cu = compile_update(
+                        self.program,
+                        self._edb,
+                        delta,
+                        work_per_derivation=self.work_per_derivation,
+                        name=f"{self.name}:r{self._rounds_run}",
+                    )
             with sink.span("plan-build", "phase"):
-                plan = build_execution_plan(cu)
+                plan = (
+                    cache.plan(cu)
+                    if cache is not None
+                    else build_execution_plan(cu)
+                )
             compile_s = perf_counter() - t0
 
             t0 = perf_counter()
@@ -428,6 +468,10 @@ class UpdateStreamService:
                         )
             verify_s = perf_counter() - t0
 
+            # the round is verified: only now may the staged compile
+            # become the baseline the next round's compile reuses
+            if cache is not None:
+                cache.commit(cu)
             self._edb = cu.edb_new
             self._materialization = cu.db_new
 

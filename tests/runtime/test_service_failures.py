@@ -207,6 +207,119 @@ class TestTypedVerificationError:
         assert join_unblocks(svc)
 
 
+class TestPlanCacheRollback:
+    """A failed round must not leak its staged compile into the cache.
+
+    The plan cache stages each round's compile and patches the bound
+    plan *before* execution; if the round then fails, the retry must
+    recompile from the last committed baseline — never from state the
+    failed round staged or patched.
+    """
+
+    def test_failed_round_rolls_back_staged_compile(self, monkeypatch):
+        wl, svc = make_service("hybrid")
+        assert svc.plan_cache is not None
+        fail_n_rounds(monkeypatch, 1)
+        svc.submit(wl.random_batch(2))
+        with pytest.raises(UnitExecutionError):
+            svc.run_round()
+        stats = svc.plan_cache.stats()
+        assert stats["rollbacks"] == 1
+        # nothing was committed: the failed round's compile was a miss
+        # and the baseline is still empty, so the retry misses again
+        # instead of reusing state staged by the failure
+        rep = svc.run_round()
+        assert rep is not None and rep.materialization_ok
+        stats = svc.plan_cache.stats()
+        assert stats["misses"] == 2 and stats["hits"] == 0
+        # ...and only the *successful* round was committed: the next
+        # round reuses its verified baseline
+        svc.submit(wl.random_batch(1))
+        assert svc.run_round().materialization_ok
+        assert svc.plan_cache.stats()["hits"] == 1
+
+    def test_failure_after_warm_cache_retries_from_committed_state(
+        self, monkeypatch
+    ):
+        """Fail a round *after* the cache is warm: the retry must hit
+        the committed baseline (not recompile cold, not reuse the
+        failed round's staging) and still match the serial oracle."""
+        wl, svc = make_service("hybrid")
+        for _ in range(2):
+            svc.submit(wl.random_batch(2))
+            assert svc.run_round().materialization_ok
+        committed_edb = svc.database().as_dict()
+        fail_n_rounds(monkeypatch, 1)
+        svc.submit(wl.random_batch(2))
+        with pytest.raises(UnitExecutionError):
+            svc.run_round()
+        assert svc.plan_cache.stats()["rollbacks"] == 1
+        assert svc.database().as_dict() == committed_edb
+        rep = svc.run_round()
+        assert rep is not None and rep.materialization_ok
+        oracle, _ = seminaive_evaluate(wl.program, svc.database())
+        assert svc.materialization().as_dict() == oracle.as_dict()
+
+    def test_verification_failure_rolls_back_too(self, monkeypatch):
+        wl, svc = make_service("hybrid")
+        report = VerificationReport(
+            trace_name="t",
+            scheduler_name="s",
+            processors=4,
+            violations=[Violation(kind="precedence", detail="injected")],
+        )
+        monkeypatch.setattr(
+            service_mod.RoundArtifacts, "check", lambda self: report
+        )
+        svc.submit(wl.random_batch(1))
+        with pytest.raises(RoundVerificationError):
+            svc.run_round()
+        assert svc.plan_cache.stats()["rollbacks"] == 1
+        assert svc.pending_batches() == 1
+
+    def test_cached_stream_with_midstream_failure_matches_uncached(
+        self, monkeypatch
+    ):
+        """Round-by-round differential across a failure: a cached
+        service that crashes and retries mid-stream stays byte-identical
+        to an uncached service fed the same update stream."""
+        wl_a, svc_a = make_service("hybrid")
+        wl_b, svc_b = make_service("hybrid", plan_cache=False)
+        assert svc_b.plan_cache is None
+
+        calls = fail_n_rounds(monkeypatch, 0)  # armed below
+        for i in range(5):
+            if i == 2:
+                calls["n"] = -1  # next executor run (svc_a's) crashes
+            svc_a.submit(wl_a.random_batch(2))
+            if i == 2:
+                with pytest.raises(UnitExecutionError):
+                    svc_a.run_round()
+                rep_a = svc_a.run_round()  # retry
+            else:
+                rep_a = svc_a.run_round()
+            svc_b.submit(wl_b.random_batch(2))
+            rep_b = svc_b.run_round()
+            assert rep_a.materialization_ok and rep_b.materialization_ok
+            assert (
+                svc_a.materialization().as_dict()
+                == svc_b.materialization().as_dict()
+            ), f"round {i}: cached (with failure) diverges from uncached"
+        assert svc_a.database().as_dict() == svc_b.database().as_dict()
+
+    def test_commit_requires_matching_staged_compile(self):
+        from repro.datalog import compile_update
+
+        wl, svc = make_service("hybrid")
+        cache = svc.plan_cache
+        foreign = compile_update(wl.program, wl.edb, wl.random_batch(1))
+        with pytest.raises(ValueError, match="staged"):
+            cache.commit(foreign)
+        # rollback with nothing staged is a no-op, not an error
+        cache.rollback()
+        assert cache.stats()["rollbacks"] == 0
+
+
 class TestQueueWait:
     def test_queue_wait_measured_from_oldest_batch(self):
         wl, svc = make_service("hybrid")

@@ -140,6 +140,47 @@ class TestDeterminism:
 # ----------------------------------------------------------------------
 # golden byte-identity of the no-fault path
 # ----------------------------------------------------------------------
+def _datalog_trace(cached: bool) -> JobTrace:
+    """Mirrors scripts/make_golden_results.py::datalog_trace.
+
+    The goldens were generated through the *cached* pipeline; checking
+    them here through the *cold* pipeline pins byte-identity of the two
+    compilation paths on top of the engine's numeric output.
+    """
+    from repro.datalog import (
+        CompiledProgramCache,
+        Database,
+        Delta,
+        compile_update,
+        parse_program,
+    )
+
+    program = parse_program(
+        """
+        path(X, Y) :- edge(X, Y).
+        path(X, Z) :- path(X, Y), edge(Y, Z).
+        """
+    )
+    edb = Database()
+    edb.relation("edge", 2)
+    for t in [(0, 1), (1, 2), (2, 3), (3, 4)]:
+        edb.add_fact("edge", t)
+    deltas = [
+        Delta().insert("edge", (4, 5)).delete("edge", (1, 2)),
+        Delta().insert("edge", (1, 2)).insert("edge", (5, 6)),
+    ]
+    cache = CompiledProgramCache(program) if cached else None
+    cu = None
+    for delta in deltas:
+        if cache is not None:
+            cu = cache.compile(program, edb, delta, name="dlog")
+            cache.commit(cu)
+        else:
+            cu = compile_update(program, edb, delta, name="dlog")
+        edb = cu.edb_new
+    return cu.trace
+
+
 TRACES = {
     "diamond": lambda: JobTrace(
         dag=Dag(4, [(0, 1), (0, 2), (1, 3), (2, 3)]),
@@ -150,6 +191,7 @@ TRACES = {
     ),
     "rand7": lambda: random_job_trace(7),
     "rand23": lambda: random_job_trace(23),
+    "dlog": lambda: _datalog_trace(cached=False),
 }
 
 
@@ -169,6 +211,25 @@ def test_no_fault_run_matches_golden_bytes(golden, faults):
     )
     assert json.dumps(res.to_json_dict(), sort_keys=True) + "\n" == (
         golden.read_text()
+    )
+
+
+@pytest.mark.parametrize("sched_name", sorted(scheduler_registry()))
+def test_datalog_golden_trace_cached_equals_cold(sched_name):
+    """The cached and cold compilation pipelines simulate to identical
+    JSON for every registered scheduler (the dlog goldens were written
+    through the cached path; the golden test reads the cold one)."""
+    res_cold = simulate(
+        _datalog_trace(cached=False), scheduler_registry()[sched_name](),
+        processors=4, record_schedule=True,
+    )
+    res_cached = simulate(
+        _datalog_trace(cached=True), scheduler_registry()[sched_name](),
+        processors=4, record_schedule=True,
+    )
+    assert (
+        json.dumps(res_cold.to_json_dict(), sort_keys=True)
+        == json.dumps(res_cached.to_json_dict(), sort_keys=True)
     )
 
 
