@@ -31,6 +31,8 @@ import pytest
 from conftest import run_once
 
 from repro.analysis import render_table
+from repro.datalog import parse_program
+from repro.datalog.ast import Program
 from repro.runtime import UpdateStreamService, live_workload, make_stream
 from repro.schedulers import scheduler_registry
 
@@ -47,7 +49,27 @@ SCHEDULERS = (
 )
 
 
-def serve_stream(sched_name: str, plan_cache: bool):
+#: rules appended for the analyzer measurement: a recursive pair over
+#: predicates with no facts anywhere in the stream, so the static
+#: analyzer prunes them every round while the no-analysis baseline
+#: carries their DAG nodes and (empty) fixpoint iterations
+DEAD_RULES_SRC = """
+ghost_pts(V, H) :- ghost_alloc(V, H).
+ghost_pts(V, H) :- ghost_assign(V, W), ghost_pts(W, H).
+"""
+
+
+def with_dead_rules(program: Program) -> Program:
+    extra = parse_program(DEAD_RULES_SRC)
+    return Program(tuple(program.rules) + tuple(extra.rules))
+
+
+def serve_stream(
+    sched_name: str,
+    plan_cache: bool,
+    analyze: bool = True,
+    program: Program | None = None,
+):
     """One full serve of the seeded stream; returns (metrics, cache stats).
 
     Both runs rebuild the workload from the same seed, so cold and
@@ -55,11 +77,12 @@ def serve_stream(sched_name: str, plan_cache: bool):
     """
     wl = live_workload(PROGRAM, seed=SEED)
     svc = UpdateStreamService(
-        wl.program,
+        program if program is not None else wl.program,
         wl.edb,
         scheduler_registry()[sched_name](),
         workers=WORKERS,
         plan_cache=plan_cache,
+        analyze=analyze,
         name=f"bench:{sched_name}:{'cached' if plan_cache else 'cold'}",
     )
     for batches in make_stream(wl, STREAM, rounds=ROUNDS):
@@ -78,9 +101,20 @@ def test_plan_cache_speedup(benchmark, emit):
             cold, _ = serve_stream(name, plan_cache=False)
             cached, stats = serve_stream(name, plan_cache=True)
             out[name] = (cold, cached, stats)
+        # analyzer delta: the same cached pipeline over a dead-rule-
+        # augmented program, with and without static analysis
+        dead_prog = with_dead_rules(live_workload(PROGRAM, seed=SEED).program)
+        base, _ = serve_stream(
+            "hybrid", plan_cache=True, analyze=False, program=dead_prog
+        )
+        pruned, _ = serve_stream(
+            "hybrid", plan_cache=True, analyze=True, program=dead_prog
+        )
+        out["__analyzer__"] = (base, pruned)
         return out
 
     results = run_once(benchmark, run)
+    ana_base, ana_pruned = results.pop("__analyzer__")
 
     rows = []
     payload = {
@@ -109,6 +143,21 @@ def test_plan_cache_speedup(benchmark, emit):
             "speedup": round(speedup, 3),
             "cache": stats,
         }
+
+    base_rps = ana_base.rounds_per_second()
+    pruned_rps = ana_pruned.rounds_per_second()
+    ana_speedup = pruned_rps / base_rps if base_rps else float("inf")
+    payload["analyzer"] = {
+        "scheduler": "hybrid",
+        "dead_rules": 2,
+        "no_analysis_rounds_per_sec": round(base_rps, 3),
+        "analysis_rounds_per_sec": round(pruned_rps, 3),
+        "speedup": round(ana_speedup, 3),
+    }
+    rows.append(
+        ["hybrid+prune", f"{base_rps:.1f}", f"{pruned_rps:.1f}",
+         f"{ana_speedup:.2f}x", "-", "-"]
+    )
 
     text = render_table(
         ["scheduler", "cold r/s", "cached r/s", "speedup",

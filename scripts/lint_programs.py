@@ -1,0 +1,58 @@
+#!/usr/bin/env python
+"""CI gate: every shipped Datalog program must analyze clean.
+
+Runs the whole-program static analyzer (:mod:`repro.verify.program`)
+over every ``.dlog`` file in ``examples/`` and every program factory in
+:mod:`repro.workloads.datalog_workloads`, and fails on any unsuppressed
+finding — warnings included, since shipped programs should be exemplary.
+
+Usage::
+
+    PYTHONPATH=src python scripts/lint_programs.py
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(ROOT / "src"))
+
+from repro.verify import format_findings  # noqa: E402
+from repro.verify.program import analyze_path, analyze_program  # noqa: E402
+from repro.workloads.datalog_workloads import DATALOG_WORKLOADS  # noqa: E402
+
+
+def main() -> int:
+    total = 0
+    checked = 0
+
+    for path in sorted((ROOT / "examples").glob("*.dlog")):
+        checked += 1
+        analysis = analyze_path(path)
+        if analysis.findings:
+            total += len(analysis.findings)
+            print(format_findings(analysis.findings))
+        else:
+            print(f"{path.relative_to(ROOT)}: clean")
+
+    for name, factory in sorted(DATALOG_WORKLOADS.items()):
+        checked += 1
+        program, _edb, _delta = factory()
+        analysis = analyze_program(program, path=f"workload:{name}")
+        if analysis.findings:
+            total += len(analysis.findings)
+            print(format_findings(analysis.findings))
+        else:
+            print(f"workload:{name}: clean")
+
+    if total:
+        print(f"program-lint: {total} finding(s) in {checked} program(s)")
+        return 1
+    print(f"program-lint: {checked} program(s) clean")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -15,8 +15,10 @@ Commands
 ``trace``     Like ``serve`` but with the repro.obs recorder attached:
               emits a Chrome trace_event timeline of every round and
               prints the slowest rounds by phase.
-``verify``    Run the scheduler contract linter over source paths
+``verify``    Run the scheduler contract linter over source paths,
+              the whole-program static analyzer over Datalog files,
               and/or the trace invariant checker over result files.
+              Exit codes: 0 clean, 1 findings, 2 usage error/crash.
 
 Examples
 --------
@@ -32,6 +34,7 @@ Examples
     python -m repro serve --program retail --stream bursty --scheduler hybrid --rounds 20
     python -m repro trace --stream retail --scheduler levelbased -o trace.json
     python -m repro verify --lint src/repro/schedulers --trace result.json
+    python -m repro verify --program examples/reachability.dlog --format json
 """
 
 from __future__ import annotations
@@ -414,10 +417,26 @@ def cmd_trace(args) -> int:
 
 
 def cmd_verify(args) -> int:
-    """``repro verify``: contract linter + trace invariant checker."""
-    from .sim import SimulationResult
-    from .verify import check_invariants, format_findings, lint_paths
+    """``repro verify``: one diagnostics surface over three checkers.
 
+    ``--lint`` runs the scheduler contract linter, ``--program`` the
+    whole-program Datalog static analyzer, ``--trace`` the recorded-run
+    invariant checker. Exit codes are uniform across all of them:
+    0 = everything ran and came back clean, 1 = at least one finding or
+    violation, 2 = usage error or crash (nothing to do, unreadable
+    input, unparseable python).
+    """
+    from .sim import SimulationResult
+    from .verify import (
+        analyze_path,
+        check_invariants,
+        findings_to_json,
+        format_findings,
+        lint_paths,
+    )
+
+    as_json = args.format == "json"
+    report_json: dict = {"schema": 1}
     ran = False
     failures = 0
     if args.lint:
@@ -425,33 +444,83 @@ def cmd_verify(args) -> int:
         try:
             findings = lint_paths(args.lint)
         except (OSError, ValueError, SyntaxError) as exc:
-            raise SystemExit(f"verify: {exc}") from exc
-        if findings:
+            print(f"verify: {exc}", file=sys.stderr)
+            return 2
+        if as_json:
+            report_json["lint"] = findings_to_json(findings)
+        elif findings:
             print(format_findings(findings))
             print(f"lint: {len(findings)} finding(s)")
-            failures += 1
         else:
             print("lint: clean")
-    for result_path in args.results:
-        ran = True
-        try:
-            with open(result_path) as fh:
-                data = json.load(fh)
-            trace = JobTrace.from_json_dict(data["trace"])
-            result = SimulationResult.from_json_dict(data["result"])
-            report = check_invariants(trace, result)
-        except (OSError, ValueError, KeyError, TypeError) as exc:
-            raise SystemExit(
-                f"verify: cannot check {result_path}: {exc}"
-            ) from exc
-        print(report.summary())
-        if not report.ok:
+        if findings:
             failures += 1
+    if args.programs:
+        report_json["programs"] = []
+        for path in args.programs:
+            ran = True
+            try:
+                analysis = analyze_path(path)
+            except OSError as exc:
+                print(
+                    f"verify: cannot analyze {path}: {exc}",
+                    file=sys.stderr,
+                )
+                return 2
+            findings = analysis.findings
+            if as_json:
+                report_json["programs"].append(
+                    {"path": str(path),
+                     "findings": findings_to_json(findings)}
+                )
+            elif findings:
+                print(format_findings(findings))
+                print(f"{path}: {len(findings)} finding(s)")
+            else:
+                print(f"{path}: clean")
+            if findings:
+                failures += 1
+    if args.results:
+        report_json["results"] = []
+        for result_path in args.results:
+            ran = True
+            try:
+                with open(result_path) as fh:
+                    data = json.load(fh)
+                trace = JobTrace.from_json_dict(data["trace"])
+                result = SimulationResult.from_json_dict(data["result"])
+                report = check_invariants(trace, result)
+            except (OSError, ValueError, KeyError, TypeError) as exc:
+                print(
+                    f"verify: cannot check {result_path}: {exc}",
+                    file=sys.stderr,
+                )
+                return 2
+            if as_json:
+                report_json["results"].append(
+                    {
+                        "path": str(result_path),
+                        "ok": report.ok,
+                        "violations": [
+                            {"kind": v.kind, "detail": v.detail,
+                             "node": v.node}
+                            for v in report.violations
+                        ],
+                    }
+                )
+            else:
+                print(report.summary())
+            if not report.ok:
+                failures += 1
     if not ran:
-        raise SystemExit(
-            "verify: nothing to do — pass --lint PATH [PATH ...] and/or "
-            "--trace RESULT_JSON"
+        print(
+            "verify: nothing to do — pass --lint PATH [PATH ...], "
+            "--program FILE [FILE ...], and/or --trace RESULT_JSON",
+            file=sys.stderr,
         )
+        return 2
+    if as_json:
+        print(json.dumps(report_json, indent=2))
     return 1 if failures else 0
 
 
@@ -596,16 +665,27 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser(
         "verify",
-        help="lint scheduler source and/or check a recorded result",
+        help="lint scheduler source, analyze Datalog programs, and/or "
+             "check a recorded result",
     )
     p.add_argument(
         "--lint", nargs="+", metavar="PATH", default=None,
         help="python files/directories to run the contract linter over",
     )
     p.add_argument(
+        "--program", nargs="+", dest="programs", default=None,
+        metavar="FILE",
+        help="Datalog source files to run the whole-program static "
+             "analyzer over",
+    )
+    p.add_argument(
         "--trace", action="append", dest="results", default=[],
         metavar="RESULT_JSON",
         help="result file from `repro simulate -o`; repeatable",
+    )
+    p.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="diagnostics output format (default text)",
     )
     p.set_defaults(fn=cmd_verify)
 

@@ -26,7 +26,12 @@ from .incremental import (
     apply_delta,
     merge_deltas,
 )
-from .parser import ParseError, parse_program, parse_rule
+from .parser import (
+    ParseError,
+    parse_program,
+    parse_program_lenient,
+    parse_rule,
+)
 from .plancache import CompiledProgramCache, RelationIndexCache
 from .provenance import Derivation, explain
 from .query import parse_goal, query, query_facts
@@ -41,6 +46,7 @@ __all__ = [
     "Rule",
     "Program",
     "parse_program",
+    "parse_program_lenient",
     "parse_rule",
     "ParseError",
     "Database",

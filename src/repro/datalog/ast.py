@@ -14,7 +14,7 @@ These classes are deliberately tiny immutable values: the evaluator
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import InitVar, dataclass, field
 from typing import Iterator, Union
 
 __all__ = [
@@ -95,10 +95,20 @@ Term = Union[Variable, Constant, Aggregate]
 
 @dataclass(frozen=True)
 class Atom:
-    """``predicate(t1, …, tn)``."""
+    """``predicate(t1, …, tn)``.
+
+    ``line``/``col`` record the 1-based source position of the
+    predicate token when the atom came from the parser (``None`` for
+    programmatically built atoms). They are excluded from equality and
+    hashing so structurally identical atoms — and therefore rules and
+    whole-program fingerprints — compare the same regardless of where
+    they were written.
+    """
 
     predicate: str
     terms: tuple[Term, ...]
+    line: int | None = field(default=None, compare=False)
+    col: int | None = field(default=None, compare=False)
 
     @property
     def arity(self) -> int:
@@ -148,6 +158,8 @@ class Assignment:
     left: "Term"
     op: str | None = None
     right: "Term | None" = None
+    line: int | None = field(default=None, compare=False)
+    col: int | None = field(default=None, compare=False)
 
     def __post_init__(self) -> None:
         if (self.op is None) != (self.right is None):
@@ -178,6 +190,8 @@ class Comparison:
     op: str
     left: Term
     right: Term
+    line: int | None = field(default=None, compare=False)
+    col: int | None = field(default=None, compare=False)
 
     def __post_init__(self) -> None:
         if self.op not in COMPARISON_OPS:
@@ -238,10 +252,18 @@ class Literal:
 
 @dataclass(frozen=True)
 class Rule:
-    """``head :- body.`` — a fact when the body is empty."""
+    """``head :- body.`` — a fact when the body is empty.
+
+    Pass ``check=False`` to skip the well-formedness validation (ground
+    facts, aggregate placement, range restriction). The static analyzer
+    (:mod:`repro.verify.program`) uses this to build rules from broken
+    source and *report* the violations instead of crashing; everything
+    that evaluates rules assumes they were built checked.
+    """
 
     head: Atom
     body: tuple[Literal, ...] = ()
+    check: InitVar[bool] = True
 
     @property
     def is_fact(self) -> bool:
@@ -251,7 +273,9 @@ class Rule:
     def has_aggregate(self) -> bool:
         return self.head.has_aggregate()
 
-    def __post_init__(self) -> None:
+    def __post_init__(self, check: bool) -> None:
+        if not check:
+            return
         if self.is_fact and not self.head.is_ground():
             raise ValueError(f"fact {self.head!r} must be ground")
         for lit in self.body:
@@ -265,13 +289,12 @@ class Rule:
             )
         self._check_safety()
 
-    def _check_safety(self) -> None:
-        """Range restriction: every head/negated/comparison variable must
-        be bound by a positive body atom or an assignment whose inputs
-        are (transitively) bound."""
+    def bound_variables(self) -> set[str]:
+        """Variable names bound by positive body atoms, closed under
+        assignments (an assignment binds its target once its inputs are
+        transitively bound)."""
         bound = {v.name for lit in self.body if not lit.negated and lit.atom
                  for v in lit.variables()}
-        # assignments bind their targets once their inputs are bound
         changed = True
         while changed:
             changed = False
@@ -282,27 +305,59 @@ class Rule:
                 if all(v.name in bound for v in a.inputs()):
                     bound.add(a.target.name)
                     changed = True
+        return bound
+
+    def range_restriction(self) -> list[tuple[str, "Literal | None"]]:
+        """Range-restriction violations as ``(variable, literal)`` pairs.
+
+        ``literal`` is the negated atom / comparison / assignment whose
+        variable is never bound, or ``None`` when the variable appears
+        in the head. An empty list means the rule is safe. Head
+        violations come first, then body violations in literal order —
+        the order :meth:`_check_safety` raises in.
+        """
+        bound = self.bound_variables()
+        out: list[tuple[str, Literal | None]] = []
+        seen: set[tuple[str, int]] = set()
         for v in self.head.variables():
-            if v.name not in bound and self.body:
+            if v.name not in bound and (v.name, -1) not in seen:
+                seen.add((v.name, -1))
+                out.append((v.name, None))
+        for idx, lit in enumerate(self.body):
+            if lit.negated or lit.is_comparison:
+                names = (v.name for v in lit.variables())
+            elif lit.assignment is not None:
+                names = (v.name for v in lit.assignment.inputs())
+            else:
+                continue
+            for name in names:
+                if name not in bound and (name, idx) not in seen:
+                    seen.add((name, idx))
+                    out.append((name, lit))
+        return out
+
+    def _check_safety(self) -> None:
+        """Range restriction: every head/negated/comparison variable must
+        be bound by a positive body atom or an assignment whose inputs
+        are (transitively) bound."""
+        for name, lit in self.range_restriction():
+            if lit is None:
+                if not self.body:
+                    # a non-ground fact; already rejected as such
+                    continue
                 raise ValueError(
-                    f"unsafe rule: head variable {v.name} not bound in "
+                    f"unsafe rule: head variable {name} not bound in "
                     f"a positive body atom: {self!r}"
                 )
-        for lit in self.body:
-            if lit.negated or lit.is_comparison:
-                for v in lit.variables():
-                    if v.name not in bound:
-                        raise ValueError(
-                            f"unsafe rule: variable {v.name} in "
-                            f"{lit!r} not bound in a positive body atom"
-                        )
-            elif lit.assignment is not None:
-                for v in lit.assignment.inputs():
-                    if v.name not in bound:
-                        raise ValueError(
-                            f"unsafe rule: assignment input {v.name} in "
-                            f"{lit!r} is never bound"
-                        )
+            if lit.is_assignment:
+                raise ValueError(
+                    f"unsafe rule: assignment input {name} in "
+                    f"{lit!r} is never bound"
+                )
+            raise ValueError(
+                f"unsafe rule: variable {name} in "
+                f"{lit!r} not bound in a positive body atom"
+            )
 
     def body_predicates(self) -> Iterator[tuple[str, bool]]:
         """Yield (predicate, negated) for every body atom."""
@@ -318,12 +373,19 @@ class Rule:
 
 @dataclass
 class Program:
-    """An ordered collection of rules and facts."""
+    """An ordered collection of rules and facts.
+
+    ``check=False`` skips the cross-rule arity validation — used by the
+    lenient parser so the static analyzer can diagnose inconsistent
+    programs instead of refusing to build them.
+    """
 
     rules: list[Rule] = field(default_factory=list)
+    check: InitVar[bool] = True
 
-    def __post_init__(self) -> None:
-        self._check_consistent_arity()
+    def __post_init__(self, check: bool) -> None:
+        if check:
+            self._check_consistent_arity()
 
     def _check_consistent_arity(self) -> None:
         arity: dict[str, int] = {}

@@ -42,6 +42,7 @@ joins dominate the schedule the way they dominate real maintenance.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 import numpy as np
 
@@ -52,9 +53,64 @@ from .ast import Program
 from .database import Database
 from .depgraph import DependencyGraph
 from .incremental import Delta, apply_delta
-from .seminaive import EvaluationTrace, seminaive_evaluate
+from .seminaive import EvaluationTrace, _ensure_relations, seminaive_evaluate
 
-__all__ = ["compile_update", "build_compiled_update", "CompiledUpdate"]
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..verify.program import ProgramAnalysis
+
+__all__ = [
+    "compile_update",
+    "build_compiled_update",
+    "CompiledUpdate",
+    "live_edb_predicates",
+    "with_program_schema",
+]
+
+
+def live_edb_predicates(edb_old: Database, edb_new: Database) -> set[str]:
+    """Predicates holding at least one fact on either side of the round.
+
+    The input to :meth:`ProgramAnalysis.prunable_rules` — a rule is only
+    prunable when it cannot fire against *both* EDB snapshots, since the
+    compiled round materializes both sides.
+    """
+    return {
+        p
+        for db in (edb_old, edb_new)
+        for p, rel in db.relations.items()
+        if len(rel)
+    }
+
+
+def with_program_schema(db: Database, program: Program) -> Database:
+    """``db`` with an (empty) relation for every program predicate.
+
+    Pruned compiles evaluate a program that no longer mentions some
+    predicates; mirroring the evaluator's ``_ensure_relations`` against
+    the *full* program on the EDB keeps the materialization's relation
+    keys — and the plan cache's schema fingerprint — byte-identical to
+    the unpruned path. Returns ``db`` itself when nothing is missing,
+    so steady-state rounds keep EDB identity (and the cache's fast
+    equality path)."""
+    mentioned = program.predicates()
+    if mentioned <= set(db.relations):
+        return db
+    out = db.copy()
+    _ensure_relations(program, out)
+    return out
+
+
+def _usable_analysis(
+    program: Program, analysis: "ProgramAnalysis | None"
+) -> "ProgramAnalysis | None":
+    """Guard against an analysis computed for a different program."""
+    if analysis is None:
+        return None
+    if analysis.program is program or repr(analysis.program) == repr(
+        program
+    ):
+        return analysis
+    return None
 
 
 @dataclass
@@ -117,24 +173,54 @@ def compile_update(
     delta: Delta,
     work_per_derivation: float = 1e-3,
     name: str = "datalog-update",
+    analysis: "ProgramAnalysis | None" = None,
 ) -> CompiledUpdate:
-    """Compile ``(program, edb_old, delta)`` into a schedulable trace."""
+    """Compile ``(program, edb_old, delta)`` into a schedulable trace.
+
+    When ``analysis`` (a :class:`~repro.verify.program.ProgramAnalysis`
+    of ``program``) is supplied, rules the analyzer proves can never
+    fire against either EDB snapshot are pruned before DAG
+    construction. Pruning is materialization-preserving: both snapshots
+    are augmented with the full program's schema first, so the derived
+    databases stay byte-identical to the unpruned compile.
+    """
     for pred in delta.touched_predicates():
         if pred in program.idb_predicates():
             raise ValueError(f"update targets derived predicate {pred!r}")
 
     edb_new = apply_delta(edb_old, delta)
-    db_old, ev_old = seminaive_evaluate(program, edb_old, record=True)
-    db_new, ev_new = seminaive_evaluate(program, edb_new, record=True)
+    run_program = program
+    touched = delta.touched_predicates()
+    analysis = _usable_analysis(program, analysis)
+    if analysis is not None:
+        dead = analysis.prunable_rules(
+            live_edb_predicates(edb_old, edb_new)
+        )
+        if dead:
+            run_program = Program(
+                tuple(
+                    r
+                    for i, r in enumerate(program.rules)
+                    if i not in dead
+                )
+            )
+            edb_old = with_program_schema(edb_old, program)
+            edb_new = with_program_schema(edb_new, program)
+            # a delta may touch a predicate only dead rules read; the
+            # pruned DAG has no node for it (the augmented EDB still
+            # carries its facts through the materialization)
+            touched = touched & run_program.edb_predicates()
+    db_old, ev_old = seminaive_evaluate(run_program, edb_old, record=True)
+    db_new, ev_new = seminaive_evaluate(run_program, edb_new, record=True)
     return build_compiled_update(
-        program,
+        run_program,
         edb_old,
         edb_new,
         db_old,
         db_new,
         ev_old,
         ev_new,
-        touched=delta.touched_predicates(),
+        touched=touched,
         work_per_derivation=work_per_derivation,
         name=name,
     )

@@ -93,16 +93,26 @@ class DependencyGraph:
     edges: dict[str, set[str]] = field(default_factory=dict)
     #: (body-pred, head-pred) pairs where the body occurrence is negated
     negative_edges: set[tuple[str, str]] = field(default_factory=set)
+    #: negative edge → why it stratifies ("negation" | "aggregation");
+    #: negation wins when one edge has both kinds of occurrence
+    negative_edge_kinds: dict[tuple[str, str], str] = field(
+        default_factory=dict
+    )
 
     def __post_init__(self) -> None:
         deps: dict[str, set[str]] = defaultdict(set)
         for rule in self.program.proper_rules:
             for pred, negated in rule.body_predicates():
+                edge = (pred, rule.head.predicate)
                 deps[pred].add(rule.head.predicate)
                 # aggregation stratifies like negation: the aggregated
                 # body must be fully materialized before the rule runs
-                if negated or rule.has_aggregate:
-                    self.negative_edges.add((pred, rule.head.predicate))
+                if negated:
+                    self.negative_edges.add(edge)
+                    self.negative_edge_kinds[edge] = "negation"
+                elif rule.has_aggregate:
+                    self.negative_edges.add(edge)
+                    self.negative_edge_kinds.setdefault(edge, "aggregation")
         self.edges = dict(deps)
 
     # ------------------------------------------------------------------
@@ -129,6 +139,57 @@ class DependencyGraph:
                 out.add(p)
         return out
 
+    def _witness_path(
+        self, start: str, goal: str, comp: set[str]
+    ) -> list[str]:
+        """Shortest dependency path ``start → … → goal`` within one SCC
+        (BFS over positive-or-negative edges, restricted to ``comp``)."""
+        if start == goal:
+            return [start]
+        parent: dict[str, str | None] = {start: None}
+        frontier = [start]
+        while frontier:
+            nxt: list[str] = []
+            for u in frontier:
+                for w in sorted(self.edges.get(u, ())):
+                    if w not in comp or w in parent:
+                        continue
+                    parent[w] = u
+                    if w == goal:
+                        path = [w]
+                        while parent[path[-1]] is not None:
+                            path.append(parent[path[-1]])  # type: ignore[arg-type]
+                        path.reverse()
+                        return path
+                    nxt.append(w)
+            frontier = nxt
+        return [start, goal]  # unreachable: start/goal share an SCC
+
+    def negation_cycles(self) -> list[tuple[list[str], str]]:
+        """Every stratification violation with a witness cycle.
+
+        For each negative edge ``src → dst`` inside one SCC, returns
+        ``(cycle, kind)`` where ``cycle`` is a predicate path
+        ``[dst, …, src, dst]`` — the positive dependency chain from the
+        rule's head back to the offending body predicate, closed by the
+        negative edge — and ``kind`` is ``"negation"`` or
+        ``"aggregation"``. Empty iff the program stratifies. Computed
+        on demand so :meth:`stratify`'s happy path stays cheap.
+        """
+        comps = self.sccs()
+        comp_of: dict[str, int] = {}
+        for i, comp in enumerate(comps):
+            for p in comp:
+                comp_of[p] = i
+        out: list[tuple[list[str], str]] = []
+        for src, dst in sorted(self.negative_edges):
+            if comp_of.get(src) != comp_of.get(dst):
+                continue
+            comp = set(comps[comp_of[src]])
+            path = self._witness_path(dst, src, comp)
+            out.append((path + [dst], self.negative_edge_kinds[(src, dst)]))
+        return out
+
     def stratify(self) -> list[list[str]]:
         """Strata (SCCs in dependency order); raises on negation in a cycle.
 
@@ -144,9 +205,12 @@ class DependencyGraph:
                 comp_of[p] = i
         for src, dst in self.negative_edges:
             if comp_of.get(src) == comp_of.get(dst):
+                cycle, kind = self.negation_cycles()[0]
                 raise StratificationError(
-                    f"negation of {src!r} inside its own recursive "
-                    f"component {comps[comp_of[src]]!r}"
+                    f"{kind} of {cycle[-2]!r} inside its own recursive "
+                    f"component {comps[comp_of[cycle[-2]]]!r}: "
+                    "dependency cycle "
+                    + " -> ".join(map(repr, cycle))
                 )
         return comps
 

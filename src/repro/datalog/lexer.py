@@ -14,7 +14,18 @@ __all__ = ["Token", "tokenize", "LexError"]
 
 
 class LexError(ValueError):
-    """Raised on unrecognized input, with line/column context."""
+    """Raised on unrecognized input, with line/column context.
+
+    ``line``/``col`` expose the 1-based position machine-readably (the
+    message embeds the same position for humans).
+    """
+
+    def __init__(
+        self, message: str, line: int | None = None, col: int | None = None
+    ) -> None:
+        super().__init__(message)
+        self.line = line
+        self.col = col
 
 
 @dataclass(frozen=True)
@@ -94,10 +105,14 @@ def tokenize(text: str) -> Iterator[Token]:
             j = i + 1
             while j < n and text[j] != '"':
                 if text[j] == "\n":
-                    raise LexError(f"unterminated string at {line}:{col}")
+                    raise LexError(
+                        f"unterminated string at {line}:{col}", line, col
+                    )
                 j += 1
             if j >= n:
-                raise LexError(f"unterminated string at {line}:{col}")
+                raise LexError(
+                    f"unterminated string at {line}:{col}", line, col
+                )
             yield Token("STRING", text[i + 1 : j], line, col)
             col += j + 1 - i
             i = j + 1
@@ -120,4 +135,6 @@ def tokenize(text: str) -> Iterator[Token]:
             col += j - i
             i = j
             continue
-        raise LexError(f"unexpected character {c!r} at {line}:{col}")
+        raise LexError(
+            f"unexpected character {c!r} at {line}:{col}", line, col
+        )

@@ -51,7 +51,8 @@ from __future__ import annotations
 
 import threading
 from collections import OrderedDict
-from dataclasses import dataclass
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 from ..obs.metrics import MetricsRegistry
 from ..obs.trace import NULL_SINK, TraceSink
@@ -59,12 +60,18 @@ from .ast import Program
 from .compiler import (
     CompiledUpdate,
     _cumulative_states,
+    _usable_analysis,
     build_compiled_update,
+    live_edb_predicates,
+    with_program_schema,
 )
 from .database import Database, Relation
 from .incremental import Delta, apply_delta
 from .seminaive import EvaluationTrace, seminaive_evaluate
 from .units import ExecutionPlan, PlanSkeleton
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..verify.program import ProgramAnalysis
 
 __all__ = ["CompiledProgramCache", "RelationIndexCache"]
 
@@ -166,6 +173,9 @@ class _Side:
     db: Database
     ev: EvaluationTrace
     states: dict[tuple, frozenset]
+    #: rule indices the static analyzer pruned for this side — the
+    #: baseline is only reusable by a round pruning the same set
+    pruned: frozenset[int] = field(default_factory=frozenset)
 
 
 def _edb_schema(edb: Database) -> frozenset:
@@ -213,9 +223,17 @@ class CompiledProgramCache:
         sink: TraceSink = NULL_SINK,
         max_plans: int = 8,
         relation_cache_size: int = 256,
+        analysis: "ProgramAnalysis | None" = None,
     ) -> None:
         self._program = program
         self._fingerprint = repr(program)
+        self._analysis = _usable_analysis(program, analysis)
+        #: pruned-rule set → the program actually evaluated; memoized so
+        #: steady-state pruned rounds reuse one Program object (and its
+        #: cached predicate sets / stratification downstream)
+        self._run_programs: dict[frozenset, Program] = {
+            frozenset(): program
+        }
         self._schema: frozenset | None = None
         self._metrics = metrics
         self._sink = sink
@@ -249,6 +267,7 @@ class CompiledProgramCache:
         self._staged = None
         self._staged_cu_id = None
         self._staged_states_old = None
+        self._run_programs = {frozenset(): self._program}
         self.invalidations += 1
         self._count("invalidations")
 
@@ -259,6 +278,9 @@ class CompiledProgramCache:
                 self._invalidate()
                 self._fingerprint = fingerprint
                 self._schema = None
+                # the analysis was computed for the old rule set
+                self._analysis = None
+                self._run_programs = {frozenset(): program}
             self._program = program
         schema = _edb_schema(edb_old)
         if self._schema is not None and schema != self._schema:
@@ -312,8 +334,39 @@ class CompiledProgramCache:
         self._check_validity(program, edb_old)
 
         edb_new = apply_delta(edb_old, delta)
+        touched = delta.touched_predicates()
+
+        # static-analysis pruning: drop rules that provably cannot fire
+        # against either EDB snapshot; augment both snapshots with the
+        # full program's schema so the materializations (and the
+        # committed baseline's schema) stay byte-identical to the
+        # unpruned path
+        dead: frozenset[int] = frozenset()
+        if self._analysis is not None:
+            dead = self._analysis.prunable_rules(
+                live_edb_predicates(edb_old, edb_new)
+            )
+        run_program = self._run_programs.get(dead)
+        if run_program is None:
+            run_program = Program(
+                tuple(
+                    r
+                    for i, r in enumerate(self._program.rules)
+                    if i not in dead
+                )
+            )
+            self._run_programs[dead] = run_program
+        if dead:
+            edb_old = with_program_schema(edb_old, self._program)
+            edb_new = with_program_schema(edb_new, self._program)
+            touched = touched & run_program.edb_predicates()
+
         prev = self._prev
-        if prev is not None and _edb_equal(prev.edb, edb_old):
+        if (
+            prev is not None
+            and prev.pruned == dead
+            and _edb_equal(prev.edb, edb_old)
+        ):
             self.hits += 1
             self._count("hits")
             db_old, ev_old, states_old = prev.db, prev.ev, prev.states
@@ -322,36 +375,36 @@ class CompiledProgramCache:
             self.misses += 1
             self._count("misses")
             db_old, ev_old = seminaive_evaluate(
-                program,
+                run_program,
                 edb_old,
                 record=True,
                 shared_relations=self._shared_relations(edb_old, edb_old),
             )
-            states_old = _cumulative_states(program, ev_old, edb_old)
+            states_old = _cumulative_states(run_program, ev_old, edb_old)
 
         db_new, ev_new = seminaive_evaluate(
-            program,
+            run_program,
             edb_new,
             record=True,
             shared_relations=self._shared_relations(edb_new, edb_old),
         )
-        states_new = _cumulative_states(program, ev_new, edb_new)
+        states_new = _cumulative_states(run_program, ev_new, edb_new)
 
         cu = build_compiled_update(
-            program,
+            run_program,
             edb_old,
             edb_new,
             db_old,
             db_new,
             ev_old,
             ev_new,
-            touched=delta.touched_predicates(),
+            touched=touched,
             work_per_derivation=work_per_derivation,
             name=name,
             states_old=states_old,
             states_new=states_new,
         )
-        self._staged = _Side(edb_new, db_new, ev_new, states_new)
+        self._staged = _Side(edb_new, db_new, ev_new, states_new, dead)
         self._staged_cu_id = id(cu)
         self._staged_states_old = states_old
         return cu
@@ -367,7 +420,15 @@ class CompiledProgramCache:
             if self._staged_cu_id == id(cu)
             else None
         )
-        sig = tuple(cu.node_keys)
+        # the fingerprint disambiguates structurally different pruned
+        # programs whose node keys happen to coincide (rule indices
+        # shift when rules are pruned)
+        fp = (
+            self._fingerprint
+            if cu.program is self._program
+            else repr(cu.program)
+        )
+        sig = (fp, tuple(cu.node_keys))
         cached = self._plans.get(sig)
         if cached is not None:
             skeleton, plan = cached
@@ -376,7 +437,12 @@ class CompiledProgramCache:
             self.plan_patches += 1
             self._count("plan_patches")
             return plan
-        skeleton = PlanSkeleton(cu)
+        join_orders = (
+            self._analysis.join_orders_for(cu.program)
+            if self._analysis is not None
+            else None
+        )
+        skeleton = PlanSkeleton(cu, join_orders=join_orders)
         plan = skeleton.bind(
             cu, states_old, relation_factory=self.relations.get
         )

@@ -219,9 +219,18 @@ class PlanSkeleton:
     :class:`RoundCtx` and ``old_values``.
     """
 
-    def __init__(self, cu: CompiledUpdate) -> None:
+    def __init__(
+        self,
+        cu: CompiledUpdate,
+        join_orders: dict[int, tuple[int, ...]] | None = None,
+    ) -> None:
         program = cu.program
         self.program = program
+        #: proper-rule index → body evaluation order (analyzer hint);
+        #: rules without an entry evaluate in textual order
+        self.join_orders: dict[int, tuple[int, ...]] = dict(
+            join_orders or {}
+        )
         self.node_keys = list(cu.node_keys)
         self.rules = program.proper_rules
         depgraph = DependencyGraph(program)
@@ -417,6 +426,7 @@ class PlanSkeleton:
         pos, dq = wiring.pos, wiring.dq
         sources = wiring.sources
         delta_cur, delta_prev = wiring.delta_cur, wiring.delta_prev
+        order = self.join_orders.get(wiring.ri)
 
         def run_task(values: ValueStore) -> frozenset:
             db = Database()
@@ -426,7 +436,7 @@ class PlanSkeleton:
                 )
                 db.relations[q] = ctx.rel(q, arity_of[q], facts)
             if pos is None:
-                return frozenset(eval_rule(rule, db))
+                return frozenset(eval_rule(rule, db, order=order))
             older = (
                 values[delta_prev]
                 if delta_prev is not None
@@ -441,6 +451,7 @@ class PlanSkeleton:
                 for subst in join_body(
                     rule.body, db,
                     delta_overrides={dq: delta_rel}, delta_at=pos,
+                    order=order,
                 )
             )
 
@@ -521,6 +532,13 @@ class PlanSkeleton:
 def build_execution_plan(
     cu: CompiledUpdate,
     relation_factory: RelationFactory | None = None,
+    join_orders: dict[int, tuple[int, ...]] | None = None,
 ) -> ExecutionPlan:
-    """Rebuild every node of ``cu`` as a runnable unit of work."""
-    return PlanSkeleton(cu).bind(cu, relation_factory=relation_factory)
+    """Rebuild every node of ``cu`` as a runnable unit of work.
+
+    ``join_orders`` maps proper-rule indexes of ``cu.program`` to body
+    evaluation orders (the static analyzer's cartesian-join hints).
+    """
+    return PlanSkeleton(cu, join_orders=join_orders).bind(
+        cu, relation_factory=relation_factory
+    )

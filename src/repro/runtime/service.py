@@ -75,6 +75,7 @@ from ..obs import NULL_SINK, TraceSink
 from ..obs.metrics import MetricsRegistry
 from ..schedulers.base import Scheduler
 from ..verify.invariants import VerificationReport
+from ..verify.program import ProgramAnalysis, analyze_program
 from .executor import RoundExecutor
 from .metrics import MetricsLog, RoundMetrics
 from .recorder import RoundArtifacts, record_round
@@ -210,6 +211,7 @@ class UpdateStreamService:
         sink: TraceSink = NULL_SINK,
         plan_cache: bool = True,
         obs_metrics: MetricsRegistry | None = None,
+        analyze: bool = True,
     ) -> None:
         if capacity <= 0:
             raise ValueError(f"capacity must be positive, got {capacity}")
@@ -228,8 +230,18 @@ class UpdateStreamService:
         self.max_round_retries = max_round_retries
         self.sink = sink
         self.metrics = MetricsLog()
+        #: whole-program static analysis — feeds dead-rule pruning and
+        #: join-order hints to the compiler and plan cache
+        self.analysis: ProgramAnalysis | None = (
+            analyze_program(program) if analyze else None
+        )
         self.plan_cache: CompiledProgramCache | None = (
-            CompiledProgramCache(program, metrics=obs_metrics, sink=sink)
+            CompiledProgramCache(
+                program,
+                metrics=obs_metrics,
+                sink=sink,
+                analysis=self.analysis,
+            )
             if plan_cache
             else None
         )
@@ -425,13 +437,20 @@ class UpdateStreamService:
                         delta,
                         work_per_derivation=self.work_per_derivation,
                         name=f"{self.name}:r{self._rounds_run}",
+                        analysis=self.analysis,
                     )
             with sink.span("plan-build", "phase"):
-                plan = (
-                    cache.plan(cu)
-                    if cache is not None
-                    else build_execution_plan(cu)
-                )
+                if cache is not None:
+                    plan = cache.plan(cu)
+                else:
+                    join_orders = (
+                        self.analysis.join_orders_for(cu.program)
+                        if self.analysis is not None
+                        else None
+                    )
+                    plan = build_execution_plan(
+                        cu, join_orders=join_orders
+                    )
             compile_s = perf_counter() - t0
 
             t0 = perf_counter()

@@ -1,0 +1,121 @@
+"""Shared diagnostics machinery for the verify subsystem.
+
+One finding shape, one suppression syntax, one text format — used by
+both the scheduler contract linter (:mod:`repro.verify.lint`) and the
+Datalog program analyzer (:mod:`repro.verify.program`) so
+``repro verify --lint`` and ``repro verify --program`` present a single
+diagnostics surface.
+
+Severity levels
+---------------
+``error``
+    A finding that makes the program/scheduler wrong or unusable;
+    counted toward a failing exit code.
+``warning``
+    A finding that is legal but wasteful or suspicious (dead rules,
+    cartesian joins, duplicates); reported, and still counted toward
+    the failing exit code by the CLI so CI gates stay strict — waive
+    intentional cases with a suppression comment.
+
+Suppression
+-----------
+Append ``# verify: ignore[rule]`` (comma-separated rule ids) or a bare
+``# verify: ignore`` to the offending line. In Datalog sources, where
+``%`` starts a comment, write ``% verify: ignore[rule]`` — both markers
+are recognized in any source kind.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Sequence
+
+__all__ = [
+    "SEVERITIES",
+    "Finding",
+    "apply_suppressions",
+    "findings_to_json",
+    "format_findings",
+]
+
+SEVERITIES = ("error", "warning")
+
+_SUPPRESS_RE = re.compile(r"[#%]\s*verify:\s*ignore(?:\[([^\]]*)\])?")
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One diagnostic at ``path:line:col``."""
+
+    path: str
+    line: int
+    col: int
+    rule: str
+    message: str
+    hint: str
+    severity: str = "error"
+
+    def format(self) -> str:
+        """``path:line:col: [rule] message`` plus an indented fix hint.
+
+        Warnings carry a ``warning:`` marker; errors keep the bare
+        format the scheduler linter has always printed.
+        """
+        marker = "" if self.severity == "error" else f"{self.severity}: "
+        return (
+            f"{self.path}:{self.line}:{self.col}: [{self.rule}] "
+            f"{marker}{self.message}\n    hint: {self.hint}"
+        )
+
+    def to_json(self) -> dict:
+        """A JSON-serializable dict (the ``--format json`` shape)."""
+        return {
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "rule": self.rule,
+            "severity": self.severity,
+            "message": self.message,
+            "hint": self.hint,
+        }
+
+
+def format_findings(findings: Sequence[Finding]) -> str:
+    """Render findings one per block, sorted by location."""
+    return "\n".join(f.format() for f in findings)
+
+
+def findings_to_json(findings: Sequence[Finding]) -> list[dict]:
+    """The machine-readable form of a finding list."""
+    return [f.to_json() for f in findings]
+
+
+def apply_suppressions(
+    findings: Sequence[Finding], sources: dict[str, list[str]]
+) -> list[Finding]:
+    """Drop duplicates and findings waived on their source line.
+
+    ``sources`` maps path → source lines; a ``verify: ignore`` marker on
+    a finding's line (bare, or naming the finding's rule id) suppresses
+    it. The survivors come back sorted by location.
+    """
+    kept: list[Finding] = []
+    seen: set[tuple[str, int, str, str]] = set()
+    for f in findings:
+        key = (f.path, f.line, f.rule, f.message)
+        if key in seen:
+            continue
+        seen.add(key)
+        lines = sources.get(f.path, [])
+        text = lines[f.line - 1] if 0 < f.line <= len(lines) else ""
+        m = _SUPPRESS_RE.search(text)
+        if m:
+            rules = m.group(1)
+            if rules is None:
+                continue
+            if f.rule in {r.strip() for r in rules.split(",")}:
+                continue
+        kept.append(f)
+    kept.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
+    return kept

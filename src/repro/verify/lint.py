@@ -63,10 +63,10 @@ in one :func:`lint_paths` run) is ``Scheduler`` or ends with
 from __future__ import annotations
 
 import ast
-import re
-from dataclasses import dataclass
 from pathlib import Path
-from typing import Iterable, Sequence
+from typing import Iterable
+
+from .diagnostics import Finding, apply_suppressions, format_findings
 
 __all__ = [
     "ALL_RULES",
@@ -76,6 +76,11 @@ __all__ = [
     "lint_paths",
     "format_findings",
 ]
+
+#: the linter's findings are plain diagnostics — one shared shape with
+#: the program analyzer (severity defaults to "error", which every
+#: contract violation is)
+LintFinding = Finding
 
 CLAIRVOYANCE = "clairvoyance"
 OPS_ACCOUNTING = "ops-accounting"
@@ -141,33 +146,6 @@ _DATA_METHODS = frozenset(
 )
 #: roots of the family that must not consume the oracle at all
 _LEVEL_FAMILY_ROOTS = frozenset({"LevelBasedScheduler", "LookaheadScheduler"})
-
-_SUPPRESS_RE = re.compile(r"#\s*verify:\s*ignore(?:\[([^\]]*)\])?")
-
-
-@dataclass(frozen=True)
-class LintFinding:
-    """One contract violation at ``path:line``."""
-
-    path: str
-    line: int
-    col: int
-    rule: str
-    message: str
-    hint: str
-
-    def format(self) -> str:
-        """``path:line:col: [rule] message`` plus an indented fix hint."""
-        return (
-            f"{self.path}:{self.line}:{self.col}: [{self.rule}] "
-            f"{self.message}\n    hint: {self.hint}"
-        )
-
-
-def format_findings(findings: Sequence[LintFinding]) -> str:
-    """Render findings one per block, sorted by location."""
-    return "\n".join(f.format() for f in findings)
-
 
 # ----------------------------------------------------------------------
 # class-graph helpers (name-based; resolved across one lint run)
@@ -592,30 +570,6 @@ def _lint_class(
 # ----------------------------------------------------------------------
 # drivers
 # ----------------------------------------------------------------------
-def _apply_suppressions(
-    findings: list[LintFinding], sources: dict[str, list[str]]
-) -> list[LintFinding]:
-    kept: list[LintFinding] = []
-    seen: set[tuple[str, int, str, str]] = set()
-    for f in findings:
-        key = (f.path, f.line, f.rule, f.message)
-        if key in seen:
-            continue
-        seen.add(key)
-        lines = sources.get(f.path, [])
-        text = lines[f.line - 1] if 0 < f.line <= len(lines) else ""
-        m = _SUPPRESS_RE.search(text)
-        if m:
-            rules = m.group(1)
-            if rules is None:
-                continue
-            if f.rule in {r.strip() for r in rules.split(",")}:
-                continue
-        kept.append(f)
-    kept.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
-    return kept
-
-
 def lint_modules(modules: Iterable[tuple[str, str]]) -> list[LintFinding]:
     """Lint ``(path, source)`` pairs as one unit.
 
@@ -646,7 +600,7 @@ def lint_modules(modules: Iterable[tuple[str, str]]) -> list[LintFinding]:
                     family=_is_level_family(node.name, bases),
                     out=findings,
                 )
-    return _apply_suppressions(findings, sources)
+    return apply_suppressions(findings, sources)
 
 
 def lint_source(source: str, path: str = "<string>") -> list[LintFinding]:

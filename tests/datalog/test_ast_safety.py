@@ -1,0 +1,105 @@
+"""Corner cases of ``Rule.range_restriction`` and ``bound_variables``.
+
+The safety check (``_check_safety``) derives its error messages from
+``range_restriction``; these tests pin the public method directly,
+including rules that can only be *built* unchecked (``check=False``).
+"""
+
+import pytest
+
+from repro.datalog import parse_program, parse_program_lenient
+from repro.datalog.ast import (
+    Atom,
+    Comparison,
+    Constant,
+    Literal,
+    Rule,
+    Variable,
+)
+
+
+def _rule(src: str) -> Rule:
+    program, errors = parse_program_lenient(src)
+    assert not errors
+    return program.rules[0]
+
+
+def test_safe_rule_has_no_violations():
+    r = _rule("p(X, Y) :- q(X), r(X, Y).")
+    assert r.range_restriction() == []
+
+
+def test_head_variable_bound_only_in_negated_atom():
+    r = _rule("p(X, Y) :- q(X), !r(Y).")
+    names = [name for name, _lit in r.range_restriction()]
+    # Y is unsafe twice over: unbound in the head and in the negation
+    assert names == ["Y", "Y"]
+    head_viol, body_viol = r.range_restriction()
+    assert head_viol[1] is None
+    assert body_viol[1].negated
+
+
+def test_variable_bound_only_in_comparison():
+    r = _rule("p(X) :- q(X), Y < X.")
+    [(name, lit)] = r.range_restriction()
+    assert name == "Y" and lit.is_comparison
+
+
+def test_comparison_only_body():
+    r = Rule(
+        head=Atom("p", (Constant(1),)),
+        body=(
+            Literal(
+                comparison=Comparison("<", Variable("X"), Variable("Y"))
+            ),
+        ),
+        check=False,
+    )
+    names = sorted(name for name, _lit in r.range_restriction())
+    assert names == ["X", "Y"]
+
+
+def test_head_constants_need_no_binding():
+    r = _rule("p(1, X) :- q(X).")
+    assert r.range_restriction() == []
+
+
+def test_zero_arity_predicates():
+    r = _rule("tick :- tock, !gone.")
+    assert r.range_restriction() == []
+
+
+def test_non_ground_fact_is_a_head_violation():
+    r = Rule(head=Atom("p", (Variable("X"),)), body=(), check=False)
+    [(name, lit)] = r.range_restriction()
+    assert name == "X" and lit is None
+
+
+def test_assignment_chain_counts_as_bound():
+    r = _rule("p(X, Z) :- q(X), Y = X + 1, Z = Y * 2.")
+    assert r.range_restriction() == []
+    assert {"X", "Y", "Z"} <= r.bound_variables()
+
+
+def test_assignment_with_unbound_input():
+    r = _rule("p(X) :- q(X), Y = W + 1.")
+    [(name, lit)] = r.range_restriction()
+    assert name == "W" and lit.is_assignment
+
+
+def test_bound_variables_ignores_negation_and_comparisons():
+    r = _rule("p(X) :- q(X), !r(Y), X < Z.")
+    assert r.bound_variables() == {"X"}
+
+
+def test_checked_construction_still_raises():
+    with pytest.raises(ValueError, match="unsafe"):
+        parse_program("p(X, Y) :- q(X).")
+
+
+def test_violations_ordered_head_first_then_body_order():
+    r = _rule("p(A, B) :- q(X), !r(A), !s(B).")
+    viols = r.range_restriction()
+    # A and B head violations first (lit None), then body in order
+    assert [v[1] is None for v in viols] == [True, True, False, False]
+    assert [v[0] for v in viols] == ["A", "B", "A", "B"]

@@ -109,3 +109,100 @@ class TestStratification:
         prog = parse_program("q(X) :- p(X).")
         dg = DependencyGraph(prog)
         assert dg.recursive_predicates() == set()
+
+
+class TestNegationCycleWitnesses:
+    """``negation_cycles`` names the offending path; ``stratify``'s
+    error message embeds it."""
+
+    def test_self_negation_cycle(self):
+        dg = DependencyGraph(
+            parse_program("win(X) :- move(X, Y), !win(Y).")
+        )
+        [(cycle, kind)] = dg.negation_cycles()
+        assert cycle == ["win", "win"]
+        assert kind == "negation"
+
+    def test_error_message_names_the_cycle_path(self):
+        prog = parse_program(
+            """
+            p(X) :- r(X), !q(X).
+            q(X) :- p(X).
+            """
+        )
+        with pytest.raises(StratificationError) as exc_info:
+            DependencyGraph(prog).stratify()
+        msg = str(exc_info.value)
+        assert "inside its own recursive" in msg
+        assert "'p' -> 'q' -> 'p'" in msg
+
+    def test_mutual_negation_reports_both_edges(self):
+        prog = parse_program(
+            """
+            odd(X) :- succ(Y, X), !even(Y).
+            even(X) :- succ(Y, X), !odd(Y).
+            """
+        )
+        cycles = DependencyGraph(prog).negation_cycles()
+        assert len(cycles) == 2
+        assert {tuple(c) for c, _k in cycles} == {
+            ("even", "odd", "even"),
+            ("odd", "even", "odd"),
+        }
+
+    def test_negation_through_comparison_literals(self):
+        # comparisons add no dependency edges: the negative edge still
+        # closes the cycle even with filters interleaved
+        prog = parse_program(
+            """
+            big(X) :- val(X), X > 10, !small(X).
+            small(X) :- big(X), X < 100.
+            """
+        )
+        dg = DependencyGraph(prog)
+        assert not dg.is_stratifiable()
+        [(cycle, kind)] = dg.negation_cycles()
+        assert kind == "negation"
+        assert cycle[0] == cycle[-1]
+        assert set(cycle) == {"big", "small"}
+
+    def test_aggregate_edge_inside_cycle(self):
+        prog = parse_program(
+            """
+            total(sum(X)) :- val(X).
+            val(Y) :- total(Y).
+            """
+        )
+        dg = DependencyGraph(prog)
+        assert not dg.is_stratifiable()
+        [(cycle, kind)] = dg.negation_cycles()
+        assert kind == "aggregation"
+        with pytest.raises(StratificationError, match="aggregation"):
+            dg.stratify()
+
+    def test_stratifiable_program_has_no_cycles(self):
+        prog = parse_program(
+            """
+            reach(X) :- source(X).
+            reach(Y) :- reach(X), edge(X, Y).
+            unreach(X) :- node(X), !reach(X).
+            """
+        )
+        assert DependencyGraph(prog).negation_cycles() == []
+
+    def test_long_cycle_path_is_a_real_walk(self):
+        prog = parse_program(
+            """
+            a(X) :- d(X), !b(X).
+            b(X) :- c(X).
+            c(X) :- a(X).
+            """
+        )
+        [(cycle, kind)] = DependencyGraph(prog).negation_cycles()
+        assert kind == "negation"
+        assert cycle[0] == cycle[-1]
+        # consecutive nodes are real dependency edges
+        deps = {("a", "b"), ("b", "c"), ("c", "a")}
+        edges = list(zip(cycle, cycle[1:]))
+        assert all((dst, src) in deps or (src, dst) in deps
+                   for src, dst in edges)

@@ -1,0 +1,84 @@
+"""Source positions: lexer → parser → AST nodes → error messages."""
+
+import pytest
+
+from repro.datalog import parse_program, parse_program_lenient
+from repro.datalog.lexer import LexError, tokenize
+from repro.datalog.parser import ParseError
+
+
+def test_parse_error_carries_line_and_column():
+    with pytest.raises(ParseError) as exc_info:
+        parse_program("p(X :- q(X).")
+    exc = exc_info.value
+    assert exc.line == 1 and exc.col == 5
+    assert "line 1, column 5" in str(exc)
+
+
+def test_parse_error_position_on_later_line():
+    with pytest.raises(ParseError) as exc_info:
+        parse_program("p(X) :- q(X).\nr(Y) :- s(Y.\n")
+    exc = exc_info.value
+    assert exc.line == 2
+
+
+def test_lex_error_carries_position():
+    with pytest.raises(LexError) as exc_info:
+        list(tokenize('p(X) :- q("unterminated'))
+    assert exc_info.value.line == 1
+    assert exc_info.value.col is not None
+
+
+def test_atoms_are_stamped_with_positions():
+    program = parse_program("p(X) :- q(X),\n    r(X).")
+    (rule,) = program.rules
+    assert (rule.head.line, rule.head.col) == (1, 1)
+    q, r = (lit.atom for lit in rule.body)
+    assert (q.line, q.col) == (1, 9)
+    assert (r.line, r.col) == (2, 5)
+
+
+def test_comparisons_and_assignments_are_stamped():
+    (rule,) = parse_program("p(X, Y) :- q(X), Y = X + 1, X < 9.").rules
+    _, assign, cmp_ = rule.body
+    assert assign.assignment.line == 1 and assign.assignment.col == 18
+    assert cmp_.comparison.line == 1 and cmp_.comparison.col == 29
+
+
+def test_positions_do_not_change_equality_or_repr():
+    a = parse_program("p(X) :- q(X).").rules[0]
+    b = parse_program("\n\n   p(X) :- q(X).").rules[0]
+    assert a == b
+    assert hash(a) == hash(b)
+    assert repr(a) == repr(b)
+    assert a.head.line != b.head.line
+
+
+def test_lenient_parse_recovers_per_clause():
+    program, errors = parse_program_lenient(
+        "p(X) :- q(X).\n"
+        "broken( :- nope.\n"
+        "r(Y) :- p(Y).\n"
+    )
+    assert [r.head.predicate for r in program.rules] == ["p", "r"]
+    assert len(errors) == 1
+    assert errors[0].line == 2
+
+
+def test_lenient_parse_collects_multiple_errors():
+    program, errors = parse_program_lenient(
+        "a( :- x.\nb(Y) :- y(Y).\nc( :- z.\n"
+    )
+    assert [r.head.predicate for r in program.rules] == ["b"]
+    assert [e.line for e in errors] == [1, 3]
+
+
+def test_lenient_parse_never_evaluates_safety():
+    program, errors = parse_program_lenient("p(X, Y) :- q(X).\n")
+    assert not errors  # unsafe, but lenient parsing defers to analysis
+    assert len(program.rules) == 1
+
+
+def test_lenient_parse_survives_lex_garbage():
+    program, errors = parse_program_lenient("p(X) :- q(X). @@@")
+    assert errors  # the garbage is reported, the prefix kept when possible

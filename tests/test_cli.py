@@ -114,9 +114,51 @@ def test_verify_result_file_detects_corruption(tmp_path, capsys):
     assert "missing-task" in capsys.readouterr().out
 
 
-def test_verify_requires_an_input():
-    with pytest.raises(SystemExit, match="nothing to do"):
-        main(["verify"])
+def test_verify_requires_an_input(capsys):
+    assert main(["verify"]) == 2
+    assert "nothing to do" in capsys.readouterr().err
+
+
+def test_verify_program_clean(tmp_path, capsys):
+    prog = tmp_path / "ok.dlog"
+    prog.write_text(
+        "% edb: edge/2\n"
+        "% output: path\n"
+        "path(X, Y) :- edge(X, Y).\n"
+        "path(X, Z) :- path(X, Y), edge(Y, Z).\n"
+    )
+    assert main(["verify", "--program", str(prog)]) == 0
+    assert "clean" in capsys.readouterr().out
+
+
+def test_verify_program_reports_findings(tmp_path, capsys):
+    prog = tmp_path / "bad.dlog"
+    prog.write_text("p(X, Y) :- q(X).\n")
+    assert main(["verify", "--program", str(prog)]) == 1
+    out = capsys.readouterr().out
+    assert "[safety]" in out and "1:1" in out
+
+
+def test_verify_program_json_format(tmp_path, capsys):
+    prog = tmp_path / "bad.dlog"
+    prog.write_text("p(X, Y) :- q(X).\n")
+    assert main(["verify", "--program", str(prog), "--format", "json"]) == 1
+    data = json.loads(capsys.readouterr().out)
+    assert data["schema"] == 1
+    findings = data["programs"][0]["findings"]
+    assert findings and findings[0]["rule"] == "safety"
+    assert findings[0]["line"] == 1
+
+
+def test_verify_program_missing_file_is_usage_error(tmp_path, capsys):
+    missing = tmp_path / "nope.dlog"
+    assert main(["verify", "--program", str(missing)]) == 2
+    assert "cannot analyze" in capsys.readouterr().err
+
+
+def test_verify_lint_bad_path_is_usage_error(tmp_path, capsys):
+    assert main(["verify", "--lint", str(tmp_path / "nope.txt")]) == 2
+    assert "verify:" in capsys.readouterr().err
 
 
 def test_datalog_command(tmp_path, capsys):
