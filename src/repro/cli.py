@@ -248,16 +248,32 @@ def cmd_serve(args) -> int:
     """
     from .datalog import seminaive_evaluate
     from .runtime import (
+        ChaosError,
+        ChaosPlan,
+        MaterializationDivergenceError,
+        RoundVerificationError,
+        ServiceUnavailableError,
+        UnitExecutionError,
         UpdateStreamService,
         live_workload,
         make_stream,
     )
+    from .sim.faults import DeadlineExceededError
 
     try:
         wl = live_workload(args.program, seed=args.seed)
     except KeyError as exc:
         raise SystemExit(f"serve: {exc.args[0]}") from None
     scheduler = _resolve_scheduler(args.scheduler)
+    chaos: ChaosPlan | None = None
+    if args.chaos_spec is not None:
+        with open(args.chaos_spec) as fh:
+            chaos = ChaosPlan.from_json_dict(json.load(fh))
+    elif args.chaos_seed is not None:
+        chaos = ChaosPlan.from_seed(args.chaos_seed)
+    unit_retries = args.unit_retries
+    if unit_retries is None:
+        unit_retries = 3 if chaos is not None else 0
     service = UpdateStreamService(
         wl.program,
         wl.edb,
@@ -267,6 +283,10 @@ def cmd_serve(args) -> int:
         verify=not args.no_verify,
         name=f"live:{wl.name}",
         plan_cache=not args.no_plan_cache,
+        unit_retries=unit_retries,
+        unit_timeout_s=args.unit_timeout,
+        chaos=chaos,
+        shed_policy=args.shed_policy,
     )
     try:
         stream = make_stream(
@@ -277,15 +297,44 @@ def cmd_serve(args) -> int:
     print(
         f"serving {wl.name} ({args.stream} stream) under "
         f"{scheduler.name}, {args.workers} workers"
+        + (f", chaos seed {chaos.seed}" if chaos is not None else "")
     )
+    # under chaos, failed rounds are expected events: report them and
+    # keep serving (the failed-round policy re-queues the delta); a
+    # tripped breaker ends the stream cleanly with the queue intact
+    tolerated = (
+        ChaosError,
+        UnitExecutionError,
+        RoundVerificationError,
+        MaterializationDivergenceError,
+        DeadlineExceededError,
+    )
+    failed_rounds = 0
     for batches in stream:
         for delta in batches:
             service.submit(delta)
-        rep = service.run_round()
+        try:
+            rep = service.run_round()
+        except ServiceUnavailableError as exc:
+            if chaos is None:
+                raise
+            print(f"service unavailable: {exc}")
+            break
+        except tolerated as exc:
+            if chaos is None:
+                raise
+            failed_rounds += 1
+            print(
+                f"round failed: {type(exc).__name__} "
+                f"(requeued={getattr(exc, 'delta_requeued', False)})"
+            )
+            continue
         if rep is None:
             continue
         m = rep.metrics
         flag = "" if rep.materialization_ok else "  DIVERGED"
+        if m.degraded:
+            flag += "  DEGRADED"
         print(
             f"round {m.index:3d}: {m.batches_coalesced} batch(es), "
             f"{m.tasks_executed}/{m.n_nodes} nodes executed, "
@@ -294,6 +343,14 @@ def cmd_serve(args) -> int:
             f"{m.execute_s * 1e3:.2f}){flag}"
         )
     print(service.metrics.summary())
+    if service.chaos is not None:
+        print(
+            f"chaos: {service.chaos.summary() or 'no injections'}; "
+            f"{failed_rounds} round(s) failed, "
+            f"{service.quarantined_units_total} unit(s) quarantined, "
+            f"{service.shed_batches} batch(es) shed, "
+            f"health={service.health.state.value}"
+        )
     if service.plan_cache is not None:
         s = service.plan_cache.stats()
         print(
@@ -333,7 +390,13 @@ def cmd_trace(args) -> int:
     rounds with their per-phase breakdown.
     """
     from .obs import TraceRecorder, validate_chrome_trace, write_chrome_trace
-    from .runtime import UpdateStreamService, live_workload, make_stream
+    from .runtime import (
+        ChaosPlan,
+        ServiceUnavailableError,
+        UpdateStreamService,
+        live_workload,
+        make_stream,
+    )
 
     try:
         wl = live_workload(args.stream, seed=args.seed)
@@ -342,6 +405,11 @@ def cmd_trace(args) -> int:
     scheduler = _resolve_scheduler(args.scheduler)
     recorder = TraceRecorder()
     recorder.set_thread_name("service")
+    chaos = (
+        ChaosPlan.from_seed(args.chaos_seed)
+        if args.chaos_seed is not None
+        else None
+    )
     service = UpdateStreamService(
         wl.program,
         wl.edb,
@@ -350,6 +418,8 @@ def cmd_trace(args) -> int:
         name=f"trace:{wl.name}",
         sink=recorder,
         plan_cache=not args.no_plan_cache,
+        chaos=chaos,
+        unit_retries=3 if chaos is not None else 0,
     )
     try:
         stream = make_stream(
@@ -360,11 +430,25 @@ def cmd_trace(args) -> int:
     print(
         f"tracing {wl.name} ({args.kind} stream) under {scheduler.name}, "
         f"{args.workers} workers"
+        + (f", chaos seed {chaos.seed}" if chaos is not None else "")
     )
     for batches in stream:
         for delta in batches:
             service.submit(delta)
-        service.run_round()
+        try:
+            service.run_round()
+        except ServiceUnavailableError:
+            if chaos is None:
+                raise
+            break
+        except Exception as exc:
+            # chaos makes failed rounds part of the show: the trace
+            # records the injections and the round-failed instant
+            if chaos is None:
+                raise
+            print(f"round failed: {type(exc).__name__}")
+    if service.chaos is not None:
+        print(f"chaos: {service.chaos.summary() or 'no injections'}")
 
     rounds = service.metrics.rounds
     if rounds:
@@ -621,6 +705,28 @@ def build_parser() -> argparse.ArgumentParser:
         "--metrics", default=None, metavar="JSON",
         help="write the per-round metrics log to this file",
     )
+    p.add_argument(
+        "--chaos-seed", type=int, default=None, metavar="SEED",
+        help="inject deterministic runtime chaos (unit failures, "
+             "latency, worker kills, phase failures) from this seed",
+    )
+    p.add_argument(
+        "--chaos-spec", default=None, metavar="JSON",
+        help="load a full ChaosPlan JSON spec (overrides --chaos-seed)",
+    )
+    p.add_argument(
+        "--unit-retries", type=int, default=None,
+        help="per-unit retry budget (default 0; 3 when chaos is on)",
+    )
+    p.add_argument(
+        "--unit-timeout", type=float, default=None, metavar="S",
+        help="soft per-unit straggler watchdog, seconds",
+    )
+    p.add_argument(
+        "--shed-policy", default="reject",
+        choices=("reject", "drop-oldest", "coalesce-harder"),
+        help="load shedding when backpressure and degradation coincide",
+    )
     p.set_defaults(fn=cmd_serve)
 
     p = sub.add_parser(
@@ -660,6 +766,11 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--jsonl", default=None, metavar="PATH",
         help="also write the flat JSONL span log to this file",
+    )
+    p.add_argument(
+        "--chaos-seed", type=int, default=None, metavar="SEED",
+        help="inject deterministic runtime chaos and trace every "
+             "injection as a chaos:* instant",
     )
     p.set_defaults(fn=cmd_trace)
 

@@ -15,17 +15,37 @@ per-node output diffs, not precompiled flags, deciding activation.
   queue, batch coalescing, one compile + execute + verify per round.
 * :mod:`~repro.runtime.metrics` — per-round structured metrics (JSON).
 * :mod:`~repro.runtime.workloads_live` — update-stream generators.
+* :mod:`~repro.runtime.chaos` — deterministic fault injection for the
+  live path (the runtime twin of :mod:`repro.sim.faults`).
+* :mod:`~repro.runtime.health` — the service's degradation state
+  machine and circuit breaker.
 """
 
+from .chaos import (
+    ChaosError,
+    ChaosInjector,
+    ChaosPlan,
+    InjectedPhaseFault,
+    InjectedUnitFault,
+)
 from .executor import (
     LiveActivationState,
+    RetryPolicy,
     RoundExecutor,
     RoundOutcome,
     UnitExecutionError,
+    UnitFailure,
+)
+from .health import (
+    HealthMonitor,
+    HealthPolicy,
+    HealthState,
+    ServiceUnavailableError,
 )
 from .metrics import MetricsLog, RoundMetrics
 from .recorder import RoundArtifacts, record_round
 from .service import (
+    SHED_POLICIES,
     BackpressureError,
     MaterializationDivergenceError,
     RoundReport,
@@ -42,9 +62,21 @@ from .workloads_live import (
 
 __all__ = [
     "LiveActivationState",
+    "RetryPolicy",
     "RoundExecutor",
     "RoundOutcome",
     "UnitExecutionError",
+    "UnitFailure",
+    "ChaosError",
+    "ChaosInjector",
+    "ChaosPlan",
+    "InjectedPhaseFault",
+    "InjectedUnitFault",
+    "HealthMonitor",
+    "HealthPolicy",
+    "HealthState",
+    "ServiceUnavailableError",
+    "SHED_POLICIES",
     "RoundArtifacts",
     "record_round",
     "BackpressureError",

@@ -1,4 +1,4 @@
-"""Concurrent execution of one compiled maintenance round.
+"""Concurrent, fault-tolerant execution of one compiled maintenance round.
 
 The executor is the runtime twin of :func:`repro.sim.engine.simulate`:
 the same scheduler ABC, the same hook order (bootstrap → ``on_activate``
@@ -18,15 +18,32 @@ every ``ValueStore.set`` happens on the coordinator — schedulers need
 no locking, exactly as in the simulator. A unit only reads values of
 nodes that were resolved before it was dispatched, and the completion
 queue's put/get pair orders those writes before the worker's reads.
+
+Fault tolerance
+---------------
+Workers are *supervised lanes*, not an opaque pool: when a lane thread
+dies mid-attempt (chaos kill, or a harness bug) the coordinator spawns
+a replacement and re-dispatches the orphaned unit. A failing unit is
+retried under a :class:`RetryPolicy` — capped exponential backoff with
+the same ``min(cap, base·factor^(k-1))`` law as the simulator's
+:class:`~repro.sim.faults.FaultPlan` — until its budget is exhausted,
+at which point the unit is quarantined: the round aborts with a
+structured :class:`UnitExecutionError` aggregating every permanent
+failure, cancellation stops lanes from draining the rest of the plan,
+and all lane threads are joined (no leaks) with late completions
+explicitly discarded. A soft per-unit watchdog marks in-flight
+stragglers on :attr:`RoundOutcome.stragglers` without killing them;
+the hard round ``deadline`` still aborts via
+:class:`~repro.sim.faults.DeadlineExceededError`.
 """
 
 from __future__ import annotations
 
+import heapq
 import queue
 import threading
-from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
-from time import perf_counter
+from time import perf_counter, sleep
 
 import numpy as np
 
@@ -34,25 +51,113 @@ from ..datalog.units import ExecutionPlan, ValueStore, WorkUnit
 from ..obs.trace import NULL_SINK, TraceSink
 from ..schedulers.base import ReadinessOracle, Scheduler, SchedulerContext
 from ..sim.engine import InvalidDispatchError, SchedulerStallError
-from ..sim.faults import DeadlineExceededError
+from ..sim.faults import DeadlineExceededError, capped_backoff
 from ..tasks.activation import ActivationState
+from .chaos import ChaosInjector, InjectedUnitFault
 
 __all__ = [
     "LiveActivationState",
+    "RetryPolicy",
     "RoundExecutor",
     "RoundOutcome",
     "UnitExecutionError",
+    "UnitFailure",
 ]
 
 
-class UnitExecutionError(RuntimeError):
-    """A work unit raised while executing; the round is aborted."""
+@dataclass(frozen=True)
+class UnitFailure:
+    """One work unit's permanent failure, as quarantined by the round."""
 
-    def __init__(self, node: int, label: str, cause: BaseException) -> None:
+    node: int
+    label: str
+    #: dispatch attempts consumed (initial + retries + lane
+    #: re-dispatches)
+    attempts: int
+    error: BaseException
+
+
+class UnitExecutionError(RuntimeError):
+    """One or more work units failed permanently; the round is aborted.
+
+    The two-decades-old single-failure shape (``node`` / ``label`` /
+    ``cause`` of the *first* permanent failure) is preserved for
+    callers that predate retry; the full quarantine set is on
+    :attr:`failures`.
+    """
+
+    def __init__(
+        self,
+        node: int,
+        label: str,
+        cause: BaseException,
+        failures: tuple[UnitFailure, ...] | None = None,
+    ) -> None:
+        self.failures: tuple[UnitFailure, ...] = failures or (
+            UnitFailure(node=node, label=label, attempts=1, error=cause),
+        )
+        extra = (
+            f" (+{len(self.failures) - 1} more quarantined unit(s))"
+            if len(self.failures) > 1
+            else ""
+        )
         super().__init__(
-            f"unit {node} ({label}) failed: {type(cause).__name__}: {cause}"
+            f"unit {node} ({label}) failed: "
+            f"{type(cause).__name__}: {cause}{extra}"
         )
         self.node = node
+        self.label = label
+        self.cause = cause
+
+    @property
+    def quarantined(self) -> tuple[int, ...]:
+        """Nodes quarantined by the aborted round."""
+        return tuple(f.node for f in self.failures)
+
+    @classmethod
+    def from_failures(
+        cls, failures: list[UnitFailure]
+    ) -> "UnitExecutionError":
+        first = failures[0]
+        return cls(
+            first.node, first.label, first.error, tuple(failures)
+        )
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Per-unit retry budget with capped exponential backoff.
+
+    Shares :func:`~repro.sim.faults.capped_backoff` with the sim's
+    :class:`~repro.sim.faults.FaultPlan`, so a live retry at failure
+    ``k`` backs off exactly as the simulated one does.
+    """
+
+    max_retries: int = 2
+    backoff_base: float = 0.02
+    backoff_factor: float = 2.0
+    backoff_cap: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.max_retries < 0:
+            raise ValueError("max_retries must be >= 0")
+        if self.backoff_base < 0 or self.backoff_cap < 0:
+            raise ValueError("backoff_base/backoff_cap must be >= 0")
+        if self.backoff_factor < 1.0:
+            raise ValueError("backoff_factor must be >= 1")
+
+    def backoff_delay(self, failure_index: int) -> float:
+        """Delay before retry ``failure_index`` (1-based)."""
+        return capped_backoff(
+            self.backoff_base,
+            self.backoff_factor,
+            self.backoff_cap,
+            failure_index,
+        )
+
+    def allows(self, failures: int) -> bool:
+        """May a unit with ``failures`` recorded failures retry?"""
+        return failures <= self.max_retries
 
 
 class LiveActivationState(ActivationState):
@@ -117,10 +222,105 @@ class RoundOutcome:
     precompute_ops: int = 0
     precompute_memory_cells: int = 0
     runtime_peak_memory_cells: int = 0
+    #: failed attempts that were re-dispatched under the retry policy
+    unit_retries: int = 0
+    #: worker lanes that died mid-round and were replaced
+    lane_deaths: int = 0
+    #: nodes the soft watchdog flagged as overdue (they still finished)
+    stragglers: list[int] = field(default_factory=list)
+    #: chaos injections observed during the round (0 without chaos)
+    injected_faults: int = 0
+
+
+#: lane shutdown sentinel
+_STOP = object()
+
+
+class _LaneKilled(BaseException):
+    """Internal: chaos killed the lane running this attempt."""
+
+
+class _WorkerLanes:
+    """A supervised set of worker threads over one dispatch queue.
+
+    Unlike an opaque pool, lanes are individually replaceable: when a
+    lane dies mid-attempt the coordinator calls :meth:`spawn` to
+    restore capacity, so a chaos kill (or a harness bug that escapes a
+    unit) costs one re-dispatch instead of the round. ``cancel``
+    makes lanes drop queued work instead of draining it — cooperative
+    cancellation for aborted rounds.
+    """
+
+    def __init__(
+        self,
+        workers: int,
+        target,
+        tasks: queue.SimpleQueue,
+        cancel: threading.Event,
+        name_prefix: str = "repro-runtime",
+    ) -> None:
+        self._target = target
+        self._prefix = name_prefix
+        self.tasks = tasks
+        self.cancel = cancel
+        self._threads: list[threading.Thread] = []
+        self._spawned = 0
+        for _ in range(workers):
+            self.spawn()
+
+    def spawn(self) -> None:
+        """Start one (more) lane thread."""
+        t = threading.Thread(
+            target=self._target,
+            name=f"{self._prefix}-{self._spawned}",
+            daemon=True,
+        )
+        self._spawned += 1
+        self._threads.append(t)
+        t.start()
+
+    @property
+    def spawned(self) -> int:
+        return self._spawned
+
+    def shutdown(self) -> None:
+        """Cancel, wake every lane with a sentinel, and join them all.
+
+        One sentinel is enqueued per thread ever spawned; dead lanes
+        leave theirs unconsumed, so every surviving lane is guaranteed
+        to see one. After this returns no lane thread is alive — the
+        no-leak guarantee the deadline regression test pins.
+        """
+        self.cancel.set()
+        for _ in self._threads:
+            self.tasks.put(_STOP)
+        for t in self._threads:
+            t.join()
 
 
 class RoundExecutor:
-    """Runs one :class:`~repro.datalog.units.ExecutionPlan` for real."""
+    """Runs one :class:`~repro.datalog.units.ExecutionPlan` for real.
+
+    Parameters
+    ----------
+    plan, scheduler, workers, deadline, sink:
+        As before: the compiled plan, the driving scheduler, lane
+        count, optional hard wall-clock deadline for the whole round,
+        and trace sink.
+    retry:
+        Optional :class:`RetryPolicy`; ``None`` (the default) keeps
+        the historical fail-fast behavior — the first unit failure
+        aborts the round.
+    unit_timeout_s:
+        Optional soft per-unit watchdog: an attempt in flight longer
+        than this is marked on :attr:`RoundOutcome.stragglers` (and as
+        a ``unit-straggler`` trace instant). Soft only — the unit is
+        never killed; the hard ``deadline`` bounds the round.
+    chaos:
+        Optional :class:`~repro.runtime.chaos.ChaosInjector` consulted
+        on every dispatched attempt. ``None`` keeps the hot path
+        byte-identical to a chaos-free build.
+    """
 
     def __init__(
         self,
@@ -129,14 +329,24 @@ class RoundExecutor:
         workers: int = 4,
         deadline: float | None = None,
         sink: TraceSink = NULL_SINK,
+        retry: RetryPolicy | None = None,
+        unit_timeout_s: float | None = None,
+        chaos: ChaosInjector | None = None,
     ) -> None:
         if workers <= 0:
             raise ValueError(f"workers must be positive, got {workers}")
+        if unit_timeout_s is not None and unit_timeout_s <= 0:
+            raise ValueError(
+                f"unit_timeout_s must be positive, got {unit_timeout_s}"
+            )
         self.plan = plan
         self.scheduler = scheduler
         self.workers = workers
         self.deadline = deadline
         self.sink = sink
+        self.retry = retry
+        self.unit_timeout_s = unit_timeout_s
+        self.chaos = chaos
 
     # ------------------------------------------------------------------
     def run(self) -> RoundOutcome:
@@ -146,10 +356,13 @@ class RoundExecutor:
         :class:`~repro.sim.engine.SchedulerStallError` on scheduler
         misbehavior (validated against the live activation state, like
         the simulator validates against ground truth) and
-        :class:`UnitExecutionError` if a unit raises.
+        :class:`UnitExecutionError` when a unit fails permanently —
+        immediately without a retry policy, after budget exhaustion
+        with one. However it exits, every lane thread is joined and
+        late completions are discarded before control returns.
         """
         plan, scheduler, workers = self.plan, self.scheduler, self.workers
-        sink = self.sink
+        sink, chaos, retry = self.sink, self.chaos, self.retry
         tracing = sink.enabled
         trace = plan.compiled.trace
         state = LiveActivationState(plan)
@@ -172,33 +385,84 @@ class RoundExecutor:
             values=values,
             prepare_s=prepare_s,
         )
+        faults0 = chaos.injected_total if chaos is not None else 0
         completions: queue.SimpleQueue = queue.SimpleQueue()
+        tasks: queue.SimpleQueue = queue.SimpleQueue()
+        cancel = threading.Event()
         origin = perf_counter()
 
         def clock() -> float:
             return perf_counter() - origin
 
-        def exec_unit(unit: WorkUnit) -> None:
+        def run_attempt(unit: WorkUnit, attempt: int) -> None:
+            if chaos is not None:
+                decide = chaos.unit_outcome(unit.node, attempt)
+                if decide.kill_worker:
+                    raise _LaneKilled()
+                if decide.latency_s > 0.0:
+                    sleep(decide.latency_s)
+                injected = decide.fail
+            else:
+                injected = False
             t0 = perf_counter()
             try:
+                if injected:
+                    raise InjectedUnitFault(unit.node, attempt)
                 value, err = unit.execute(values), None
-            except BaseException as exc:  # propagated by the coordinator
+            except BaseException as exc:  # handled by the coordinator
                 value, err = None, exc
-            completions.put((unit.node, value, t0, perf_counter(), err))
+            completions.put(
+                ("done", unit.node, attempt, value, t0, perf_counter(), err)
+            )
 
         if tracing:
             # per-WorkUnit span recorded by the worker itself, into its
             # own thread-local buffer — the worker id is the span's tid
-            def run_unit(unit: WorkUnit) -> None:
+            def exec_attempt(unit: WorkUnit, attempt: int) -> None:
                 sink.set_thread_name(threading.current_thread().name)
                 with sink.span(
                     f"unit:{unit.node}",
                     "unit",
-                    args={"node": unit.node, "label": unit.label},
+                    args={
+                        "node": unit.node,
+                        "label": unit.label,
+                        "attempt": attempt,
+                    },
                 ):
-                    exec_unit(unit)
+                    run_attempt(unit, attempt)
         else:
-            run_unit = exec_unit
+            exec_attempt = run_attempt
+
+        def lane_loop() -> None:
+            while True:
+                item = tasks.get()
+                if item is _STOP:
+                    return
+                if cancel.is_set():
+                    # aborted round: drop queued work instead of
+                    # draining the plan
+                    continue
+                unit, attempt = item
+                try:
+                    exec_attempt(unit, attempt)
+                except _LaneKilled:
+                    completions.put(
+                        ("lane-died", unit.node, attempt, perf_counter())
+                    )
+                    return
+                except BaseException as exc:  # pragma: no cover
+                    # a bug in the lane machinery itself: surface it as
+                    # the unit's failure so the round aborts typed
+                    completions.put(
+                        (
+                            "lane-crashed",
+                            unit.node,
+                            attempt,
+                            perf_counter(),
+                            exc,
+                        )
+                    )
+                    return
 
         inflight = 0
         overhead = 0.0
@@ -212,9 +476,25 @@ class RoundExecutor:
         #: starting later than this kept a worker idle on pool handoff
         handoff_from: dict[int, float] = {}
         coord: list[tuple[float, float]] = []
-        pool = ThreadPoolExecutor(
-            max_workers=workers, thread_name_prefix="repro-runtime"
-        )
+        #: node → dispatch attempts issued so far (0-based last attempt)
+        attempts: dict[int, int] = {}
+        #: node → recorded (non-lane-death) failures
+        failures: dict[int, int] = {}
+        #: (due perf_counter stamp, node) min-heap of pending retries
+        retry_heap: list[tuple[float, int]] = []
+        watchdog = self.unit_timeout_s
+        #: node → dispatch stamp, maintained only when the watchdog is on
+        dispatched_at: dict[int, float] = {}
+        marked: set[int] = set()
+        lanes = _WorkerLanes(workers, lane_loop, tasks, cancel)
+
+        def submit_attempt(node: int) -> None:
+            a = attempts.get(node, -1) + 1
+            attempts[node] = a
+            if watchdog is not None:
+                dispatched_at[node] = perf_counter()
+            tasks.put((plan.units[node], a))
+
         try:
             dispatchable0, activated0 = state.bootstrap()
             oracle.push_ready_events(dispatchable0)
@@ -227,6 +507,21 @@ class RoundExecutor:
                 sink.add_to_current("activate_ops", scheduler.ops - ops0)
 
             while True:
+                # due retries take freed lanes first — the scheduler
+                # already dispatched these nodes; re-dispatch is the
+                # executor's business, not a new select decision
+                if retry_heap:
+                    now_pc = perf_counter()
+                    while (
+                        retry_heap
+                        and inflight < workers
+                        and retry_heap[0][0] <= now_pc
+                    ):
+                        _, v = heapq.heappop(retry_heap)
+                        submit_attempt(v)
+                        just_submitted.append(v)
+                        inflight += 1
+
                 # dispatch: keep asking while the scheduler produces work
                 while inflight < workers:
                     t = clock()
@@ -255,7 +550,7 @@ class RoundExecutor:
                                 f"{scheduler.name} dispatched task {v} "
                                 f"illegally: {exc}"
                             ) from exc
-                        pool.submit(run_unit, plan.units[v])
+                        submit_attempt(v)
                         just_submitted.append(v)
                         inflight += 1
 
@@ -274,7 +569,7 @@ class RoundExecutor:
                         coord.append((w_start - origin, now - origin))
                     window = None
 
-                if inflight == 0:
+                if inflight == 0 and not retry_heap:
                     if state.all_done():
                         break
                     raise SchedulerStallError(
@@ -283,10 +578,48 @@ class RoundExecutor:
                         "running, none selected"
                     )
 
-                node, value, t0, t1, err = self._next_completion(
-                    completions, state, clock
+                msg = self._await_event(
+                    completions, state, clock, retry_heap, dispatched_at,
+                    marked, inflight,
                 )
+                if msg is None:
+                    # timer tick: a retry came due or a unit went
+                    # overdue — mark stragglers and loop back to the
+                    # dispatch stage
+                    self._mark_stragglers(
+                        dispatched_at, marked, outcome
+                    )
+                    continue
+
+                if msg[0] == "lane-died":
+                    _, node, attempt, _t = msg
+                    # supervision: replace the lane and re-dispatch the
+                    # orphaned unit — a killed lane is capacity loss,
+                    # not a unit failure, so no retry budget is charged
+                    lanes.spawn()
+                    outcome.lane_deaths += 1
+                    if watchdog is not None:
+                        dispatched_at.pop(node, None)
+                    if tracing:
+                        sink.record_instant(
+                            "lane-replaced",
+                            args={"node": node, "attempt": attempt},
+                        )
+                    submit_attempt(node)
+                    just_submitted.append(node)
+                    continue
+
+                if msg[0] == "lane-crashed":
+                    _, node, attempt, t1, err = msg
+                    lanes.spawn()
+                    outcome.lane_deaths += 1
+                    value, t0 = None, t1
+                else:
+                    _, node, attempt, value, t0, t1, err = msg
+
                 inflight -= 1
+                if watchdog is not None:
+                    dispatched_at.pop(node, None)
                 # window opens at the worker's finish stamp (covers the
                 # queue-wake latency too); `now` closed the previous one
                 window = (max(t1, now), inflight)
@@ -294,10 +627,34 @@ class RoundExecutor:
                 if t0 > h:
                     dispatch_lag += t0 - h
                     coord.append((h - origin, t0 - origin))
+
                 if err is not None:
-                    raise UnitExecutionError(
-                        node, plan.units[node].label, err
+                    nfail = failures.get(node, 0) + 1
+                    failures[node] = nfail
+                    if retry is not None and retry.allows(nfail):
+                        delay = retry.backoff_delay(nfail)
+                        heapq.heappush(
+                            retry_heap, (perf_counter() + delay, node)
+                        )
+                        outcome.unit_retries += 1
+                        if chaos is not None:
+                            chaos.note_retry(node, attempts[node], delay)
+                        if tracing:
+                            sink.record_instant(
+                                "unit-retry",
+                                args={
+                                    "node": node,
+                                    "failures": nfail,
+                                    "backoff_s": delay,
+                                },
+                            )
+                        continue
+                    # budget exhausted: the unit is poison — quarantine
+                    # it, stop dispatching, and surface every failure
+                    raise self._quarantine(
+                        node, err, attempts, completions, lanes
                     ) from err
+
                 values.set(node, value)
                 changed = value != plan.units[node].old_value
                 outcome.diffs[node] = changed
@@ -319,7 +676,15 @@ class RoundExecutor:
                         "complete_ops", scheduler.ops - ops0
                     )
         finally:
-            pool.shutdown(wait=True, cancel_futures=True)
+            lanes.shutdown()
+            # completions that landed after an abort (deadline, chaos,
+            # quarantine) belong to a dead round: drain and discard so
+            # nothing dangles — every lane is already joined above
+            while True:
+                try:
+                    completions.get_nowait()
+                except queue.Empty:
+                    break
 
         outcome.wall_latency_s = clock()
         outcome.overhead_s = overhead
@@ -340,20 +705,138 @@ class RoundExecutor:
         outcome.runtime_peak_memory_cells = (
             scheduler.runtime_peak_memory_cells
         )
+        if chaos is not None:
+            outcome.injected_faults = chaos.injected_total - faults0
         return outcome
 
     # ------------------------------------------------------------------
-    def _next_completion(self, completions, state, clock):
-        """Block for the next worker completion, honoring the deadline."""
-        if self.deadline is None:
-            return completions.get()
+    def _quarantine(
+        self,
+        node: int,
+        err: BaseException,
+        attempts: dict[int, int],
+        completions: queue.SimpleQueue,
+        lanes: _WorkerLanes,
+    ) -> UnitExecutionError:
+        """Build the aborting aggregate for a permanently failed unit.
+
+        Cancellation is raised first so lanes stop draining the plan;
+        any *other* failures already sitting in the completion queue
+        ride along in the aggregate (they would never get their retry —
+        the round is over — and hiding them helps nobody).
+        """
+        plan, chaos = self.plan, self.chaos
+        lanes.cancel.set()
+        failures = [
+            UnitFailure(
+                node=node,
+                label=plan.units[node].label,
+                attempts=attempts.get(node, 0) + 1,
+                error=err,
+            )
+        ]
         while True:
+            try:
+                msg = completions.get_nowait()
+            except queue.Empty:
+                break
+            if msg[0] != "done" or msg[6] is None:
+                continue
+            other = msg[1]
+            failures.append(
+                UnitFailure(
+                    node=other,
+                    label=plan.units[other].label,
+                    attempts=attempts.get(other, 0) + 1,
+                    error=msg[6],
+                )
+            )
+        if chaos is not None:
+            for f in failures:
+                chaos.note_quarantine(f.node, f.attempts)
+        if self.sink.enabled:
+            self.sink.record_instant(
+                "quarantine",
+                args={
+                    "nodes": [f.node for f in failures],
+                    "attempts": failures[0].attempts,
+                },
+            )
+        return UnitExecutionError.from_failures(failures)
+
+    # ------------------------------------------------------------------
+    def _mark_stragglers(
+        self,
+        dispatched_at: dict[int, float],
+        marked: set[int],
+        outcome: RoundOutcome,
+    ) -> None:
+        """Flag in-flight units overdue past the soft watchdog."""
+        watchdog = self.unit_timeout_s
+        if watchdog is None:
+            return
+        now = perf_counter()
+        for node, stamp in dispatched_at.items():
+            if node in marked or now - stamp < watchdog:
+                continue
+            marked.add(node)
+            outcome.stragglers.append(node)
+            if self.sink.enabled:
+                self.sink.record_instant(
+                    "unit-straggler",
+                    args={"node": node, "running_s": now - stamp},
+                )
+
+    # ------------------------------------------------------------------
+    def _await_event(
+        self,
+        completions: queue.SimpleQueue,
+        state: LiveActivationState,
+        clock,
+        retry_heap: list[tuple[float, int]],
+        dispatched_at: dict[int, float],
+        marked: set[int],
+        inflight: int,
+    ):
+        """Block for the next worker message, honoring every timer.
+
+        Returns ``None`` on a timer tick (a retry came due or the
+        watchdog wants a straggler scan); raises
+        :class:`~repro.sim.faults.DeadlineExceededError` once the hard
+        round deadline has passed. With no deadline, no pending
+        retries, and no watchdog this is a plain blocking ``get()`` —
+        the chaos-free hot path pays nothing.
+        """
+        timeout: float | None = None
+        if self.deadline is not None:
             remaining = self.deadline - clock()
             if remaining <= 0:
                 raise DeadlineExceededError(
                     self.deadline, clock(), state.pending_count()
                 )
-            try:
-                return completions.get(timeout=remaining)
-            except queue.Empty:
-                continue
+            timeout = remaining
+        now_pc = perf_counter()
+        if retry_heap and inflight < self.workers:
+            # a due retry is only actionable once a lane is free; with
+            # every lane busy the next interesting event is a completion
+            due = retry_heap[0][0] - now_pc
+            timeout = due if timeout is None else min(timeout, due)
+        if self.unit_timeout_s is not None:
+            pending = [
+                stamp
+                for node, stamp in dispatched_at.items()
+                if node not in marked
+            ]
+            if pending:
+                overdue = min(pending) + self.unit_timeout_s - now_pc
+                timeout = (
+                    overdue if timeout is None else min(timeout, overdue)
+                )
+        if timeout is None:
+            return completions.get()
+        if timeout <= 0:
+            return None
+        try:
+            return completions.get(timeout=timeout)
+        except queue.Empty:
+            return None

@@ -68,6 +68,18 @@ class RoundMetrics:
     #: how long the round's *oldest* coalesced batch sat in the queue
     #: before the drain picked it up
     queue_wait_s: float = 0.0
+    #: failed unit attempts re-dispatched under the executor's
+    #: retry policy
+    unit_retries: int = 0
+    #: units that exhausted their retry budget (nonzero only on the
+    #: metrics of an *aborted* round, which normally never reaches the
+    #: log — kept for completeness and external consumers)
+    quarantined_units: int = 0
+    #: the round ran on the degraded serial fallback, not the
+    #: concurrent fast path
+    degraded: bool = False
+    #: chaos injections observed during the round (0 without chaos)
+    injected_faults: int = 0
 
     def to_json_dict(self) -> dict[str, Any]:
         """Plain-dict form for JSON emission."""
@@ -88,6 +100,12 @@ class MetricsLog:
             self.registry.histogram(name).observe(getattr(m, name))
         self.registry.counter("tasks_executed").inc(m.tasks_executed)
         self.registry.counter("batches_coalesced").inc(m.batches_coalesced)
+        if m.unit_retries:
+            self.registry.counter("unit_retries").inc(m.unit_retries)
+        if m.injected_faults:
+            self.registry.counter("injected_faults").inc(m.injected_faults)
+        if m.degraded:
+            self.registry.counter("degraded_rounds").inc(1)
 
     # ------------------------------------------------------------------
     def latencies(self) -> np.ndarray:

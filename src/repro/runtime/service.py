@@ -76,7 +76,14 @@ from ..obs.metrics import MetricsRegistry
 from ..schedulers.base import Scheduler
 from ..verify.invariants import VerificationReport
 from ..verify.program import ProgramAnalysis, analyze_program
-from .executor import RoundExecutor
+from .chaos import ChaosInjector, ChaosPlan, InjectedPhaseFault
+from .executor import RetryPolicy, RoundExecutor, UnitExecutionError
+from .health import (
+    HealthMonitor,
+    HealthPolicy,
+    HealthState,
+    ServiceUnavailableError,
+)
 from .metrics import MetricsLog, RoundMetrics
 from .recorder import RoundArtifacts, record_round
 
@@ -85,12 +92,29 @@ __all__ = [
     "MaterializationDivergenceError",
     "RoundReport",
     "RoundVerificationError",
+    "ServiceUnavailableError",
     "UpdateStreamService",
+    "SHED_POLICIES",
 ]
+
+#: load-shedding behavior when backpressure and degradation coincide
+SHED_POLICIES = ("reject", "drop-oldest", "coalesce-harder")
 
 
 class BackpressureError(RuntimeError):
-    """The update queue is full and the submit was non-blocking."""
+    """The update queue is full (and stayed full past any timeout).
+
+    Carries the queue state at raise time so producers can decide what
+    to do: ``pending_batches`` (queued batches plus any re-queued
+    failed delta) and ``capacity`` (the configured queue bound).
+    """
+
+    def __init__(
+        self, message: str, pending_batches: int = 0, capacity: int = 0
+    ) -> None:
+        super().__init__(message)
+        self.pending_batches = pending_batches
+        self.capacity = capacity
 
 
 class MaterializationDivergenceError(RuntimeError):
@@ -131,7 +155,9 @@ class RoundReport:
     #: the net delta the round maintained (batches merged)
     delta: Delta
     compiled: CompiledUpdate
-    artifacts: RoundArtifacts
+    #: ``None`` for degraded rounds — the serial fallback produces no
+    #: concurrent schedule to record
+    artifacts: RoundArtifacts | None
     verification: VerificationReport | None
     metrics: RoundMetrics
     #: did the runtime materialization match from-scratch evaluation?
@@ -193,6 +219,29 @@ class UpdateStreamService:
     obs_metrics:
         Optional :class:`~repro.obs.metrics.MetricsRegistry` receiving
         the cache's ``plancache.*`` hit/miss/invalidation counters.
+    unit_retries / unit_backoff_s / unit_timeout_s:
+        Executor fault tolerance: retry budget per work unit (0 keeps
+        the historical fail-fast round), base of the capped exponential
+        backoff between attempts, and the soft per-unit straggler
+        watchdog.
+    chaos:
+        Optional :class:`~repro.runtime.chaos.ChaosPlan`; when set (and
+        non-empty) a shared :class:`~repro.runtime.chaos.ChaosInjector`
+        is threaded through every round's compile/execute/verify. The
+        injector is exposed as :attr:`chaos` for inspection.
+    health:
+        Thresholds of the degradation state machine
+        (:class:`~repro.runtime.health.HealthPolicy`); the live monitor
+        is exposed as :attr:`health`. Repeated round failures open the
+        circuit breaker: rounds fall back to the serial reference
+        oracle with the plan cache bypassed, then probe back.
+    shed_policy:
+        What :meth:`submit` does when the queue is full *while the
+        service is degraded*: ``"reject"`` raises
+        :class:`BackpressureError` immediately (even for blocking
+        submits), ``"drop-oldest"`` evicts the oldest queued batch,
+        ``"coalesce-harder"`` merges the entire queue plus the new
+        batch into one slot. While healthy, submits behave normally.
     """
 
     def __init__(
@@ -212,12 +261,27 @@ class UpdateStreamService:
         plan_cache: bool = True,
         obs_metrics: MetricsRegistry | None = None,
         analyze: bool = True,
+        unit_retries: int = 0,
+        unit_backoff_s: float = 0.02,
+        unit_timeout_s: float | None = None,
+        chaos: ChaosPlan | None = None,
+        health: HealthPolicy | None = None,
+        shed_policy: str = "reject",
     ) -> None:
         if capacity <= 0:
             raise ValueError(f"capacity must be positive, got {capacity}")
         if max_round_retries < 0:
             raise ValueError(
                 f"max_round_retries must be >= 0, got {max_round_retries}"
+            )
+        if unit_retries < 0:
+            raise ValueError(
+                f"unit_retries must be >= 0, got {unit_retries}"
+            )
+        if shed_policy not in SHED_POLICIES:
+            raise ValueError(
+                f"shed_policy must be one of {SHED_POLICIES}, "
+                f"got {shed_policy!r}"
             )
         self.program = program
         self.scheduler = scheduler
@@ -245,6 +309,28 @@ class UpdateStreamService:
             if plan_cache
             else None
         )
+        self.unit_timeout_s = unit_timeout_s
+        self.shed_policy = shed_policy
+        #: executor retry policy; ``None`` keeps fail-fast rounds
+        self.unit_retry: RetryPolicy | None = (
+            RetryPolicy(max_retries=unit_retries, backoff_base=unit_backoff_s)
+            if unit_retries > 0
+            else None
+        )
+        #: the live chaos injector (``None`` without a non-empty plan)
+        self.chaos: ChaosInjector | None = (
+            ChaosInjector(chaos, sink=sink)
+            if chaos is not None and not chaos.is_empty()
+            else None
+        )
+        #: the degradation state machine / circuit breaker
+        self.health = HealthMonitor(
+            policy=health or HealthPolicy(), sink=sink
+        )
+        #: batches evicted by load shedding since construction
+        self.shed_batches = 0
+        #: units quarantined by aborted rounds since construction
+        self.quarantined_units_total = 0
         self._edb = edb.copy()
         #: (delta, enqueue stamp) pairs; the stamp feeds queue_wait_s
         self._queue: queue.Queue[tuple[Delta, float]] = queue.Queue(
@@ -254,6 +340,9 @@ class UpdateStreamService:
         self._retry: deque[tuple[Delta, float]] = deque()
         self._round_attempts = 0
         self._rounds_run = 0
+        #: chaos round coordinate: one epoch per maintain attempt, so a
+        #: retried round draws fresh decisions
+        self._maintain_epoch = 0
         self._materialization: Database | None = None
 
     # ------------------------------------------------------------------
@@ -264,15 +353,89 @@ class UpdateStreamService:
         block: bool = True,
         timeout: float | None = None,
     ) -> None:
-        """Enqueue one update batch; the bounded queue is backpressure."""
+        """Enqueue one update batch; the bounded queue is backpressure.
+
+        A blocking submit with ``timeout=`` raises
+        :class:`BackpressureError` (carrying ``pending_batches`` and
+        ``capacity``) once the queue stays full that long, instead of
+        waiting forever. While the service is degraded, a full queue is
+        handled by :attr:`shed_policy` — see the class docstring.
+        """
+        if self.health.state is not HealthState.HEALTHY:
+            self._submit_degraded(delta, block, timeout)
+            return
         try:
             self._queue.put((delta, perf_counter()), block=block,
                             timeout=timeout)
         except queue.Full:
-            raise BackpressureError(
-                f"update queue full ({self._queue.maxsize} batches) — "
-                "the service is not keeping up"
-            ) from None
+            raise self._backpressure() from None
+
+    def _backpressure(self) -> BackpressureError:
+        return BackpressureError(
+            f"update queue full ({self._queue.maxsize} batches) — "
+            "the service is not keeping up",
+            pending_batches=self.pending_batches(),
+            capacity=self._queue.maxsize,
+        )
+
+    def _submit_degraded(
+        self, delta: Delta, block: bool, timeout: float | None
+    ) -> None:
+        """Submit under degradation: shed load instead of piling on.
+
+        ``reject`` fails fast (no blocking — a degraded service is the
+        one case where waiting on it is wrong), ``drop-oldest`` evicts
+        queued batches until the new one fits, ``coalesce-harder``
+        folds the whole queue plus the new batch into a single slot.
+        """
+        now = perf_counter()
+        if self.shed_policy == "coalesce-harder":
+            batches: list[Delta] = []
+            stamps: list[float] = []
+            while True:
+                try:
+                    d, ts = self._queue.get_nowait()
+                except queue.Empty:
+                    break
+                batches.append(d)
+                stamps.append(ts)
+                self._queue.task_done()
+            if batches:
+                self.shed_batches += len(batches)
+                if self.sink.enabled:
+                    self.sink.record_instant(
+                        "load-shed",
+                        args={
+                            "policy": "coalesce-harder",
+                            "batches": len(batches) + 1,
+                        },
+                    )
+                # later operations win in merge order, so the fresh
+                # batch goes last; the merged slot keeps the oldest
+                # stamp so queue_wait_s stays honest
+                delta = merge_deltas([*batches, delta])
+                now = min([*stamps, now])
+            self._queue.put((delta, now))
+            return
+        while True:
+            try:
+                self._queue.put_nowait((delta, now))
+                return
+            except queue.Full:
+                if self.shed_policy == "reject":
+                    raise self._backpressure() from None
+            # drop-oldest: evict and retry
+            try:
+                old = self._queue.get_nowait()
+            except queue.Empty:
+                continue
+            del old
+            self._queue.task_done()
+            self.shed_batches += 1
+            if self.sink.enabled:
+                self.sink.record_instant(
+                    "load-shed", args={"policy": "drop-oldest", "batches": 1}
+                )
 
     def pending_batches(self) -> int:
         """Approximate number of queued, not-yet-maintained batches
@@ -339,7 +502,14 @@ class UpdateStreamService:
         docstring): front-re-queue within ``max_round_retries``,
         otherwise surfaced as ``exc.failed_delta`` on the re-raised
         exception.
+
+        In the ``failed`` health state this raises
+        :class:`~repro.runtime.health.ServiceUnavailableError` *before*
+        draining anything, so the queue (and any re-queued delta) is
+        intact for recovery.
         """
+        if self.health.state is HealthState.FAILED:
+            raise ServiceUnavailableError(self.health.consecutive_failures)
         depth = self.pending_batches()
         t_drain = perf_counter()
         batches, stamps, n_queue = self._drain(block, timeout)
@@ -360,16 +530,20 @@ class UpdateStreamService:
                 args={"batches": len(batches), "from_queue": n_queue},
             )
             sink.record_span_abs("merge", "phase", t_round, perf_counter())
+        degraded = self.health.plan_round()
         try:
             report = self._maintain(
-                delta, len(batches), depth, t_round, queue_wait_s
+                delta, len(batches), depth, t_round, queue_wait_s,
+                degraded=degraded,
             )
         except BaseException as exc:
+            self.health.record_failure(self._rounds_run, type(exc).__name__)
             self._note_failed_round(delta, oldest, exc)
             raise
         finally:
             for _ in range(n_queue):
                 self._queue.task_done()
+        self.health.record_success(report.index, degraded)
         self._round_attempts = 0
         return report
 
@@ -381,6 +555,8 @@ class UpdateStreamService:
             # drop anything the failed round staged or patched; the
             # retry recompiles from the last *committed* baseline
             self.plan_cache.rollback()
+        if isinstance(exc, UnitExecutionError):
+            self.quarantined_units_total += len(exc.failures)
         self._round_attempts += 1
         requeued = self._round_attempts <= self.max_round_retries
         if requeued:
@@ -412,15 +588,33 @@ class UpdateStreamService:
         depth: int,
         t_round: float,
         queue_wait_s: float,
+        degraded: bool = False,
     ) -> RoundReport:
-        """Compile, execute, verify, and commit one merged round."""
+        """Compile, execute, verify, and commit one merged round.
+
+        ``degraded=True`` is the circuit breaker's fallback: cold
+        compile (plan cache bypassed), serial reference execution
+        instead of the concurrent executor, materialization check only
+        (there is no concurrent schedule to run invariants on).
+        """
         sink = self.sink
+        chaos = self.chaos
+        if chaos is not None:
+            chaos.begin_round(self._maintain_epoch)
+        self._maintain_epoch += 1
+        faults0 = chaos.injected_total if chaos is not None else 0
         with sink.span(
             "round", "round",
-            args={"index": self._rounds_run, "batches": n_batches},
+            args={
+                "index": self._rounds_run,
+                "batches": n_batches,
+                "degraded": degraded,
+            },
         ):
             t0 = perf_counter()
-            cache = self.plan_cache
+            cache = self.plan_cache if not degraded else None
+            if chaos is not None and chaos.phase_fails("compile"):
+                raise InjectedPhaseFault("compile", self._rounds_run)
             with sink.span("compile", "phase"):
                 if cache is not None:
                     cu = cache.compile(
@@ -454,31 +648,53 @@ class UpdateStreamService:
             compile_s = perf_counter() - t0
 
             t0 = perf_counter()
-            with sink.span("execute", "phase") as sp_exec:
-                outcome = RoundExecutor(
-                    plan,
-                    self.scheduler,
-                    workers=self.workers,
-                    deadline=self.deadline_s,
-                    sink=sink,
-                ).run()
+            if degraded:
+                # serial reference oracle: single-threaded level-order
+                # execution, immune to executor-level faults
+                with sink.span(
+                    "execute-serial", "phase", args={"degraded": True}
+                ):
+                    values, diffs = plan.execute_serial()
+                outcome = None
+                tasks_executed = len(diffs)
+            else:
+                with sink.span("execute", "phase") as sp_exec:
+                    outcome = RoundExecutor(
+                        plan,
+                        self.scheduler,
+                        workers=self.workers,
+                        deadline=self.deadline_s,
+                        sink=sink,
+                        retry=self.unit_retry,
+                        unit_timeout_s=self.unit_timeout_s,
+                        chaos=chaos,
+                    ).run()
+                values = outcome.values
+                tasks_executed = len(outcome.records)
+                if sink.enabled:
+                    sp_exec.set("scheduler_ops", outcome.scheduler_ops)
+                    sp_exec.set("tasks_executed", tasks_executed)
+                    sp_exec.set("unit_retries", outcome.unit_retries)
+                    sp_exec.set("injected_faults", outcome.injected_faults)
             execute_s = perf_counter() - t0
-            if sink.enabled:
-                sp_exec.set("scheduler_ops", outcome.scheduler_ops)
-                sp_exec.set("tasks_executed", len(outcome.records))
 
             t0 = perf_counter()
+            if chaos is not None and chaos.phase_fails("verify"):
+                raise InjectedPhaseFault("verify", self._rounds_run)
             with sink.span("verify", "phase"):
-                artifacts = record_round(outcome, cu.trace)
+                artifacts: RoundArtifacts | None = None
                 report: VerificationReport | None = None
                 mat_ok = True
+                if outcome is not None:
+                    artifacts = record_round(outcome, cu.trace)
                 if self.verify:
-                    report = artifacts.check()
-                    if self.strict and not report.ok:
-                        raise RoundVerificationError(
-                            self._rounds_run, report
-                        )
-                    mat = plan.materialization(outcome.values)
+                    if artifacts is not None:
+                        report = artifacts.check()
+                        if self.strict and not report.ok:
+                            raise RoundVerificationError(
+                                self._rounds_run, report
+                            )
+                    mat = plan.materialization(values)
                     mat_ok = mat.as_dict() == cu.db_new.as_dict()
                     if not mat_ok and self.strict:
                         raise MaterializationDivergenceError(
@@ -498,22 +714,43 @@ class UpdateStreamService:
                 index=self._rounds_run,
                 trace_name=cu.trace.name,
                 scheduler=self.scheduler.name,
-                workers=self.workers,
+                workers=self.workers if not degraded else 1,
                 batches_coalesced=n_batches,
                 queue_depth=depth,
                 n_nodes=cu.trace.dag.n_nodes,
                 n_active=cu.trace.n_active,
-                tasks_executed=len(outcome.records),
+                tasks_executed=tasks_executed,
                 changed_facts=_facts_delta(cu.db_old, cu.db_new),
                 latency_s=perf_counter() - t_round,
                 compile_s=compile_s,
                 execute_s=execute_s,
                 verify_s=verify_s,
-                makespan_s=artifacts.result.makespan,
-                scheduler_ops=outcome.scheduler_ops,
-                precompute_ops=outcome.precompute_ops,
-                utilization=artifacts.result.utilization,
+                makespan_s=(
+                    artifacts.result.makespan
+                    if artifacts is not None
+                    else execute_s
+                ),
+                scheduler_ops=(
+                    outcome.scheduler_ops if outcome is not None else 0
+                ),
+                precompute_ops=(
+                    outcome.precompute_ops if outcome is not None else 0
+                ),
+                utilization=(
+                    artifacts.result.utilization
+                    if artifacts is not None
+                    else 1.0
+                ),
                 queue_wait_s=queue_wait_s,
+                unit_retries=(
+                    outcome.unit_retries if outcome is not None else 0
+                ),
+                degraded=degraded,
+                injected_faults=(
+                    chaos.injected_total - faults0
+                    if chaos is not None
+                    else 0
+                ),
             )
         self.metrics.append(metrics)
         self._rounds_run += 1

@@ -47,7 +47,24 @@ __all__ = [
     "TaskFailedPermanentlyError",
     "NoProgressError",
     "DeadlineExceededError",
+    "capped_backoff",
 ]
+
+
+def capped_backoff(
+    base: float, factor: float, cap: float, failure_index: int
+) -> float:
+    """Delay before retry ``failure_index`` (1-based):
+    ``min(cap, base * factor**(k-1))``.
+
+    The one backoff law shared by the simulator's :class:`FaultPlan`
+    and the live runtime's ``RetryPolicy`` — the live path retries
+    units under exactly the semantics the chaos suite pinned for the
+    sim.
+    """
+    if failure_index < 1:
+        raise ValueError(f"failure_index must be >= 1, got {failure_index}")
+    return float(min(cap, base * factor ** (failure_index - 1)))
 
 # rng sub-stream tags (first element after the seed)
 _K_TASK = 1
@@ -213,13 +230,11 @@ class FaultPlan:
 
     def backoff_delay(self, failure_index: int) -> float:
         """Sim-time delay before retry ``failure_index`` (1-based)."""
-        if failure_index < 1:
-            raise ValueError(f"failure_index must be >= 1, got {failure_index}")
-        return float(
-            min(
-                self.backoff_cap,
-                self.backoff_base * self.backoff_factor ** (failure_index - 1),
-            )
+        return capped_backoff(
+            self.backoff_base,
+            self.backoff_factor,
+            self.backoff_cap,
+            failure_index,
         )
 
     # ------------------------------------------------------------------

@@ -15,7 +15,12 @@ from repro.obs import (
     chrome_trace,
     validate_chrome_trace,
 )
-from repro.runtime import UpdateStreamService, live_workload, make_stream
+from repro.runtime import (
+    ChaosPlan,
+    UpdateStreamService,
+    live_workload,
+    make_stream,
+)
 from repro.schedulers import scheduler_registry
 from repro.sim import simulate
 from repro.workloads import make_trace
@@ -115,6 +120,89 @@ class TestServiceReconciliation:
         assert validate_chrome_trace(chrome_trace(rec)) == []
 
 
+def traced_chaos_service(rounds=6):
+    """A chaos-stressed service with retries generous enough that
+    every round still succeeds — so spans, metrics, and the chaos log
+    all describe the same set of completed rounds."""
+    wl = live_workload("retail", seed=5)
+    rec = TraceRecorder()
+    svc = UpdateStreamService(
+        wl.program,
+        wl.edb,
+        REGISTRY["hybrid"](),
+        workers=4,
+        sink=rec,
+        chaos=ChaosPlan(
+            seed=17,
+            unit_fail_prob=0.3,
+            unit_latency_prob=0.2,
+            unit_latency_s=(0.0003, 0.001),
+            worker_kill_prob=0.15,
+        ),
+        unit_retries=8,
+        unit_backoff_s=0.0005,
+    )
+    for batches in make_stream(wl, "steady", rounds=rounds, batch_size=2):
+        for delta in batches:
+            svc.submit(delta)
+        svc.run_round()
+    return rec, svc
+
+
+class TestChaosReconciliation:
+    """S4: fault counters agree across spans, metrics, and the log."""
+
+    @pytest.fixture(scope="class")
+    def run(self):
+        return traced_chaos_service()
+
+    def test_execute_span_args_match_round_metrics(self, run):
+        rec, svc = run
+        executes = [r for r in rec.records() if r.name == "execute"]
+        assert len(executes) == len(svc.metrics.rounds)
+        for span, m in zip(executes, svc.metrics.rounds):
+            assert span.args["unit_retries"] == m.unit_retries
+            assert span.args["injected_faults"] == m.injected_faults
+        # the chaos plan actually bit — this is not a vacuous check
+        assert sum(m.unit_retries for m in svc.metrics.rounds) > 0
+        assert sum(m.injected_faults for m in svc.metrics.rounds) > 0
+
+    def test_chaos_instants_reconcile_with_metrics(self, run):
+        rec, svc = run
+        injected = [
+            r for r in rec.records() if r.name.startswith("chaos:")
+        ]
+        # every round succeeded, so each injection the injector counted
+        # is attributed to exactly one round's metrics
+        assert len(injected) == sum(
+            m.injected_faults for m in svc.metrics.rounds
+        )
+        assert len(injected) == svc.chaos.injected_total
+        # retries leave their own markers, distinct from injections
+        retry_notes = [
+            r for r in rec.records() if r.name == "unit-retry"
+        ]
+        assert len(retry_notes) == sum(
+            m.unit_retries for m in svc.metrics.rounds
+        )
+
+    def test_registry_counters_aggregate_fault_metrics(self, run):
+        _, svc = run
+        reg = svc.metrics.registry
+        assert reg.counter("unit_retries").value == sum(
+            m.unit_retries for m in svc.metrics.rounds
+        )
+        assert reg.counter("injected_faults").value == sum(
+            m.injected_faults for m in svc.metrics.rounds
+        )
+        assert reg.counter("degraded_rounds").value == 0
+        assert all(not m.degraded for m in svc.metrics.rounds)
+
+    def test_chaos_trace_is_schema_valid(self, run):
+        rec, _ = run
+        assert validate_chrome_trace(chrome_trace(rec)) == []
+
+
 class TestSimulatorTracing:
     def test_sim_spans_on_sim_clock_without_perturbing_result(self):
         trace = make_trace(2, scale=0.5)
@@ -176,6 +264,31 @@ class TestTraceCli:
         text = capsys.readouterr().out
         assert "slowest" in text
         assert "queue-wait" in text
+
+    def test_trace_command_with_chaos_records_injections(
+        self, tmp_path, capsys
+    ):
+        out = tmp_path / "chaos-trace.json"
+        rc = main(
+            [
+                "trace",
+                "--stream", "retail",
+                "--scheduler", "hybrid",
+                "--rounds", "5",
+                "--chaos-seed", "7",
+                "-o", str(out),
+            ]
+        )
+        assert rc == 0
+        payload = json.loads(out.read_text())
+        assert validate_chrome_trace(payload) == []
+        chaos_events = [
+            ev
+            for ev in payload["traceEvents"]
+            if str(ev.get("name", "")).startswith("chaos:")
+        ]
+        assert chaos_events, "chaos run produced no chaos:* instants"
+        assert "chaos:" in capsys.readouterr().out
 
     def test_trace_command_rejects_unknown_workload(self, tmp_path):
         with pytest.raises(SystemExit, match="unknown live program"):

@@ -174,3 +174,58 @@ def test_datalog_command(tmp_path, capsys):
     out = capsys.readouterr().out
     assert "path/2 (3 facts)" in out
     assert "path(1, 3)" in out
+
+
+def test_serve_with_chaos_seed(capsys):
+    rc = main(
+        [
+            "serve", "--program", "retail", "--rounds", "4",
+            "--scheduler", "hybrid", "--chaos-seed", "7",
+        ]
+    )
+    out = capsys.readouterr().out
+    assert rc == 0
+    assert "chaos seed 7" in out
+    assert "chaos:" in out
+    assert "health=" in out
+
+
+def test_serve_with_chaos_spec_file(tmp_path, capsys):
+    from repro.runtime import ChaosPlan
+
+    spec = tmp_path / "chaos.json"
+    spec.write_text(
+        json.dumps(
+            ChaosPlan(
+                seed=3, unit_fail_prob=0.2, unit_latency_prob=0.1
+            ).to_json_dict()
+        )
+    )
+    rc = main(
+        [
+            "serve", "--program", "retail", "--rounds", "3",
+            "--chaos-spec", str(spec),
+        ]
+    )
+    out = capsys.readouterr().out
+    assert rc == 0
+    assert "chaos seed 3" in out
+
+
+def test_serve_chaos_options(capsys):
+    rc = main(
+        [
+            "serve", "--program", "retail", "--rounds", "3",
+            "--chaos-seed", "11", "--unit-retries", "5",
+            "--unit-timeout", "0.5", "--shed-policy", "coalesce-harder",
+        ]
+    )
+    assert rc == 0
+    assert "final materialization matches" in capsys.readouterr().out
+
+
+def test_serve_no_chaos_unchanged(capsys):
+    rc = main(["serve", "--program", "retail", "--rounds", "3"])
+    out = capsys.readouterr().out
+    assert rc == 0
+    assert "chaos" not in out
