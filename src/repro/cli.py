@@ -287,6 +287,7 @@ def cmd_serve(args) -> int:
         unit_timeout_s=args.unit_timeout,
         chaos=chaos,
         shed_policy=args.shed_policy,
+        maintenance=args.maintenance,
     )
     try:
         stream = make_stream(
@@ -297,6 +298,11 @@ def cmd_serve(args) -> int:
     print(
         f"serving {wl.name} ({args.stream} stream) under "
         f"{scheduler.name}, {args.workers} workers"
+        + (
+            f", {args.maintenance} maintenance oracle"
+            if args.maintenance is not None
+            else ""
+        )
         + (f", chaos seed {chaos.seed}" if chaos is not None else "")
     )
     # under chaos, failed rounds are expected events: report them and
@@ -335,6 +341,10 @@ def cmd_serve(args) -> int:
         flag = "" if rep.materialization_ok else "  DIVERGED"
         if m.degraded:
             flag += "  DEGRADED"
+        if m.noop:
+            flag += "  NOOP"
+        if m.cancelled_ops:
+            flag += f"  ({m.cancelled_ops} op(s) cancelled)"
         print(
             f"round {m.index:3d}: {m.batches_coalesced} batch(es), "
             f"{m.tasks_executed}/{m.n_nodes} nodes executed, "
@@ -343,6 +353,14 @@ def cmd_serve(args) -> int:
             f"{m.execute_s * 1e3:.2f}){flag}"
         )
     print(service.metrics.summary())
+    reg = service.metrics.registry
+    cancelled_total = int(reg.counter("cancelled_ops").value)
+    noop_total = int(reg.counter("noop_rounds").value)
+    if cancelled_total or noop_total:
+        print(
+            f"coalescing: {cancelled_total} op(s) cancelled, "
+            f"{noop_total} no-op round(s) skipped compilation"
+        )
     if service.chaos is not None:
         print(
             f"chaos: {service.chaos.summary() or 'no injections'}; "
@@ -677,8 +695,15 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument(
         "--stream", default="steady",
-        choices=("steady", "bursty", "hotkey"),
+        choices=("steady", "bursty", "hotkey", "deletions", "mixed"),
         help="update stream shape",
+    )
+    p.add_argument(
+        "--maintenance", default=None,
+        choices=("dred", "bf", "counting"),
+        help="shadow maintenance-strategy oracle: replay every round "
+             "through this engine and insist it matches from-scratch "
+             "evaluation (counting rejects recursive programs)",
     )
     p.add_argument("--scheduler", default="hybrid",
                    help=f"one of {sorted(SCHEDULERS)} or lbl:<k>")
@@ -739,7 +764,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument(
         "--kind", default="steady",
-        choices=("steady", "bursty", "hotkey"),
+        choices=("steady", "bursty", "hotkey", "deletions", "mixed"),
         help="update stream shape",
     )
     p.add_argument("--scheduler", default="levelbased",

@@ -1,9 +1,9 @@
 """A from-scratch Datalog engine: the substrate the paper's schedulers serve.
 
 Parsing → stratification → semi-naive materialization → incremental
-maintenance (delta insertion + DRed deletion) → compilation of an
-update into the computation-DAG job traces that :mod:`repro.schedulers`
-schedules.
+maintenance (weighted Z-set deltas; DRed, Backward/Forward, and
+counting strategies) → compilation of an update into the
+computation-DAG job traces that :mod:`repro.schedulers` schedules.
 """
 
 from .ast import (
@@ -14,6 +14,11 @@ from .ast import (
     Program,
     Rule,
     Variable,
+)
+from .bf import (
+    MAINTENANCE_STRATEGIES,
+    BackwardForwardEngine,
+    make_engine,
 )
 from .compiler import CompiledUpdate, build_compiled_update, compile_update
 from .counting import CountingEngine, RecursionError_
@@ -36,6 +41,7 @@ from .plancache import CompiledProgramCache, RelationIndexCache
 from .provenance import Derivation, explain
 from .query import parse_goal, query, query_facts
 from .seminaive import EvaluationTrace, naive_evaluate, seminaive_evaluate
+from .zset import ZSetDelta, apply_zdelta, effective_zdelta
 
 __all__ = [
     "Variable",
@@ -57,7 +63,13 @@ __all__ = [
     "seminaive_evaluate",
     "EvaluationTrace",
     "Delta",
+    "ZSetDelta",
+    "apply_zdelta",
+    "effective_zdelta",
     "IncrementalEngine",
+    "BackwardForwardEngine",
+    "MAINTENANCE_STRATEGIES",
+    "make_engine",
     "apply_delta",
     "merge_deltas",
     "CountingEngine",

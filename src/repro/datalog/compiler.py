@@ -52,7 +52,8 @@ from ..tasks.trace import JobTrace
 from .ast import Program
 from .database import Database
 from .depgraph import DependencyGraph
-from .incremental import Delta, apply_delta
+from .incremental import Delta
+from .zset import apply_zdelta, effective_zdelta
 from .seminaive import EvaluationTrace, _ensure_relations, seminaive_evaluate
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
@@ -188,9 +189,15 @@ def compile_update(
         if pred in program.idb_predicates():
             raise ValueError(f"update targets derived predicate {pred!r}")
 
-    edb_new = apply_delta(edb_old, delta)
+    # clamp the submitted delta to its effective weights: redundant ops
+    # (inserting a present fact, deleting an absent one) and coalesced
+    # insert/retract pairs cancel here, so a self-cancelling delta
+    # compiles exactly like an empty one — same touched set, same live
+    # predicates, same dead-rule prune set
+    zdelta = effective_zdelta(edb_old, delta)
+    edb_new = apply_zdelta(edb_old, zdelta)
     run_program = program
-    touched = delta.touched_predicates()
+    touched = zdelta.touched_predicates()
     analysis = _usable_analysis(program, analysis)
     if analysis is not None:
         dead = analysis.prunable_rules(

@@ -21,6 +21,16 @@ flipped when the negated predicate changes. For simplicity and
 correctness we recompute the consumers of a changed negated predicate
 within their stratum (the same strategy the DRed engine uses), which is
 exact because strata are non-recursive here.
+
+Re-firing is *sticky within one update*: once a rule's contribution has
+been recomputed from the current database, its stored per-rule counter
+reflects the post-update truth, and the signed incremental propagation
+(which diffs against the *pre*-update view) would double-count any
+further input change this update — e.g. a deletion that re-enables a
+negated subgoal mid-pass refires the consumer through a nested wave,
+and the outer deletion wave then reaches the same rule with a positive
+Δ it has already absorbed. Such rules are refired again (recompute-and-
+diff is idempotent) instead of incrementally adjusted.
 """
 
 from __future__ import annotations
@@ -33,6 +43,7 @@ from .database import Database, Relation
 from .depgraph import DependencyGraph
 from .incremental import Delta
 from .unify import instantiate_head, join_body
+from .zset import ZSetDelta
 
 __all__ = ["CountingEngine", "RecursionError_"]
 
@@ -83,6 +94,7 @@ class CountingEngine:
         self.edb_predicates = program.edb_predicates()
         self.db = edb.copy() if edb is not None else Database()
         self.counts: dict[str, Counter] = {}
+        self._refired: set[int] = set()
         self._seed_program_facts()
         self._materialize()
 
@@ -132,55 +144,77 @@ class CountingEngine:
         """Number of derivations of a derived fact (0 if absent)."""
         return self.counts.get(predicate, Counter()).get(fact, 0)
 
-    def apply(self, delta: Delta) -> CountingTrace:
-        """Apply an EDB update by propagating derivation-count deltas."""
+    def apply(self, delta: "Delta | ZSetDelta") -> CountingTrace:
+        """Apply an EDB update by propagating derivation-count deltas.
+
+        Accepts either a set-semantics :class:`Delta` or a weighted
+        :class:`ZSetDelta` (positive weights insert, negative delete).
+        """
+        if isinstance(delta, ZSetDelta):
+            delta = delta.to_delta()
         for pred in delta.touched_predicates():
             if pred not in self.edb_predicates:
                 raise ValueError(
                     f"cannot update derived predicate {pred!r}"
                 )
         trace = CountingTrace()
+        # rules whose contribution was recomputed from the current
+        # database this update — see the sticky-refire module note
+        self._refired: set[int] = set()
         if delta.is_empty:
             return trace
 
-        # Counting has no re-derive safety net, so each pass must see an
-        # exact database state: first the deletion pass runs to
-        # completion (joins against the pre-deletion view), then the
-        # insertion pass runs on the settled intermediate state.
-        minus: dict[str, set[tuple]] = {}
+        # Counting has no re-derive safety net, so every join must see
+        # an exact database state. Both directions are applied to the
+        # EDB up front and swept down the strata together as one
+        # weighted wave — interleaving separate insertion and deletion
+        # passes is unsound, because the first pass's consequences at a
+        # high stratum would race the second pass's still-unprocessed
+        # changes at a low one.
+        wave = ZSetDelta()
         for pred, facts in delta.deletions.items():
             rel = self.db.relations.get(pred)
             if rel is None:
                 continue
-            gone = {f for f in facts if rel.discard(f)}
-            if gone:
-                minus[pred] = gone
-        if minus:
-            self._one_pass(minus, sign=-1, trace=trace)
-
-        plus: dict[str, set[tuple]] = {}
+            for f in facts:
+                if rel.discard(f):
+                    wave.delete(pred, f)
         for pred, facts in delta.insertions.items():
-            arity = len(next(iter(facts))) if facts else 0
-            rel = self.db.relation(pred, arity)
-            fresh = {f for f in facts if rel.add(f)}
-            if fresh:
-                plus[pred] = fresh
-        if plus:
-            self._one_pass(plus, sign=+1, trace=trace)
+            if not facts:  # normalization can leave empty sets behind
+                continue
+            rel = self.db.relation(pred, len(next(iter(facts))))
+            for f in facts:
+                if rel.add(f):
+                    wave.insert(pred, f)
+        if not wave.is_empty:
+            self._sweep(wave, trace)
         return trace
 
-    def _one_pass(
-        self,
-        changes: dict[str, set[tuple]],
-        sign: int,
-        trace: CountingTrace,
-    ) -> None:
-        """Propagate one signed wave of fact changes down all strata."""
+    def _sweep(self, wave: ZSetDelta, trace: CountingTrace) -> None:
+        """Propagate one weighted wave of fact changes down all strata.
+
+        Per stratum, each rule sees the accumulated wave from the EDB
+        and every lower stratum and is handled by exactly one of:
+
+        * **refire** (recompute-and-diff, always exact) when a negated
+          input changed, when inputs changed in *both* directions (the
+          signed propagation's two-view trick assumes a single
+          direction), or when the rule was already refired this update
+          (its stored contribution reflects the current database, so an
+          incremental diff against the pre-update view would
+          double-count — the sticky barrier from the module docstring);
+        * **signed propagation** otherwise, joining deletions against
+          the pre-update view and insertions against the current one.
+
+        Head changes join the wave only after the whole stratum is
+        processed, so every rule in a stratum sees the same input state.
+        """
         for si, stratum in enumerate(self.strata):
-            stratum_set = set(stratum)
-            rules = self._stratum_rules(stratum_set)
+            rules = self._stratum_rules(set(stratum))
             if not rules:
                 continue
+            minus_sets = wave.negative()
+            plus_sets = wave.positive()
             new_plus: dict[str, set[tuple]] = {}
             new_minus: dict[str, set[tuple]] = {}
             for ri, rule in rules:
@@ -189,34 +223,46 @@ class CountingEngine:
                 neg_changed = any(
                     lit.negated
                     and lit.atom is not None
-                    and lit.atom.predicate in changes
+                    and wave.touches(lit.atom.predicate)
                     for lit in rule.body
                 )
-                if neg_changed:
+                in_minus = any(
+                    not lit.negated
+                    and lit.atom is not None
+                    and lit.atom.predicate in minus_sets
+                    for lit in rule.body
+                )
+                in_plus = any(
+                    not lit.negated
+                    and lit.atom is not None
+                    and lit.atom.predicate in plus_sets
+                    for lit in rule.body
+                )
+                if neg_changed or (in_minus and in_plus) or (
+                    ri in self._refired and (in_minus or in_plus)
+                ):
                     n = self._refire_rule(ri, rule, counter, new_plus,
                                           new_minus)
+                    self._refired.add(ri)
                     trace.record("recount", si, ri, n)
-                    continue
-                n = self._propagate_signed(
-                    ri, rule, counter, changes, sign=sign,
-                    sink_plus=new_plus, sink_minus=new_minus,
-                )
-                trace.record("count", si, ri, n)
-            # a rule may flip facts in either direction (negation refire);
-            # both waves feed the remaining strata of this pass
+                elif in_minus:
+                    n = self._propagate_signed(
+                        ri, rule, counter, minus_sets, sign=-1,
+                        sink_plus=new_plus, sink_minus=new_minus,
+                    )
+                    trace.record("count", si, ri, n)
+                elif in_plus:
+                    n = self._propagate_signed(
+                        ri, rule, counter, plus_sets, sign=+1,
+                        sink_plus=new_plus, sink_minus=new_minus,
+                    )
+                    trace.record("count", si, ri, n)
             for p, s in new_plus.items():
-                if sign > 0:
-                    changes.setdefault(p, set()).update(s)
-                elif s:
-                    # gained facts inside a deletion pass (negation
-                    # refire): propagate them exactly with a nested
-                    # positive pass over the remaining strata
-                    self._one_pass({p: set(s)}, sign=+1, trace=trace)
+                for f in s:
+                    wave.insert(p, f)
             for p, s in new_minus.items():
-                if sign < 0:
-                    changes.setdefault(p, set()).update(s)
-                elif s:
-                    self._one_pass({p: set(s)}, sign=-1, trace=trace)
+                for f in s:
+                    wave.delete(p, f)
 
     # ------------------------------------------------------------------
     def _old_view(self, minus: dict[str, set[tuple]]) -> Database:
@@ -252,11 +298,17 @@ class CountingEngine:
         """Count derivations involving at least one Δ-fact, with the
         standard inclusion–exclusion ordering trick: position ``pos``
         reads Δ, positions < pos read the state *without* Δ applied for
-        this sign, positions > pos read the state *with* it. We
-        approximate with the canonical two-view rule: for deletions the
-        join runs against the old view, for insertions against the new
-        one, each occurrence restricted to Δ once, positions before the
+        this sign, positions > pos read the state *with* it. The
+        canonical two-view rule implements it: for deletions the join
+        runs against the old view, for insertions against the new one,
+        each occurrence restricted to Δ once, positions before the
         Δ-occurrence excluded from Δ via set subtraction.
+
+        This is exact only while the rule's stored contribution still
+        reflects the pre-wave state — a rule that was refired mid-update
+        (negation flip) must never come back through here in the same
+        update; ``_one_pass`` enforces that barrier via the sticky-
+        refire set.
         """
         head = rule.head.predicate
         changed = 0
@@ -279,18 +331,20 @@ class CountingEngine:
                 delta_overrides={pred: over},
                 delta_at=pos,
             ):
-                # skip substitutions whose earlier same-pred occurrences
-                # also matched a Δ fact (counted once at their own pos)
+                # skip substitutions whose earlier occurrences (of any
+                # Δ-touched predicate, not just this one) also matched
+                # a Δ fact — those derivations are counted exactly once,
+                # at the position of their first Δ occurrence
                 double = False
                 for p2 in range(pos):
                     lit2 = rule.body[p2]
                     if (
                         lit2.atom is not None
                         and not lit2.negated
-                        and lit2.atom.predicate == pred
+                        and lit2.atom.predicate in delta_sets
                     ):
                         fact2 = instantiate_head(lit2.atom, subst)
-                        if fact2 in delta_sets[pred]:
+                        if fact2 in delta_sets[lit2.atom.predicate]:
                             double = True
                             break
                 if not double:

@@ -5,8 +5,11 @@ program has been materialized, the base data (EDB) changes, and the
 derived facts (IDB) must be brought up to date without recomputing from
 scratch.
 
-The engine processes strata bottom-up, carrying net fact changes
-(Δ⁺/Δ⁻ per predicate) from each stratum to the next:
+The engine processes strata bottom-up, carrying net fact changes as a
+weighted :class:`~repro.datalog.zset.ZSetDelta` (+1 = net insert, −1 =
+net retract per fact) from each stratum to the next — a fact deleted by
+over-deletion and restored by re-derivation cancels to weight 0 and
+never leaves the stratum:
 
 * **Positive strata** (no changed negated input) run DRed
   (delete-and-rederive, Gupta–Mumick–Subrahmanian): (1) *over-delete* —
@@ -20,6 +23,12 @@ The engine processes strata bottom-up, carrying net fact changes
   diffed — stratified negation makes insertions act as deletions for
   consumers and vice versa, and the recompute-and-diff strategy handles
   both directions exactly.
+
+The deletion phase of a positive stratum is a strategy hook
+(:meth:`IncrementalEngine._delete_phase`): this class implements DRed's
+over-delete + re-derive; :class:`~repro.datalog.bf
+.BackwardForwardEngine` overrides it with Backward/Forward's
+candidate-then-verify pass that never deletes a fact it will put back.
 
 The per-stratum events are recorded in a :class:`MaintenanceTrace` —
 the *activated tasks* of Section II-A; :mod:`repro.datalog.compiler`
@@ -36,6 +45,7 @@ from .database import Database, Relation
 from .depgraph import DependencyGraph
 from .seminaive import seminaive_evaluate
 from .unify import eval_rule, instantiate_head, join_body
+from .zset import ZSetDelta, apply_zdelta, effective_zdelta
 
 __all__ = [
     "Delta",
@@ -43,6 +53,9 @@ __all__ = [
     "IncrementalEngine",
     "apply_delta",
     "merge_deltas",
+    "ZSetDelta",
+    "apply_zdelta",
+    "effective_zdelta",
 ]
 
 
@@ -50,20 +63,32 @@ __all__ = [
 class Delta:
     """An update: EDB facts to insert and to delete.
 
-    Deletions apply before insertions, so a fact present in both sets
-    ends up *present* after the update.
+    The builder methods keep the two sets disjoint — the *later*
+    operation on a fact wins, so ``.insert(p, f).delete(p, f)`` is a
+    pure deletion and the reverse a pure insertion. A delta whose dicts
+    were populated directly may still hold a fact in both sets; for
+    those, :func:`apply_delta` applies deletions first, so the fact ends
+    up present.
     """
 
     insertions: dict[str, set[tuple]] = field(default_factory=dict)
     deletions: dict[str, set[tuple]] = field(default_factory=dict)
 
     def insert(self, predicate: str, fact: tuple) -> "Delta":
-        """Add an EDB fact to insert; returns self for chaining."""
+        """Record an EDB insertion (superseding any queued deletion of
+        the same fact); returns self for chaining."""
+        gone = self.deletions.get(predicate)
+        if gone is not None:
+            gone.discard(fact)
         self.insertions.setdefault(predicate, set()).add(fact)
         return self
 
     def delete(self, predicate: str, fact: tuple) -> "Delta":
-        """Add an EDB fact to delete; returns self for chaining."""
+        """Record an EDB deletion (superseding any queued insertion of
+        the same fact); returns self for chaining."""
+        ins = self.insertions.get(predicate)
+        if ins is not None:
+            ins.discard(fact)
         self.deletions.setdefault(predicate, set()).add(fact)
         return self
 
@@ -79,6 +104,10 @@ class Delta:
         return {p for p, s in self.insertions.items() if s} | {
             p for p, s in self.deletions.items() if s
         }
+
+    def as_zdelta(self) -> ZSetDelta:
+        """This update as a weighted Z-set (insert = +1, delete = −1)."""
+        return ZSetDelta.from_delta(self)
 
 
 def apply_delta(edb: Database, delta: Delta) -> Database:
@@ -122,31 +151,6 @@ def merge_deltas(deltas: list[Delta]) -> Delta:
     return merged
 
 
-class _NetChanges:
-    """Net Δ⁺/Δ⁻ per predicate, tracking delete-then-reinsert transitions."""
-
-    def __init__(self) -> None:
-        self.plus: dict[str, set[tuple]] = {}
-        self.minus: dict[str, set[tuple]] = {}
-
-    def record_insert(self, pred: str, fact: tuple) -> None:
-        gone = self.minus.get(pred)
-        if gone is not None and fact in gone:
-            gone.discard(fact)
-        else:
-            self.plus.setdefault(pred, set()).add(fact)
-
-    def record_delete(self, pred: str, fact: tuple) -> None:
-        new = self.plus.get(pred)
-        if new is not None and fact in new:
-            new.discard(fact)
-        else:
-            self.minus.setdefault(pred, set()).add(fact)
-
-    def changed(self, pred: str) -> bool:
-        return bool(self.plus.get(pred)) or bool(self.minus.get(pred))
-
-
 @dataclass
 class MaintenanceTrace:
     """Which maintenance steps actually changed facts.
@@ -172,6 +176,17 @@ class MaintenanceTrace:
         """Total fact derivations touched across all steps."""
         return sum(e[4] for e in self.events)
 
+    def net_zdelta(self) -> ZSetDelta:
+        """The net materialization change as a weighted Z-set."""
+        out = ZSetDelta()
+        for pred, facts in self.net_inserted.items():
+            for f in facts:
+                out.add(pred, f, 1)
+        for pred, facts in self.net_deleted.items():
+            for f in facts:
+                out.add(pred, f, -1)
+        return out
+
 
 class IncrementalEngine:
     """Maintains one materialized program instance across updates."""
@@ -189,8 +204,14 @@ class IncrementalEngine:
         """Current materialized facts (for oracle comparisons)."""
         return self.db.as_dict()
 
-    def apply(self, delta: Delta) -> MaintenanceTrace:
-        """Apply an EDB update incrementally; returns the step trace."""
+    def apply(self, delta: "Delta | ZSetDelta") -> MaintenanceTrace:
+        """Apply an EDB update incrementally; returns the step trace.
+
+        Accepts either a set-semantics :class:`Delta` or a weighted
+        :class:`ZSetDelta` (positive weights insert, negative delete).
+        """
+        if isinstance(delta, ZSetDelta):
+            delta = delta.to_delta()
         for pred in delta.touched_predicates():
             if pred not in self.edb_predicates:
                 raise ValueError(
@@ -201,7 +222,11 @@ class IncrementalEngine:
         if delta.is_empty:
             return trace
 
-        net = _NetChanges()
+        # Net change accumulator: weights stay in {-1, 0, +1} because
+        # every record below is guarded by an actual set transition
+        # (``add``/``discard`` returning True), and a delete followed by
+        # a re-insert cancels to weight 0 inside the Z-set.
+        net = ZSetDelta()
         # apply the EDB update itself
         for pred, facts in delta.deletions.items():
             rel = self.db.relations.get(pred)
@@ -209,13 +234,14 @@ class IncrementalEngine:
                 continue
             for f in facts:
                 if rel.discard(f):
-                    net.record_delete(pred, f)
+                    net.delete(pred, f)
         for pred, facts in delta.insertions.items():
-            arity = len(next(iter(facts))) if facts else 0
-            rel = self.db.relation(pred, arity)
+            if not facts:  # normalization can leave empty sets behind
+                continue
+            rel = self.db.relation(pred, len(next(iter(facts))))
             for f in facts:
                 if rel.add(f):
-                    net.record_insert(pred, f)
+                    net.insert(pred, f)
 
         for si, stratum in enumerate(self.strata):
             stratum_set = set(stratum)
@@ -235,34 +261,44 @@ class IncrementalEngine:
                 if lit.atom is not None
                 and (lit.negated or r.has_aggregate)
             }
-            if any(net.changed(q) for q in sensitive_inputs):
+            if any(net.touches(q) for q in sensitive_inputs):
                 self._recompute_stratum(si, stratum_set, rules, net, trace)
             elif any(
-                net.changed(lit.atom.predicate)
+                net.touches(lit.atom.predicate)
                 for _, r in rules
                 for lit in r.body
                 if lit.atom is not None
             ):
-                self._overdelete_stratum(si, stratum_set, rules, net, trace)
-                self._rederive_stratum(si, stratum_set, rules, net, trace)
+                self._delete_phase(si, stratum_set, rules, net, trace)
                 self._insert_stratum(si, stratum_set, rules, net, trace)
 
-        trace.net_inserted = {p: s for p, s in net.plus.items() if s}
-        trace.net_deleted = {p: s for p, s in net.minus.items() if s}
+        trace.net_inserted = net.positive()
+        trace.net_deleted = net.negative()
         return trace
 
     # ------------------------------------------------------------------
     # DRed phases for a positive stratum
     # ------------------------------------------------------------------
-    def _old_view(self, net: _NetChanges) -> Database:
+    def _delete_phase(
+        self, si, stratum_set, rules, net: ZSetDelta, trace
+    ) -> None:
+        """Propagate deletions through one positive stratum.
+
+        The strategy hook: DRed over-deletes then re-derives;
+        subclasses may substitute any scheme that leaves ``self.db``
+        and ``net`` in the same end state.
+        """
+        self._overdelete_stratum(si, stratum_set, rules, net, trace)
+        self._rederive_stratum(si, stratum_set, rules, net, trace)
+
+    def _old_view(self, net: ZSetDelta) -> Database:
         """The pre-deletion database view: current facts plus everything
         deleted so far this update (over-deletion joins must see them)."""
-        if not any(net.minus.values()):
+        negative = net.negative()
+        if not negative:
             return self.db
         view = Database(dict(self.db.relations))
-        for pred, gone in net.minus.items():
-            if not gone:
-                continue
+        for pred, gone in negative.items():
             arity = len(next(iter(gone)))
             merged = Relation(pred, arity)
             existing = self.db.relations.get(pred)
@@ -275,11 +311,10 @@ class IncrementalEngine:
         return view
 
     def _overdelete_stratum(
-        self, si, stratum_set, rules, net: _NetChanges, trace
+        self, si, stratum_set, rules, net: ZSetDelta, trace
     ) -> None:
-        wave = {
-            p: set(s) for p, s in net.minus.items() if s
-        }  # deletions visible so far (lower strata + EDB)
+        # deletions visible so far (lower strata + EDB)
+        wave = net.negative()
         iteration = 0
         while wave:
             view = self._old_view(net)
@@ -310,7 +345,7 @@ class IncrementalEngine:
                     for fact in victims:
                         if rel is not None and fact in rel:
                             rel.discard(fact)
-                            net.record_delete(head, fact)
+                            net.delete(head, fact)
                             next_wave.setdefault(head, set()).add(fact)
                             n_changed += 1
                 trace.record("overdelete", si, iteration, ri, n_changed)
@@ -320,7 +355,7 @@ class IncrementalEngine:
             iteration += 1
 
     def _rederive_stratum(
-        self, si, stratum_set, rules, net: _NetChanges, trace
+        self, si, stratum_set, rules, net: ZSetDelta, trace
     ) -> None:
         iteration = 0
         changed = True
@@ -328,7 +363,7 @@ class IncrementalEngine:
             changed = False
             for ri, rule in rules:
                 head = rule.head.predicate
-                candidates = net.minus.get(head)
+                candidates = net.negative().get(head)
                 if not candidates:
                     continue
                 rederived = {
@@ -342,16 +377,16 @@ class IncrementalEngine:
                 n = 0
                 for fact in rederived:
                     if self.db.add_fact(head, fact):
-                        net.record_insert(head, fact)  # cancels the delete
+                        net.insert(head, fact)  # cancels the delete
                         n += 1
                         changed = True
                 trace.record("rederive", si, iteration, ri, n)
             iteration += 1
 
     def _insert_stratum(
-        self, si, stratum_set, rules, net: _NetChanges, trace
+        self, si, stratum_set, rules, net: ZSetDelta, trace
     ) -> None:
-        wave = {p: set(s) for p, s in net.plus.items() if s}
+        wave = net.positive()
         iteration = 0
         while wave:
             delta_rels: dict[str, Relation] = {}
@@ -384,7 +419,7 @@ class IncrementalEngine:
                     head = rule.head.predicate
                     for fact in derived:
                         if self.db.add_fact(head, fact):
-                            net.record_insert(head, fact)
+                            net.insert(head, fact)
                             next_wave.setdefault(head, set()).add(fact)
                             n_changed += 1
                 trace.record("insert", si, iteration, ri, n_changed)
@@ -397,7 +432,7 @@ class IncrementalEngine:
     # recompute-and-diff for a negation-affected stratum
     # ------------------------------------------------------------------
     def _recompute_stratum(
-        self, si, stratum_set, rules, net: _NetChanges, trace
+        self, si, stratum_set, rules, net: ZSetDelta, trace
     ) -> None:
         heads = {r.head.predicate for _, r in rules}
         old: dict[str, set[tuple]] = {}
@@ -431,6 +466,6 @@ class IncrementalEngine:
             rel = self.db.relations.get(p)
             new = set(rel) if rel is not None else set()
             for fact in new - old[p]:
-                net.record_insert(p, fact)
+                net.insert(p, fact)
             for fact in old[p] - new:
-                net.record_delete(p, fact)
+                net.delete(p, fact)

@@ -66,9 +66,10 @@ from .compiler import (
     with_program_schema,
 )
 from .database import Database, Relation
-from .incremental import Delta, apply_delta
+from .incremental import Delta
 from .seminaive import EvaluationTrace, seminaive_evaluate
 from .units import ExecutionPlan, PlanSkeleton
+from .zset import ZSetDelta, apply_zdelta, effective_zdelta
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from ..verify.program import ProgramAnalysis
@@ -104,6 +105,7 @@ class RelationIndexCache:
         self._lock = threading.Lock()
         self.hits = 0
         self.derives = 0
+        self.weighted_derives = 0
         self.builds = 0
         self.evictions = 0
 
@@ -116,12 +118,19 @@ class RelationIndexCache:
         arity: int,
         facts: frozenset,
         derive_from: frozenset | None = None,
+        delta_ops: "tuple[tuple[tuple, int], ...] | None" = None,
     ) -> Relation:
         """The cached relation holding exactly ``facts`` for ``pred``.
 
         ``derive_from`` names the fact set this value evolved from; if
         that predecessor is cached, the result inherits its indexes
-        incrementally instead of starting unindexed.
+        incrementally instead of starting unindexed. ``delta_ops`` is
+        the exact weighted update from ``derive_from`` to ``facts`` as
+        ``(fact, weight)`` pairs; when supplied, derivation applies
+        those ops directly — O(|delta|) instead of the O(|relation|)
+        two-sided set diff — so a round whose insert/retract pairs
+        cancelled upstream pays for exactly the operations that
+        survived.
         """
         key = (pred, facts)
         with self._lock:
@@ -135,10 +144,18 @@ class RelationIndexCache:
                 base = self._entries.get((pred, derive_from))
             if base is not None:
                 rel = base.copy_indexed()
-                for t in derive_from - facts:  # type: ignore[operator]
-                    rel.discard(t)
-                for t in facts - derive_from:  # type: ignore[operator]
-                    rel.add(t)
+                if delta_ops is not None:
+                    for t, w in delta_ops:
+                        if w > 0:
+                            rel.add(t)
+                        else:
+                            rel.discard(t)
+                    self.weighted_derives += 1
+                else:
+                    for t in derive_from - facts:  # type: ignore[operator]
+                        rel.discard(t)
+                    for t in facts - derive_from:  # type: ignore[operator]
+                        rel.add(t)
                 self.derives += 1
             else:
                 rel = Relation(pred, arity)
@@ -160,6 +177,7 @@ class RelationIndexCache:
             "entries": len(self._entries),
             "hits": self.hits,
             "derives": self.derives,
+            "weighted_derives": self.weighted_derives,
             "builds": self.builds,
             "evictions": self.evictions,
         }
@@ -246,12 +264,17 @@ class CompiledProgramCache:
         self._staged: _Side | None = None
         self._staged_cu_id: int | None = None
         self._staged_states_old: dict[tuple, frozenset] | None = None
+        self._staged_zdelta: ZSetDelta | None = None
         self.hits = 0
         self.misses = 0
         self.invalidations = 0
         self.plan_patches = 0
         self.plan_binds = 0
         self.rollbacks = 0
+        #: submitted delta operations that cancelled against the EDB
+        #: (insert-of-present, delete-of-absent, coalesced pairs) and
+        #: therefore skipped all downstream compile/index work
+        self.cancelled_ops = 0
 
     # ------------------------------------------------------------------
     def _count(self, name: str, n: int = 1) -> None:
@@ -267,6 +290,7 @@ class CompiledProgramCache:
         self._staged = None
         self._staged_cu_id = None
         self._staged_states_old = None
+        self._staged_zdelta = None
         self._run_programs = {frozenset(): self._program}
         self.invalidations += 1
         self._count("invalidations")
@@ -288,13 +312,19 @@ class CompiledProgramCache:
         self._schema = schema
 
     def _shared_relations(
-        self, edb_new: Database, edb_old: Database
+        self,
+        edb_new: Database,
+        edb_old: Database,
+        zdelta: ZSetDelta | None = None,
     ) -> dict[str, Relation]:
         """Indexed join inputs for the new side's evaluation.
 
         Only predicates the evaluation never writes — EDB predicates
         that are not fact-rule heads — may be substituted (see
-        :func:`~repro.datalog.seminaive.seminaive_evaluate`).
+        :func:`~repro.datalog.seminaive.seminaive_evaluate`). With
+        ``zdelta`` (the effective ``edb_old → edb_new`` update), changed
+        relations derive from their predecessors by applying exactly the
+        surviving weighted ops.
         """
         writable = {r.head.predicate for r in self._program.rules}
         shared: dict[str, Relation] = {}
@@ -306,8 +336,14 @@ class CompiledProgramCache:
             derive_from = (
                 frozenset(old_rel) if old_rel is not None else None
             )
+            ops = (
+                tuple(zdelta.ops_for(pred))
+                if zdelta is not None and zdelta.touches(pred)
+                else None
+            )
             shared[pred] = self.relations.get(
-                pred, rel.arity, facts, derive_from=derive_from
+                pred, rel.arity, facts, derive_from=derive_from,
+                delta_ops=ops,
             )
         return shared
 
@@ -333,8 +369,19 @@ class CompiledProgramCache:
                 )
         self._check_validity(program, edb_old)
 
-        edb_new = apply_delta(edb_old, delta)
-        touched = delta.touched_predicates()
+        # clamp to effective weights: redundant and mutually-cancelling
+        # ops vanish here, so they never reach evaluation, index
+        # derivation, pruning, or the plan signature
+        zdelta = effective_zdelta(edb_old, delta)
+        submitted = sum(
+            len(s) for s in delta.insertions.values()
+        ) + sum(len(s) for s in delta.deletions.values())
+        cancelled = submitted - zdelta.op_count()
+        if cancelled:
+            self.cancelled_ops += cancelled
+            self._count("cancelled_ops", cancelled)
+        edb_new = apply_zdelta(edb_old, zdelta)
+        touched = zdelta.touched_predicates()
 
         # static-analysis pruning: drop rules that provably cannot fire
         # against either EDB snapshot; augment both snapshots with the
@@ -386,7 +433,9 @@ class CompiledProgramCache:
             run_program,
             edb_new,
             record=True,
-            shared_relations=self._shared_relations(edb_new, edb_old),
+            shared_relations=self._shared_relations(
+                edb_new, edb_old, zdelta
+            ),
         )
         states_new = _cumulative_states(run_program, ev_new, edb_new)
 
@@ -407,6 +456,7 @@ class CompiledProgramCache:
         self._staged = _Side(edb_new, db_new, ev_new, states_new, dead)
         self._staged_cu_id = id(cu)
         self._staged_states_old = states_old
+        self._staged_zdelta = zdelta
         return cu
 
     def plan(self, cu: CompiledUpdate) -> ExecutionPlan:
@@ -415,11 +465,9 @@ class CompiledProgramCache:
         The returned plan is owned by the cache and re-stamped on the
         next call; execute it before compiling the next round.
         """
-        states_old = (
-            self._staged_states_old
-            if self._staged_cu_id == id(cu)
-            else None
-        )
+        staged = self._staged_cu_id == id(cu)
+        states_old = self._staged_states_old if staged else None
+        zdelta = self._staged_zdelta if staged else None
         # the fingerprint disambiguates structurally different pruned
         # programs whose node keys happen to coincide (rule indices
         # shift when rules are pruned)
@@ -432,7 +480,7 @@ class CompiledProgramCache:
         cached = self._plans.get(sig)
         if cached is not None:
             skeleton, plan = cached
-            skeleton.patch(plan, cu, states_old)
+            skeleton.patch(plan, cu, states_old, zdelta=zdelta)
             self._plans.move_to_end(sig)
             self.plan_patches += 1
             self._count("plan_patches")
@@ -469,6 +517,7 @@ class CompiledProgramCache:
         self._staged = None
         self._staged_cu_id = None
         self._staged_states_old = None
+        self._staged_zdelta = None
 
     def rollback(self) -> None:
         """Discard the staged round (failed execution/verification).
@@ -483,6 +532,7 @@ class CompiledProgramCache:
         self._staged = None
         self._staged_cu_id = None
         self._staged_states_old = None
+        self._staged_zdelta = None
 
     def stats(self) -> dict:
         """Counter snapshot (also exported via the metrics registry)."""
@@ -493,5 +543,6 @@ class CompiledProgramCache:
             "plan_patches": self.plan_patches,
             "plan_binds": self.plan_binds,
             "rollbacks": self.rollbacks,
+            "cancelled_ops": self.cancelled_ops,
             "relations": self.relations.stats(),
         }

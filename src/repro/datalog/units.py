@@ -52,6 +52,7 @@ from .compiler import CompiledUpdate, _cumulative_states
 from .database import Database, Relation
 from .depgraph import DependencyGraph
 from .unify import eval_rule, instantiate_head, join_body
+from .zset import ZSetDelta
 
 __all__ = [
     "WorkUnit",
@@ -126,7 +127,7 @@ class RoundCtx:
     while a plan is executing, so worker threads read it without locks.
     """
 
-    __slots__ = ("baseline", "rel")
+    __slots__ = ("baseline", "rel", "baseline_edb")
 
     def __init__(self, rel: RelationFactory) -> None:
         #: predicate → program facts ∪ its facts in the round's new EDB
@@ -135,6 +136,10 @@ class RoundCtx:
         self.baseline: dict[str, frozenset] = {}
         #: relation factory used for every join input this round
         self.rel: RelationFactory = rel
+        #: the exact EDB object the baseline was stamped from; the plan
+        #: cache's weighted patching checks it by identity before
+        #: updating only the touched predicates
+        self.baseline_edb: Database | None = None
 
 
 @dataclass
@@ -496,6 +501,7 @@ class PlanSkeleton:
         plan: ExecutionPlan,
         cu: CompiledUpdate,
         states_old: dict[tuple, frozenset] | None = None,
+        zdelta: "ZSetDelta | None" = None,
     ) -> ExecutionPlan:
         """Restamp ``plan`` with a new round's data, in place.
 
@@ -504,6 +510,14 @@ class PlanSkeleton:
         only the :class:`RoundCtx`, old values, and final-node map are
         rewritten. Deterministic: patching for the same ``cu`` twice —
         e.g. when a failed round is retried — yields identical state.
+
+        ``zdelta`` is the round's effective weighted update
+        (``edb_old → edb_new``). When the plan's current baseline was
+        stamped from exactly ``cu.edb_old`` (object identity — true on
+        every plan-cache fast path), only the predicates the delta
+        touches are restamped; every other predicate keeps its baseline
+        frozenset object, so downstream value-addressed caches see
+        unchanged keys without rehashing full relations.
         """
         if cu.node_keys != self.node_keys:
             raise ValueError(
@@ -515,7 +529,20 @@ class PlanSkeleton:
                 self.program, cu.eval_old, cu.edb_old
             )
         assert plan.ctx is not None
-        plan.ctx.baseline = self._round_baseline(cu.edb_new)
+        if (
+            zdelta is not None
+            and plan.ctx.baseline_edb is cu.edb_old
+            and plan.ctx.baseline.keys() == self.arity_of.keys()
+        ):
+            baseline = plan.ctx.baseline
+            for p in zdelta.touched_predicates():
+                if p in baseline:
+                    baseline[p] = self.base.get(p, frozenset()) | _facts_of(
+                        cu.edb_new, p
+                    )
+        else:
+            plan.ctx.baseline = self._round_baseline(cu.edb_new)
+        plan.ctx.baseline_edb = cu.edb_new
         old_values = [
             self._old_value(key, cu, states_old)
             for key in self.node_keys

@@ -1,0 +1,298 @@
+"""Weighted (Z-set) deltas: one representation for both update directions.
+
+DBSP-style Z-sets generalize sets to integer *weights* per element: an
+insertion carries weight ``+1``, a retraction ``-1``, and addition is
+pointwise — so the same algebra expresses updates, their composition,
+and their cancellation. A :class:`ZSetDelta` is a Z-set partitioned by
+predicate: ``predicate → fact → weight``. Everything downstream of the
+update queue speaks this representation:
+
+* the incremental engines (:class:`~repro.datalog.incremental
+  .IncrementalEngine`, :class:`~repro.datalog.bf
+  .BackwardForwardEngine`, :class:`~repro.datalog.counting
+  .CountingEngine`) accumulate their net Δ⁺/Δ⁻ as a ``ZSetDelta`` and
+  accept one as an update;
+* :func:`effective_zdelta` clamps a queued :class:`~repro.datalog
+  .incremental.Delta` against the live EDB into *exact* weights —
+  inserting a present fact or deleting an absent one has weight 0 and
+  vanishes, so insert/retract pairs coalesced by
+  :func:`~repro.datalog.incremental.merge_deltas` cancel **before**
+  any compilation or index maintenance happens;
+* :meth:`ZSetDelta.apply_to` patches a :class:`Relation`'s tuple set
+  (and, through :meth:`Relation.add`/:meth:`Relation.discard`, every
+  hash index built on it) in O(|delta|) — the plan cache's
+  ``RelationIndexCache`` and the plan skeleton's baseline patching both
+  go through it.
+
+Because the engines only record weight changes for transitions that
+actually happened (a fact appearing or disappearing from the set
+semantics' point of view), weights here stay in ``{-1, 0, +1}`` —
+the ``distinct``-normalized form of a Z-set. The algebra still sums
+arbitrary integers, which the tests use to check cancellation laws.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterable, Iterator
+
+from .database import Database, Relation
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .incremental import Delta
+
+__all__ = ["ZSetDelta", "effective_zdelta", "apply_zdelta"]
+
+
+class ZSetDelta:
+    """A weighted update: ``predicate → fact → non-zero integer weight``.
+
+    Positive weight means the fact is (net) inserted, negative that it
+    is retracted. Weight-zero entries are coalesced away eagerly, so
+    ``is_empty`` and ``op_count`` reflect the *net* update.
+    """
+
+    __slots__ = ("weights",)
+
+    def __init__(
+        self, weights: dict[str, dict[tuple, int]] | None = None
+    ) -> None:
+        self.weights: dict[str, dict[tuple, int]] = {}
+        if weights:
+            for pred, facts in weights.items():
+                for fact, w in facts.items():
+                    self.add(pred, fact, w)
+
+    # ------------------------------------------------------------------
+    # construction / algebra
+    # ------------------------------------------------------------------
+    def add(self, pred: str, fact: tuple, weight: int = 1) -> "ZSetDelta":
+        """Add ``weight`` to ``(pred, fact)``; zero entries vanish."""
+        if weight == 0:
+            return self
+        facts = self.weights.setdefault(pred, {})
+        w = facts.get(fact, 0) + weight
+        if w == 0:
+            del facts[fact]
+            if not facts:
+                del self.weights[pred]
+        else:
+            facts[fact] = w
+        return self
+
+    def insert(self, pred: str, fact: tuple) -> "ZSetDelta":
+        """Record one insertion (weight ``+1``); chains."""
+        return self.add(pred, fact, 1)
+
+    def delete(self, pred: str, fact: tuple) -> "ZSetDelta":
+        """Record one retraction (weight ``-1``); chains."""
+        return self.add(pred, fact, -1)
+
+    def merge(self, other: "ZSetDelta") -> "ZSetDelta":
+        """Pointwise addition of ``other`` into self; chains."""
+        for pred, facts in other.weights.items():
+            for fact, w in facts.items():
+                self.add(pred, fact, w)
+        return self
+
+    def __add__(self, other: "ZSetDelta") -> "ZSetDelta":
+        return self.copy().merge(other)
+
+    def __neg__(self) -> "ZSetDelta":
+        out = ZSetDelta()
+        for pred, facts in self.weights.items():
+            out.weights[pred] = {f: -w for f, w in facts.items()}
+        return out
+
+    def copy(self) -> "ZSetDelta":
+        out = ZSetDelta()
+        out.weights = {p: dict(fs) for p, fs in self.weights.items()}
+        return out
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, ZSetDelta):
+            return NotImplemented
+        return self.weights == other.weights
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        parts = ", ".join(
+            f"{p}:{'+' if w > 0 else ''}{w}×{f!r}"
+            for p, fs in sorted(self.weights.items())
+            for f, w in sorted(fs.items(), key=repr)
+        )
+        return f"ZSetDelta({parts})"
+
+    # ------------------------------------------------------------------
+    # views
+    # ------------------------------------------------------------------
+    def weight(self, pred: str, fact: tuple) -> int:
+        """The weight of one fact (0 when absent)."""
+        return self.weights.get(pred, {}).get(fact, 0)
+
+    @property
+    def is_empty(self) -> bool:
+        """Whether the net update changes nothing."""
+        return not self.weights
+
+    def op_count(self) -> int:
+        """Total absolute weight — the number of net operations."""
+        return sum(
+            abs(w) for facts in self.weights.values() for w in facts.values()
+        )
+
+    def touched_predicates(self) -> set[str]:
+        """Predicates with at least one non-zero weight."""
+        return set(self.weights)
+
+    def touches(self, pred: str) -> bool:
+        """Whether ``pred`` has any non-zero weight."""
+        return bool(self.weights.get(pred))
+
+    def positive(self) -> dict[str, set[tuple]]:
+        """Per-predicate facts with positive weight (net insertions)."""
+        out: dict[str, set[tuple]] = {}
+        for pred, facts in self.weights.items():
+            plus = {f for f, w in facts.items() if w > 0}
+            if plus:
+                out[pred] = plus
+        return out
+
+    def negative(self) -> dict[str, set[tuple]]:
+        """Per-predicate facts with negative weight (net retractions)."""
+        out: dict[str, set[tuple]] = {}
+        for pred, facts in self.weights.items():
+            minus = {f for f, w in facts.items() if w < 0}
+            if minus:
+                out[pred] = minus
+        return out
+
+    def items(self) -> Iterator[tuple[str, tuple, int]]:
+        """Iterate ``(predicate, fact, weight)`` triples."""
+        for pred, facts in self.weights.items():
+            for fact, w in facts.items():
+                yield pred, fact, w
+
+    def relations(self, sign: int = 1) -> dict[str, Relation]:
+        """The facts of one sign as indexable delta relations.
+
+        ``sign > 0`` builds relations over the positively-weighted facts,
+        ``sign < 0`` over the negatively-weighted ones — the shape the
+        semi-naive Δ-joins consume.
+        """
+        side = self.positive() if sign > 0 else self.negative()
+        out: dict[str, Relation] = {}
+        for pred, facts in side.items():
+            rel = Relation(pred, len(next(iter(facts))))
+            for f in facts:
+                rel.add(f)
+            out[pred] = rel
+        return out
+
+    # ------------------------------------------------------------------
+    # conversions
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_delta(cls, delta: "Delta") -> "ZSetDelta":
+        """Weighted form of a set-semantics :class:`Delta`.
+
+        Deletions weigh ``-1`` and insertions ``+1``; a fact named in
+        both sets follows :func:`~repro.datalog.incremental.apply_delta`
+        semantics (deletions first, so the insertion wins) and nets to
+        ``+1``... which pointwise addition gives for free only because
+        canonical deltas never hold a fact in both sets — so a fact in
+        both is resolved explicitly as an insertion here.
+        """
+        out = cls()
+        for pred, facts in delta.deletions.items():
+            ins = delta.insertions.get(pred)
+            for f in facts:
+                if ins is None or f not in ins:
+                    out.add(pred, f, -1)
+        for pred, facts in delta.insertions.items():
+            for f in facts:
+                out.add(pred, f, 1)
+        return out
+
+    def to_delta(self) -> "Delta":
+        """The set-semantics :class:`Delta` with these net operations."""
+        from .incremental import Delta
+
+        out = Delta()
+        for pred, fact, w in self.items():
+            if w > 0:
+                out.insert(pred, fact)
+            else:
+                out.delete(pred, fact)
+        return out
+
+    # ------------------------------------------------------------------
+    # application
+    # ------------------------------------------------------------------
+    def ops_for(self, pred: str) -> Iterable[tuple[tuple, int]]:
+        """``(fact, weight)`` pairs for one predicate (possibly empty)."""
+        return self.weights.get(pred, {}).items()
+
+    def apply_to(self, rel: Relation, pred: str | None = None) -> int:
+        """Patch ``rel`` in place with this delta's ops for its predicate.
+
+        Uses :meth:`Relation.add`/:meth:`Relation.discard`, so every
+        hash index already built on the relation is maintained in
+        O(|delta|). Returns the number of facts that actually changed.
+        """
+        changed = 0
+        for fact, w in self.ops_for(pred if pred is not None else rel.name):
+            if w > 0:
+                changed += rel.add(fact)
+            else:
+                changed += rel.discard(fact)
+        return changed
+
+
+def effective_zdelta(edb: Database, delta: "Delta") -> ZSetDelta:
+    """Clamp ``delta`` against ``edb`` into exact weights.
+
+    The result holds weight ``+1`` exactly for insertions of facts the
+    EDB lacks and ``-1`` for deletions of facts it holds — every other
+    queued operation is a set-semantics no-op and cancels to weight 0.
+    ``apply_delta(edb, delta)`` and ``apply_zdelta(edb,
+    effective_zdelta(edb, delta))`` produce the same fact sets, but the
+    effective form exposes *how little* actually changes: an empty
+    result means the whole round can be skipped, and its ``op_count``
+    is the real index-maintenance bill.
+
+    A fact named in both sets of a non-canonical delta resolves as an
+    insertion (deletions apply first), matching
+    :func:`~repro.datalog.incremental.apply_delta`.
+    """
+    out = ZSetDelta()
+    for pred, facts in delta.deletions.items():
+        rel = edb.relations.get(pred)
+        ins = delta.insertions.get(pred)
+        for f in facts:
+            if ins is not None and f in ins:
+                continue  # insertion wins; handled below
+            if rel is not None and f in rel:
+                out.add(pred, f, -1)
+    for pred, facts in delta.insertions.items():
+        rel = edb.relations.get(pred)
+        for f in facts:
+            if rel is None or f not in rel:
+                out.add(pred, f, 1)
+    return out
+
+
+def apply_zdelta(edb: Database, zdelta: ZSetDelta) -> Database:
+    """A copy of ``edb`` with ``zdelta`` applied.
+
+    Exact weighted twin of :func:`~repro.datalog.incremental
+    .apply_delta`: retractions discard, insertions add, and only the
+    touched relations are visited beyond the initial copy.
+    """
+    out = edb.copy()
+    for pred, fact, w in zdelta.items():
+        if w > 0:
+            out.relation(pred, len(fact)).add(fact)
+        else:
+            rel = out.relations.get(pred)
+            if rel is not None:
+                rel.discard(fact)
+    return out

@@ -46,6 +46,7 @@ from .metrics import MetricsLog, RoundMetrics
 from .recorder import RoundArtifacts, record_round
 from .service import (
     SHED_POLICIES,
+    STRATEGY_CHOICES,
     BackpressureError,
     MaterializationDivergenceError,
     RoundReport,
@@ -77,6 +78,7 @@ __all__ = [
     "HealthState",
     "ServiceUnavailableError",
     "SHED_POLICIES",
+    "STRATEGY_CHOICES",
     "RoundArtifacts",
     "record_round",
     "BackpressureError",

@@ -80,6 +80,13 @@ class RoundMetrics:
     degraded: bool = False
     #: chaos injections observed during the round (0 without chaos)
     injected_faults: int = 0
+    #: submitted insert/delete operations that cancelled against each
+    #: other or the live EDB before compilation (weighted-delta
+    #: coalescing) — work the round never had to do
+    cancelled_ops: int = 0
+    #: the round's effective delta was empty and the service skipped
+    #: compile/execute/verify entirely
+    noop: bool = False
 
     def to_json_dict(self) -> dict[str, Any]:
         """Plain-dict form for JSON emission."""
@@ -106,6 +113,10 @@ class MetricsLog:
             self.registry.counter("injected_faults").inc(m.injected_faults)
         if m.degraded:
             self.registry.counter("degraded_rounds").inc(1)
+        if m.cancelled_ops:
+            self.registry.counter("cancelled_ops").inc(m.cancelled_ops)
+        if m.noop:
+            self.registry.counter("noop_rounds").inc(1)
 
     # ------------------------------------------------------------------
     def latencies(self) -> np.ndarray:

@@ -66,10 +66,12 @@ from time import perf_counter
 from typing import Callable
 
 from ..datalog.ast import Program
+from ..datalog.bf import MAINTENANCE_STRATEGIES, make_engine
 from ..datalog.compiler import CompiledUpdate, compile_update
 from ..datalog.database import Database
-from ..datalog.incremental import Delta, merge_deltas
+from ..datalog.incremental import Delta, IncrementalEngine, merge_deltas
 from ..datalog.plancache import CompiledProgramCache
+from ..datalog.zset import effective_zdelta
 from ..datalog.units import build_execution_plan
 from ..obs import NULL_SINK, TraceSink
 from ..obs.metrics import MetricsRegistry
@@ -95,10 +97,14 @@ __all__ = [
     "ServiceUnavailableError",
     "UpdateStreamService",
     "SHED_POLICIES",
+    "STRATEGY_CHOICES",
 ]
 
 #: load-shedding behavior when backpressure and degradation coincide
 SHED_POLICIES = ("reject", "drop-oldest", "coalesce-harder")
+
+#: maintenance strategies the service's shadow oracle accepts
+STRATEGY_CHOICES = tuple(sorted(MAINTENANCE_STRATEGIES)) + ("counting",)
 
 
 class BackpressureError(RuntimeError):
@@ -154,7 +160,9 @@ class RoundReport:
     index: int
     #: the net delta the round maintained (batches merged)
     delta: Delta
-    compiled: CompiledUpdate
+    #: ``None`` for no-op rounds — an effectively empty delta skips
+    #: compilation entirely
+    compiled: CompiledUpdate | None
     #: ``None`` for degraded rounds — the serial fallback produces no
     #: concurrent schedule to record
     artifacts: RoundArtifacts | None
@@ -242,6 +250,30 @@ class UpdateStreamService:
         submits), ``"drop-oldest"`` evicts the oldest queued batch,
         ``"coalesce-harder"`` merges the entire queue plus the new
         batch into one slot. While healthy, submits behave normally.
+    maintenance:
+        Optional maintenance-strategy shadow oracle, one of
+        :data:`STRATEGY_CHOICES` (``"dred"``, ``"bf"``,
+        ``"counting"``). When set, the service keeps a
+        :func:`~repro.datalog.bf.make_engine` engine alongside the
+        scheduled runtime: each verified round's effective delta is
+        replayed through the engine and its snapshot compared against
+        the round's from-scratch materialization. A divergence is a
+        bug in the named strategy; under ``strict`` it raises
+        :class:`MaterializationDivergenceError` (and the engine is
+        rebuilt from the unchanged EDB on the retry).
+
+    Weighted no-op rounds
+    ---------------------
+    Every round first clamps its merged delta against the live EDB
+    into a weighted Z-set (:func:`~repro.datalog.zset.effective_zdelta`)
+    — inserts of present facts, deletes of absent facts, and
+    insert/delete pairs that cancel within the round all coalesce
+    away. The number of operations removed is reported as
+    ``cancelled_ops`` on the round's metrics. When *everything*
+    cancels and a materialization already exists, the round skips
+    compile/plan/execute/verify entirely and emits a
+    ``noop=True`` metrics record — cancelled pairs are work the
+    service never does.
     """
 
     def __init__(
@@ -267,6 +299,7 @@ class UpdateStreamService:
         chaos: ChaosPlan | None = None,
         health: HealthPolicy | None = None,
         shed_policy: str = "reject",
+        maintenance: str | None = None,
     ) -> None:
         if capacity <= 0:
             raise ValueError(f"capacity must be positive, got {capacity}")
@@ -282,6 +315,11 @@ class UpdateStreamService:
             raise ValueError(
                 f"shed_policy must be one of {SHED_POLICIES}, "
                 f"got {shed_policy!r}"
+            )
+        if maintenance is not None and maintenance not in STRATEGY_CHOICES:
+            raise ValueError(
+                f"maintenance must be one of {STRATEGY_CHOICES}, "
+                f"got {maintenance!r}"
             )
         self.program = program
         self.scheduler = scheduler
@@ -344,6 +382,9 @@ class UpdateStreamService:
         #: retried round draws fresh decisions
         self._maintain_epoch = 0
         self._materialization: Database | None = None
+        #: shadow maintenance-strategy oracle (built on first round)
+        self.maintenance = maintenance
+        self._engine: IncrementalEngine | None = None
 
     # ------------------------------------------------------------------
     # producer side
@@ -581,6 +622,66 @@ class UpdateStreamService:
                 },
             )
 
+    def _noop_round(
+        self,
+        delta: Delta,
+        n_batches: int,
+        depth: int,
+        t_round: float,
+        queue_wait_s: float,
+        cancelled: int,
+    ) -> RoundReport:
+        """Settle a round whose effective delta is empty.
+
+        Compile, plan, execute, verify, chaos — all skipped: the EDB
+        and the committed materialization are already correct. Only
+        the metrics record (``noop=True``, ``cancelled_ops``) and the
+        round counter advance.
+        """
+        if self.sink.enabled:
+            self.sink.record_instant(
+                "round-noop",
+                args={
+                    "round": self._rounds_run,
+                    "batches": n_batches,
+                    "cancelled_ops": cancelled,
+                },
+            )
+        metrics = RoundMetrics(
+            index=self._rounds_run,
+            trace_name=f"{self.name}:r{self._rounds_run}:noop",
+            scheduler=self.scheduler.name,
+            workers=self.workers,
+            batches_coalesced=n_batches,
+            queue_depth=depth,
+            n_nodes=0,
+            n_active=0,
+            tasks_executed=0,
+            changed_facts=0,
+            latency_s=perf_counter() - t_round,
+            compile_s=0.0,
+            execute_s=0.0,
+            verify_s=0.0,
+            makespan_s=0.0,
+            scheduler_ops=0,
+            precompute_ops=0,
+            utilization=1.0,
+            queue_wait_s=queue_wait_s,
+            cancelled_ops=cancelled,
+            noop=True,
+        )
+        self.metrics.append(metrics)
+        self._rounds_run += 1
+        return RoundReport(
+            index=metrics.index,
+            delta=delta,
+            compiled=None,
+            artifacts=None,
+            verification=None,
+            metrics=metrics,
+            materialization_ok=True,
+        )
+
     def _maintain(
         self,
         delta: Delta,
@@ -598,6 +699,18 @@ class UpdateStreamService:
         (there is no concurrent schedule to run invariants on).
         """
         sink = self.sink
+        zdelta = effective_zdelta(self._edb, delta)
+        submitted = sum(
+            len(s) for s in delta.insertions.values()
+        ) + sum(len(s) for s in delta.deletions.values())
+        cancelled = submitted - zdelta.op_count()
+        if zdelta.is_empty and self._materialization is not None:
+            # everything cancelled (against itself or the live EDB):
+            # nothing to compile, execute, or verify — the committed
+            # materialization is already the answer
+            return self._noop_round(
+                delta, n_batches, depth, t_round, queue_wait_s, cancelled
+            )
         chaos = self.chaos
         if chaos is not None:
             chaos.begin_round(self._maintain_epoch)
@@ -701,6 +814,33 @@ class UpdateStreamService:
                             self._rounds_run,
                             f"{_facts_delta(mat, cu.db_new)} facts differ",
                         )
+            if self.maintenance is not None:
+                # shadow oracle: replay the effective delta through the
+                # configured maintenance strategy and insist it lands on
+                # the same materialization as from-scratch evaluation
+                with sink.span(
+                    "maintain-oracle", "phase",
+                    args={"strategy": self.maintenance},
+                ):
+                    if self._engine is None:
+                        self._engine = make_engine(
+                            self.maintenance, self.program, self._edb
+                        )
+                    self._engine.apply(zdelta)
+                    if (
+                        self.verify
+                        and self._engine.snapshot() != cu.db_new.as_dict()
+                    ):
+                        # rebuild from the (unchanged) EDB on retry
+                        self._engine = None
+                        if self.strict:
+                            raise MaterializationDivergenceError(
+                                self._rounds_run,
+                                f"maintenance strategy "
+                                f"{self.maintenance!r} disagrees with "
+                                "from-scratch evaluation",
+                            )
+                        mat_ok = False
             verify_s = perf_counter() - t0
 
             # the round is verified: only now may the staged compile
@@ -751,6 +891,7 @@ class UpdateStreamService:
                     if chaos is not None
                     else 0
                 ),
+                cancelled_ops=cancelled,
             )
         self.metrics.append(metrics)
         self._rounds_run += 1

@@ -8,13 +8,19 @@ workload maintains a mirror of the EDB as batches are generated).
 Everything is driven by a seeded generator — the same seed yields the
 same stream, batch for batch.
 
-Three stream shapes, per the paper's serving scenarios:
+Five stream shapes, per the paper's serving scenarios:
 
 * ``steady`` — one modest batch per round (the drip-feed baseline);
 * ``bursty`` — quiet rounds punctuated by multi-batch bursts (what the
   coalescing path exists for);
 * ``hotkey`` — steady rate but heavily skewed toward one hot key, so
-  the same downstream cone is re-maintained round after round.
+  the same downstream cone is re-maintained round after round;
+* ``deletions`` — retraction-skewed batches (~80% deletions of
+  present facts), the deletion-path stress the maintenance
+  strategies differ on;
+* ``mixed`` — real work interleaved with insert/retract churn pairs
+  that exactly cancel under weighted coalescing, including whole
+  rounds of pure churn (effective no-ops).
 """
 
 from __future__ import annotations
@@ -43,11 +49,12 @@ PROGRAM_ALIASES = {
     "sg": "same_generation",
     "retail": "retail_rollup",
     "analytics": "retail_analytics",
+    "flat": "retail_flat",
     "pt": "points_to",
     **{name: name for name in DATALOG_WORKLOADS},
 }
 
-STREAM_KINDS = ("steady", "bursty", "hotkey")
+STREAM_KINDS = ("steady", "bursty", "hotkey", "deletions", "mixed")
 
 
 @dataclass
@@ -92,12 +99,16 @@ class LiveWorkload:
             fact[0] = self.hot_key[1]
         return tuple(fact)
 
-    def random_batch(self, size: int = 2, hot: bool = False) -> Delta:
+    def random_batch(
+        self, size: int = 2, hot: bool = False, delete_frac: float = 0.3
+    ) -> Delta:
         """One valid update batch of ``size`` operations.
 
-        Roughly 70% insertions, 30% deletions of currently-present
-        facts; with ``hot`` the ops target the hot key's predicate and
-        pin its first column.
+        ``delete_frac`` of the ops (30% by default) are deletions of
+        currently-present facts, the rest insertions; with ``hot`` the
+        ops target the hot key's predicate and pin its first column.
+        A deletion falls back to an insertion when its relation has
+        emptied, so delete-heavy streams never starve.
         """
         delta = Delta()
         preds = sorted(self._mirror)
@@ -113,7 +124,7 @@ class LiveWorkload:
             else:
                 pred = preds[int(self.rng.choice(len(preds), p=weights))]
             facts = self._mirror[pred]
-            if self.rng.random() < 0.3 and facts:
+            if self.rng.random() < delete_frac and facts:
                 victim = sorted(facts, key=repr)[
                     int(self.rng.integers(0, len(facts)))
                 ]
@@ -128,6 +139,35 @@ class LiveWorkload:
                 delta.insert(pred, fact)
                 facts.add(fact)
         return delta
+
+    def churn_batches(self, size: int = 2) -> list[Delta]:
+        """A pair of batches that exactly cancel under coalescing.
+
+        The first inserts ``size`` fresh (absent) facts, the second
+        deletes the same facts again. Merged into one round, every
+        operation cancels — the effective weighted delta is empty —
+        so the service can skip the corresponding compile and index
+        work. The mirror is untouched (the pair is a net no-op).
+        """
+        ins, dels = Delta(), Delta()
+        preds = sorted(self._pools)
+        if not preds:
+            return [ins, dels]
+        for _ in range(size):
+            pred = preds[int(self.rng.integers(0, len(preds)))]
+            present = self._mirror.get(pred, set())
+            fact = self._sample_fact(pred, False)
+            for _retry in range(4):
+                if fact not in present:
+                    break
+                fact = self._sample_fact(pred, False)
+            if fact in present:
+                # pool exhausted for this predicate — a present fact
+                # would net to a real deletion, not a cancellation
+                continue
+            ins.insert(pred, fact)
+            dels.delete(pred, fact)
+        return [ins, dels]
 
 
 def live_workload(
@@ -167,8 +207,11 @@ def make_stream(
     ``steady`` yields one batch per round; ``bursty`` yields one small
     batch on quiet rounds and ``burst_batches`` batches every
     ``burst_every``-th round; ``hotkey`` is steady-rate but skewed to
-    the workload's hot key. Batches within a round are what the service
-    coalesces.
+    the workload's hot key; ``deletions`` is steady-rate but ~80%
+    retractions; ``mixed`` pairs a real batch with cancelling
+    insert/retract churn, and every third round is pure churn (an
+    effective no-op round). Batches within a round are what the
+    service coalesces.
     """
     if kind not in STREAM_KINDS:
         raise ValueError(
@@ -179,6 +222,16 @@ def make_stream(
             yield [workload.random_batch(batch_size)]
         elif kind == "hotkey":
             yield [workload.random_batch(batch_size, hot=True)]
+        elif kind == "deletions":
+            yield [workload.random_batch(batch_size, delete_frac=0.8)]
+        elif kind == "mixed":
+            if (i + 1) % 3 == 0:
+                yield workload.churn_batches(batch_size)
+            else:
+                yield [
+                    workload.random_batch(batch_size),
+                    *workload.churn_batches(max(1, batch_size // 2)),
+                ]
         else:  # bursty
             if (i + 1) % burst_every == 0:
                 yield [

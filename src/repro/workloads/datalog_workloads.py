@@ -15,7 +15,11 @@ Five program families, mirroring the domains LogicBlox served:
 * :func:`retail_analytics` — aggregation-heavy roll-ups (count/sum/max
   with threshold alerts), the shape of LogicBlox's retail analytics;
 * :func:`points_to` — a field-insensitive Andersen-style points-to
-  analysis, the static-analysis workload of Soufflé/Semmle.
+  analysis, the static-analysis workload of Soufflé/Semmle;
+* :func:`retail_flat` — a non-recursive, aggregate-free visibility
+  pipeline with stratified negation: the shape every maintenance
+  strategy (including derivation counting, which rejects recursion)
+  can run, so strategy benchmarks compare like for like.
 
 Each returns ``(program, edb, delta)``; :func:`compile_workload` turns
 one into a schedulable :class:`~repro.tasks.JobTrace`.
@@ -37,6 +41,7 @@ __all__ = [
     "same_generation",
     "retail_rollup",
     "retail_analytics",
+    "retail_flat",
     "points_to",
     "compile_workload",
     "DATALOG_WORKLOADS",
@@ -225,6 +230,65 @@ def retail_analytics(
     return prog, edb, delta
 
 
+def retail_flat(
+    n_products: int = 40,
+    n_stores: int = 10,
+    seed: int = 0,
+) -> tuple[Program, Database, Delta]:
+    """A non-recursive product-visibility pipeline (negation, no
+    aggregates, no recursion).
+
+    Listings roll through a hide flag and store state into what is
+    sellable and what gets featured — four strata of plain joins and
+    one stratified negation. Deliberately the fragment *every*
+    maintenance strategy supports: derivation counting rejects
+    recursive programs, so this is the workload that puts ``dred``,
+    ``bf``, and ``counting`` side by side. The update delists one
+    product, hides another, and adds a listing.
+    """
+    rng = as_rng(seed)
+    prog = parse_program(
+        """
+        stocked(P, S) :- listing(P, S).
+        visible(P, S) :- stocked(P, S), !hidden(P).
+        sellable(P, S) :- visible(P, S), open_store(S).
+        featured(P) :- sellable(P, S), promo(S).
+        """
+    )
+    edb = Database()
+    listings = set()
+    while len(listings) < n_products * 2:
+        listings.add(
+            (
+                f"p{int(rng.integers(0, n_products))}",
+                f"s{int(rng.integers(0, n_stores))}",
+            )
+        )
+    for t in listings:
+        edb.add_fact("listing", t)
+    for p in range(0, n_products, 6):
+        edb.add_fact("hidden", (f"p{p}",))
+    for s in range(n_stores):
+        if rng.random() < 0.8:
+            edb.add_fact("open_store", (f"s{s}",))
+        if rng.random() < 0.3:
+            edb.add_fact("promo", (f"s{s}",))
+    victim = next(iter(sorted(listings)))
+    delta = (
+        Delta()
+        .delete("listing", victim)
+        .insert("hidden", (f"p{1 + int(rng.integers(0, n_products - 1))}",))
+        .insert(
+            "listing",
+            (
+                f"p{int(rng.integers(0, n_products))}",
+                f"s{int(rng.integers(0, n_stores))}",
+            ),
+        )
+    )
+    return prog, edb, delta
+
+
 def points_to(
     n_vars: int = 30, n_stmts: int = 60, seed: int = 0
 ) -> tuple[Program, Database, Delta]:
@@ -264,6 +328,7 @@ DATALOG_WORKLOADS = {
     "same_generation": same_generation,
     "retail_rollup": retail_rollup,
     "retail_analytics": retail_analytics,
+    "retail_flat": retail_flat,
     "points_to": points_to,
 }
 

@@ -138,6 +138,76 @@ class TestAgainstDRed:
         de.apply(d)
         assert ce.snapshot() == de.snapshot()
 
+    def test_deletion_reenables_negated_subgoal(self):
+        """Regression for the two-view negation approximation: one
+        update deletes both a flag (turning a node dark) and the
+        node's companion fact, in the same pass. The negated subgoal
+        !lit(x) flips mid-update; the old signed two-pass propagation
+        raced the flip and drove the dark-counter negative."""
+        prog = parse_program(
+            """
+            h(X) :- c(X), !d(X).
+            d(X) :- e(X), !b(X).
+            """
+        )
+        edb = edb_from(b={(2,)}, e={(2,)}, c={(1,)})
+        ce = CountingEngine(prog, edb)
+        de = IncrementalEngine(prog, edb)
+        # delete b(2): d(2) appears; delete c(1): h(1) loses support —
+        # both directions in one update, crossing the negation
+        d = Delta().delete("b", (2,)).delete("c", (1,))
+        ce.apply(d)
+        de.apply(d)
+        assert ce.snapshot() == de.snapshot()
+        assert ce.count_of("h", (1,)) == 0
+        # re-adding c(1) must restore h(1) from a clean count
+        d2 = Delta().insert("c", (1,))
+        ce.apply(d2)
+        de.apply(d2)
+        assert ce.snapshot() == de.snapshot()
+        assert ce.count_of("h", (1,)) == 1
+
+    @given(
+        b0=st.sets(st.integers(0, 3), max_size=3),
+        e0=st.sets(st.integers(0, 3), max_size=3),
+        c0=st.sets(st.integers(0, 3), max_size=3),
+        seq=st.lists(
+            st.tuples(
+                st.booleans(),
+                st.sampled_from(["b", "e", "c"]),
+                st.integers(0, 3),
+            ),
+            min_size=1,
+            max_size=6,
+        ),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_negation_chain_sequences_match(self, b0, e0, c0, seq):
+        """Counting stays exact (and counts stay non-negative) under
+        mixed-sign updates crossing a two-level negation chain."""
+        prog = parse_program(
+            """
+            h(X) :- c(X), !d(X).
+            d(X) :- e(X), !b(X).
+            """
+        )
+        edb = edb_from(
+            b={(x,) for x in b0},
+            e={(x,) for x in e0},
+            c={(x,) for x in c0},
+        )
+        ce = CountingEngine(prog, edb)
+        de = IncrementalEngine(prog, edb)
+        for is_insert, pred, x in seq:
+            d = Delta()
+            (d.insert if is_insert else d.delete)(pred, (x,))
+            ce.apply(d)
+            de.apply(d)
+            assert ce.snapshot() == de.snapshot()
+            for p, counter in ce.counts.items():
+                for fact, n in counter.items():
+                    assert n >= 0, (p, fact, n)
+
     @given(initial=edge_sets, seq=st.lists(
         st.tuples(st.booleans(), st.integers(0, 5), st.integers(0, 5)),
         max_size=6,

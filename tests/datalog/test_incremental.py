@@ -6,6 +6,8 @@ from repro.datalog import (
     Database,
     Delta,
     IncrementalEngine,
+    compile_update,
+    merge_deltas,
     parse_program,
     seminaive_evaluate,
 )
@@ -43,6 +45,114 @@ class TestDelta:
         assert not d.is_empty
         assert Delta().is_empty
         assert d.touched_predicates() == {"e"}
+
+
+class TestDeltaNormalization:
+    """The builder keeps insert/delete of the same fact netted —
+    later operation wins (regression: the sets used to accumulate
+    both, leaving same-batch churn to surprise apply_delta's
+    deletions-first ordering)."""
+
+    def test_insert_then_delete_is_pure_deletion(self):
+        d = Delta().insert("e", (1, 2)).delete("e", (1, 2))
+        assert (1, 2) not in d.insertions.get("e", set())
+        assert d.deletions == {"e": {(1, 2)}}
+
+    def test_delete_then_insert_is_pure_insertion(self):
+        d = Delta().delete("e", (1, 2)).insert("e", (1, 2))
+        assert (1, 2) not in d.deletions.get("e", set())
+        assert d.insertions == {"e": {(1, 2)}}
+
+    def test_insert_delete_insert_chain(self):
+        d = (
+            Delta()
+            .insert("e", (1, 2))
+            .delete("e", (1, 2))
+            .insert("e", (1, 2))
+        )
+        assert d.insertions == {"e": {(1, 2)}}
+        assert (1, 2) not in d.deletions.get("e", set())
+
+    def test_delete_insert_delete_chain(self):
+        d = (
+            Delta()
+            .delete("e", (1, 2))
+            .insert("e", (1, 2))
+            .delete("e", (1, 2))
+        )
+        assert d.deletions == {"e": {(1, 2)}}
+        assert (1, 2) not in d.insertions.get("e", set())
+        assert d.touched_predicates() == {"e"}
+
+    def test_netted_churn_is_empty(self):
+        d = Delta().insert("e", (1, 2)).delete("e", (1, 2))
+        d.insert("e", (1, 2))
+        d.delete("e", (1, 2))
+        assert d.deletions == {"e": {(1, 2)}}
+        assert not any(d.insertions.values())
+
+    def test_merge_deltas_nets_across_batches(self):
+        merged = merge_deltas(
+            [
+                Delta().insert("e", (1, 2)),
+                Delta().delete("e", (1, 2)),
+                Delta().insert("e", (3, 4)),
+            ]
+        )
+        assert merged.insertions == {"e": {(3, 4)}}
+        assert merged.deletions.get("e", set()) == {(1, 2)}
+
+    def test_engine_handles_normalized_empty_sets(self):
+        # normalization can leave an empty per-predicate set behind;
+        # the engine must treat it as untouched, not zero-arity
+        eng = IncrementalEngine(tc_program(), chain_edb(4))
+        before = eng.snapshot()
+        eng.apply(Delta().insert("edge", (9, 9)).delete("edge", (9, 9)))
+        assert eng.snapshot() == before
+
+
+class TestSelfCancellingCompile:
+    """Satellite: a delete+reinsert delta must round-trip to a no-op —
+    same materialization, same activation set, same prune decisions as
+    compiling the empty delta (regression: `touched` used to be read
+    off the raw delta, so cancelled predicates still invalidated
+    caches and woke their dependency cones)."""
+
+    def prog_edb(self):
+        prog = tc_program()
+        edb = chain_edb(5)
+        return prog, edb
+
+    def test_delete_reinsert_compiles_like_empty(self):
+        prog, edb = self.prog_edb()
+        churn = Delta().delete("edge", (1, 2)).insert("edge", (1, 2))
+        # builder normalization nets this to a pure insertion of a
+        # present fact; raw dicts preserve the both-sets shape
+        raw = Delta(
+            insertions={"edge": {(1, 2)}}, deletions={"edge": {(1, 2)}}
+        )
+        empty_cu = compile_update(prog, edb, Delta())
+        for delta in (churn, raw):
+            cu = compile_update(prog, edb, delta)
+            assert cu.db_new.as_dict() == empty_cu.db_new.as_dict()
+            assert cu.edb_new.as_dict() == edb.as_dict()
+            assert cu.trace.n_active == empty_cu.trace.n_active == 0
+
+    def test_cancelled_ops_do_not_activate(self):
+        prog, edb = self.prog_edb()
+        # one real op + one cancelled pair: only the real op's cone
+        # may activate
+        churny = (
+            Delta()
+            .insert("edge", (9, 10))
+            .delete("edge", (2, 3))
+            .insert("edge", (2, 3))
+        )
+        clean = Delta().insert("edge", (9, 10))
+        cu_churny = compile_update(prog, edb, churny)
+        cu_clean = compile_update(prog, edb, clean)
+        assert cu_churny.db_new.as_dict() == cu_clean.db_new.as_dict()
+        assert cu_churny.trace.n_active == cu_clean.trace.n_active
 
 
 class TestInsertions:

@@ -105,3 +105,41 @@ class TestStreams:
         assert (
             apply_delta(db, merged).as_dict() == stepped.as_dict()
         )
+
+    def test_deletions_stream_is_delete_skewed(self):
+        wl = live_workload("flat", seed=8)
+        n_ins = n_del = 0
+        for batches in make_stream(
+            wl, "deletions", rounds=20, batch_size=3
+        ):
+            for d in batches:
+                n_ins += sum(len(s) for s in d.insertions.values())
+                n_del += sum(len(s) for s in d.deletions.values())
+        assert n_del > n_ins
+
+    def test_churn_batches_cancel_under_merge(self):
+        wl = live_workload("flat", seed=8)
+        mirror_before = {p: set(s) for p, s in wl._mirror.items()}
+        pair = wl.churn_batches(4)
+        assert len(pair) == 2
+        merged = merge_deltas(pair)
+        # later op wins: the merged delta only *deletes*, and only
+        # facts absent from the live EDB — every op cancels against it
+        assert not any(merged.insertions.values())
+        for pred, facts in merged.deletions.items():
+            for f in facts:
+                assert f not in mirror_before.get(pred, set())
+        # and the generator's mirror is untouched (net no-op)
+        assert wl._mirror == mirror_before
+
+    def test_mixed_stream_has_pure_churn_rounds(self):
+        wl = live_workload("flat", seed=8)
+        db = wl.edb.copy()
+        noop_rounds = 0
+        for batches in make_stream(wl, "mixed", rounds=9, batch_size=3):
+            merged = merge_deltas(batches)
+            stepped = apply_delta(db, merged)
+            if stepped.as_dict() == db.as_dict():
+                noop_rounds += 1
+            db = stepped
+        assert noop_rounds >= 3
