@@ -1,0 +1,189 @@
+"""Columnar storage and executor-backend throughput matrix.
+
+Serves the same seeded streams through every interesting
+storage × executor cell and reports rounds/sec:
+
+* ``row/thread`` — the pre-columnar baseline (PR-8 configuration);
+* ``columnar/thread`` — interned columnar indexes + vectorized joins;
+* ``columnar/process`` — the fork-per-round GIL-escaping backend.
+
+Verification stays ON everywhere, so each cell doubles as a
+differential check (per-round materialization compare against
+from-scratch evaluation). Writes ``BENCH_columnar.json`` at the repo
+root. ``--quick`` (the CI ``bench-smoke`` mode) runs the single
+strongest cell and enforces the smoke gate: columnar rounds/sec must
+not fall below row on the same stream.
+
+The honest story the numbers tell: columnar wins broadly (biggest on
+join-heavy workloads with wide deltas — the points-to cell), while the
+process backend *loses* at these scales: fork-per-round pays a
+copy-on-write page-fault tax over the inherited working set that
+outweighs GIL escape until per-unit compute dominates. See DESIGN.md
+§16 for the full analysis.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_columnar.py [--quick]
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+from pathlib import Path
+
+import pytest
+from conftest import run_once
+
+from repro.analysis import render_table
+from repro.runtime import (
+    UpdateStreamService,
+    live_workload,
+    make_stream,
+    process_backend_available,
+)
+from repro.schedulers import scheduler_registry
+
+BENCH_JSON = Path(__file__).parent.parent / "BENCH_columnar.json"
+
+QUICK = bool(os.environ.get("REPRO_BENCH_QUICK"))
+WORKERS = 4
+SEED = 17
+SCHEDULER = "hybrid"
+ROUNDS = 8 if QUICK else 20
+
+#: workload cells: (cell name, workload, stream kind, factory kwargs,
+#: batch size). The points-to cell is the headline — many wide rules
+#: over a dense alias graph is where vectorized joins bite hardest.
+CELLS = [
+    ("pt/steady/b12", "pt", "steady", {"n_vars": 40, "n_stmts": 100}, 12),
+    ("tc/steady", "tc", "steady", {}, 2),
+    ("retail/bursty", "retail", "bursty", {}, 2),
+]
+if QUICK:
+    CELLS = CELLS[:1]
+
+
+def serve_stream(cell, storage: str, executor: str):
+    """One full serve of a cell's seeded stream; returns MetricsLog."""
+    name, program, kind, kwargs, batch = cell
+    wl = live_workload(program, seed=SEED, **kwargs)
+    svc = UpdateStreamService(
+        wl.program,
+        wl.edb,
+        scheduler_registry()[SCHEDULER](),
+        workers=WORKERS,
+        storage=storage,
+        executor=executor,
+        name=f"bench:{name}:{storage}/{executor}",
+    )
+    for batches in make_stream(wl, kind, rounds=ROUNDS, batch_size=batch):
+        for delta in batches:
+            svc.submit(delta)
+        rep = svc.run_round()
+        assert rep is None or rep.materialization_ok
+    return svc.metrics
+
+
+def test_columnar_matrix(benchmark, emit):
+    with_process = not QUICK and process_backend_available()
+
+    def run():
+        out = {}
+        for cell in CELLS:
+            row = serve_stream(cell, "row", "thread")
+            col = serve_stream(cell, "columnar", "thread")
+            proc = (
+                serve_stream(cell, "columnar", "process")
+                if with_process
+                else None
+            )
+            out[cell[0]] = (row, col, proc)
+        return out
+
+    results = run_once(benchmark, run)
+
+    rows = []
+    payload = {
+        "schema": 1,
+        "quick": QUICK,
+        "scheduler": SCHEDULER,
+        "workers": WORKERS,
+        "rounds": ROUNDS,
+        "seed": SEED,
+        "cells": {},
+    }
+    for name, (row_log, col_log, proc_log) in results.items():
+        row_rps = row_log.rounds_per_second()
+        col_rps = col_log.rounds_per_second()
+        speedup = col_rps / row_rps if row_rps else float("inf")
+        proc_rps = proc_log.rounds_per_second() if proc_log else None
+        interned = col_log.rounds[-1].intern_table_size
+        rows.append(
+            [
+                name,
+                f"{row_rps:.1f}",
+                f"{col_rps:.1f}",
+                f"{speedup:.2f}x",
+                f"{proc_rps:.1f}" if proc_rps is not None else "-",
+                interned,
+            ]
+        )
+        payload["cells"][name] = {
+            "row_thread_rounds_per_sec": round(row_rps, 3),
+            "columnar_thread_rounds_per_sec": round(col_rps, 3),
+            "columnar_speedup": round(speedup, 3),
+            "columnar_process_rounds_per_sec": (
+                round(proc_rps, 3) if proc_rps is not None else None
+            ),
+            "intern_table_size": interned,
+            "columnar_builds": sum(
+                m.columnar_builds for m in col_log.rounds
+            ),
+            "columnar_probes": sum(
+                m.columnar_probes for m in col_log.rounds
+            ),
+        }
+
+    best = max(
+        payload["cells"].items(), key=lambda kv: kv[1]["columnar_speedup"]
+    )
+    payload["headline"] = {
+        "cell": best[0],
+        "columnar_speedup": best[1]["columnar_speedup"],
+    }
+
+    text = render_table(
+        ["cell", "row r/s", "columnar r/s", "speedup",
+         "process r/s", "interned"],
+        rows,
+        title=(
+            f"columnar matrix — {SCHEDULER}, {ROUNDS} rounds, "
+            f"{WORKERS} workers (verification on"
+            + (", quick)" if QUICK else ")")
+        ),
+    )
+    emit("columnar", text)
+    BENCH_JSON.write_text(json.dumps(payload, indent=2) + "\n")
+
+    # smoke gate: columnar must not lose to row on any benched cell
+    slow = {
+        n: c["columnar_speedup"]
+        for n, c in payload["cells"].items()
+        if c["columnar_speedup"] < 1.0
+    }
+    assert not slow, f"columnar slower than row: {slow}"
+    if not QUICK:
+        assert payload["headline"]["columnar_speedup"] >= 1.5, (
+            f"columnar speedup collapsed: {payload['headline']}"
+        )
+
+
+if __name__ == "__main__":
+    args = [a for a in sys.argv[1:] if a != "--quick"]
+    if "--quick" in sys.argv[1:]:
+        os.environ["REPRO_BENCH_QUICK"] = "1"
+    raise SystemExit(
+        pytest.main([__file__, "--benchmark-only", "-q", *args])
+    )

@@ -20,6 +20,13 @@ from .bf import (
     BackwardForwardEngine,
     make_engine,
 )
+from .columnar import (
+    ColumnarRelation,
+    ColumnarZSet,
+    InternPool,
+    InternTable,
+    eval_rule_columnar,
+)
 from .compiler import CompiledUpdate, build_compiled_update, compile_update
 from .counting import CountingEngine, RecursionError_
 from .database import Database, Relation
@@ -66,6 +73,11 @@ __all__ = [
     "ZSetDelta",
     "apply_zdelta",
     "effective_zdelta",
+    "InternTable",
+    "InternPool",
+    "ColumnarRelation",
+    "ColumnarZSet",
+    "eval_rule_columnar",
     "IncrementalEngine",
     "BackwardForwardEngine",
     "MAINTENANCE_STRATEGIES",

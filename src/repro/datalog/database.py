@@ -10,7 +10,12 @@ from __future__ import annotations
 
 from collections import defaultdict
 from dataclasses import dataclass, field
-from typing import Iterable, Iterator
+from typing import TYPE_CHECKING, Iterable, Iterator
+
+from .columnar import ColumnarRelation
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .columnar import InternPool
 
 __all__ = ["Relation", "Database"]
 
@@ -30,6 +35,9 @@ class Relation:
         self.arity = arity
         self._tuples: set[Tuple_] = set()
         self._indexes: dict[tuple[int, ...], dict[tuple, set[Tuple_]]] = {}
+        #: columnar mirror (interned id-rows + indexes), built on first
+        #: columnar() call and maintained incrementally by add/discard
+        self._columnar: ColumnarRelation | None = None
 
     # ------------------------------------------------------------------
     def __len__(self) -> int:
@@ -53,6 +61,9 @@ class Relation:
         self._tuples.add(t)
         for positions, index in self._indexes.items():
             index[tuple(t[p] for p in positions)].add(t)
+        c = self._columnar
+        if c is not None:
+            c.add_fact(t)
         return True
 
     def discard(self, t: Tuple_) -> bool:
@@ -67,6 +78,9 @@ class Relation:
                 bucket.discard(t)
                 if not bucket:
                     del index[key]
+        c = self._columnar
+        if c is not None:
+            c.discard_fact(t)
         return True
 
     def _ensure_index(
@@ -99,6 +113,24 @@ class Relation:
         index = self._ensure_index(positions)
         return index.get(tuple(bound[p] for p in positions), ())
 
+    def columnar(self, pool: "InternPool") -> ColumnarRelation:
+        """Get-or-build this relation's columnar mirror under ``pool``.
+
+        Built in one pass on first request (interning every fact through
+        the pool's per-predicate dictionaries); afterwards :meth:`add`
+        and :meth:`discard` maintain the mirror — rows *and* any hash
+        indexes probed into existence — incrementally in O(|delta|). A
+        mirror keyed to a different pool is discarded and rebuilt: id
+        spaces are pool-local.
+        """
+        c = self._columnar
+        if c is None or c.pool is not pool:
+            c = ColumnarRelation.from_facts(
+                pool, self.name, self.arity, self._tuples
+            )
+            self._columnar = c
+        return c
+
     def copy(self) -> "Relation":
         r = Relation(self.name, self.arity)
         r._tuples = set(self._tuples)
@@ -111,9 +143,12 @@ class Relation:
         plan cache instead derives a changed relation's successor from
         its predecessor — clone indexes once, then apply the round's
         delta through :meth:`add`/:meth:`discard`, which maintain every
-        cloned index incrementally in O(|delta|).
+        cloned index incrementally in O(|delta|). The columnar mirror
+        (with its own indexes) is cloned the same way.
         """
         r = self.copy()
+        if self._columnar is not None:
+            r._columnar = self._columnar.clone()
         # snapshot: concurrent match() calls may publish new lazy
         # indexes while we iterate
         for positions, index in list(self._indexes.items()):

@@ -57,6 +57,7 @@ from typing import TYPE_CHECKING
 from ..obs.metrics import MetricsRegistry
 from ..obs.trace import NULL_SINK, TraceSink
 from .ast import Program
+from .columnar import ColumnarZSet, InternPool
 from .compiler import (
     CompiledUpdate,
     _cumulative_states,
@@ -87,6 +88,14 @@ class RelationIndexCache:
     successor by cloning the predecessor's indexes and applying the
     delta through :meth:`Relation.add`/:meth:`Relation.discard`, which
     maintain every index in O(|delta|).
+
+    Under columnar storage each cached relation also carries its
+    interned columnar mirror: derivation clones the mirror (rows and
+    columnar indexes) along with the row indexes, and the weighted
+    ``delta_ops`` maintain both through :meth:`Relation.add`/
+    :meth:`Relation.discard` — so the batch joins of round ``N+1``
+    probe the columnar indexes round ``N`` built, updated in
+    O(|delta|).
 
     Published relations must never be mutated by callers (lazy index
     growth excepted); derivation always works on a private clone and
@@ -242,7 +251,19 @@ class CompiledProgramCache:
         max_plans: int = 8,
         relation_cache_size: int = 256,
         analysis: "ProgramAnalysis | None" = None,
+        storage: str = "columnar",
     ) -> None:
+        if storage not in ("row", "columnar"):
+            raise ValueError(
+                f"unknown storage {storage!r}; choose 'row' or 'columnar'"
+            )
+        self.storage = storage
+        #: shared intern pool under columnar storage (None for row);
+        #: survives invalidation — interned values stay valid across
+        #: program edits, only the relations keyed on them are dropped
+        self.pool: InternPool | None = (
+            InternPool() if storage == "columnar" else None
+        )
         self._program = program
         self._fingerprint = repr(program)
         self._analysis = _usable_analysis(program, analysis)
@@ -275,6 +296,8 @@ class CompiledProgramCache:
         #: (insert-of-present, delete-of-absent, coalesced pairs) and
         #: therefore skipped all downstream compile/index work
         self.cancelled_ops = 0
+        #: weighted ops interned into the columnar delta (0 for row)
+        self.interned_ops = 0
 
     # ------------------------------------------------------------------
     def _count(self, name: str, n: int = 1) -> None:
@@ -382,6 +405,14 @@ class CompiledProgramCache:
             self._count("cancelled_ops", cancelled)
         edb_new = apply_zdelta(edb_old, zdelta)
         touched = zdelta.touched_predicates()
+        if self.pool is not None and not zdelta.is_empty:
+            # intern the surviving weighted ops up front: any constant
+            # the round introduces gets its id (and per-predicate row
+            # memo) before evaluation or index derivation touches it
+            czset = ColumnarZSet.from_zdelta(self.pool, zdelta)
+            ops = czset.op_count()
+            self.interned_ops += ops
+            self._count("interned_ops", ops)
 
         # static-analysis pruning: drop rules that provably cannot fire
         # against either EDB snapshot; augment both snapshots with the
@@ -426,6 +457,7 @@ class CompiledProgramCache:
                 edb_old,
                 record=True,
                 shared_relations=self._shared_relations(edb_old, edb_old),
+                pool=self.pool,
             )
             states_old = _cumulative_states(run_program, ev_old, edb_old)
 
@@ -436,6 +468,7 @@ class CompiledProgramCache:
             shared_relations=self._shared_relations(
                 edb_new, edb_old, zdelta
             ),
+            pool=self.pool,
         )
         states_new = _cumulative_states(run_program, ev_new, edb_new)
 
@@ -490,7 +523,7 @@ class CompiledProgramCache:
             if self._analysis is not None
             else None
         )
-        skeleton = PlanSkeleton(cu, join_orders=join_orders)
+        skeleton = PlanSkeleton(cu, join_orders=join_orders, pool=self.pool)
         plan = skeleton.bind(
             cu, states_old, relation_factory=self.relations.get
         )
@@ -536,7 +569,7 @@ class CompiledProgramCache:
 
     def stats(self) -> dict:
         """Counter snapshot (also exported via the metrics registry)."""
-        return {
+        out = {
             "hits": self.hits,
             "misses": self.misses,
             "invalidations": self.invalidations,
@@ -544,5 +577,10 @@ class CompiledProgramCache:
             "plan_binds": self.plan_binds,
             "rollbacks": self.rollbacks,
             "cancelled_ops": self.cancelled_ops,
+            "storage": self.storage,
+            "interned_ops": self.interned_ops,
             "relations": self.relations.stats(),
         }
+        if self.pool is not None:
+            out["pool"] = self.pool.stats()
+        return out

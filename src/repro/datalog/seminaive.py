@@ -17,6 +17,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from .ast import Program, Rule
+from .columnar import InternPool, eval_rule_columnar
 from .database import Database, Relation
 from .depgraph import DependencyGraph
 from .unify import eval_rule, instantiate_head, join_body
@@ -118,6 +119,7 @@ def seminaive_evaluate(
     record: bool = False,
     max_iterations: int | None = None,
     shared_relations: dict[str, Relation] | None = None,
+    pool: InternPool | None = None,
 ) -> tuple[Database, EvaluationTrace]:
     """Stratified semi-naive fixpoint.
 
@@ -135,6 +137,12 @@ def seminaive_evaluate(
     the facts ``db`` holds for that predicate; predicates the
     evaluation writes (IDB heads, fact-rule heads) are rejected because
     sharing them would mutate the caller's objects.
+
+    ``pool`` switches rule evaluation to the columnar batch joins of
+    :func:`~repro.datalog.columnar.eval_rule_columnar` (interned
+    id-rows, vectorized hash probes) — semantics are identical, and
+    shared relations additionally carry their columnar mirrors across
+    rounds. ``None`` keeps the row evaluator.
     """
     db = db.copy() if db is not None else Database()
     if shared_relations:
@@ -170,7 +178,10 @@ def seminaive_evaluate(
         rec0: dict = {}
         staged: list[tuple[Rule, set]] = []
         for ri, rule in rules:
-            produced = eval_rule(rule, db)
+            if pool is not None:
+                produced = eval_rule_columnar(rule, db, pool)
+            else:
+                produced = eval_rule(rule, db)
             if produced or record:
                 rec0[(ri, None)] = produced
             staged.append((rule, produced))
@@ -212,12 +223,19 @@ def seminaive_evaluate(
                         or lit.atom.predicate not in delta
                     ):
                         continue
-                    produced = {
-                        instantiate_head(rule.head, subst)
-                        for subst in join_body(
-                            rule.body, db, delta_overrides=delta, delta_at=pos
+                    if pool is not None:
+                        produced = eval_rule_columnar(
+                            rule, db, pool,
+                            delta_overrides=delta, delta_at=pos,
                         )
-                    }
+                    else:
+                        produced = {
+                            instantiate_head(rule.head, subst)
+                            for subst in join_body(
+                                rule.body, db,
+                                delta_overrides=delta, delta_at=pos,
+                            )
+                        }
                     if produced:
                         rec_k[(ri, pos)] = produced
                     staged_k.append((rule, produced))

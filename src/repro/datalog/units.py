@@ -48,6 +48,7 @@ from typing import Callable
 
 import numpy as np
 
+from .columnar import InternPool, eval_rule_columnar
 from .compiler import CompiledUpdate, _cumulative_states
 from .database import Database, Relation
 from .depgraph import DependencyGraph
@@ -127,9 +128,11 @@ class RoundCtx:
     while a plan is executing, so worker threads read it without locks.
     """
 
-    __slots__ = ("baseline", "rel", "baseline_edb")
+    __slots__ = ("baseline", "rel", "baseline_edb", "pool")
 
-    def __init__(self, rel: RelationFactory) -> None:
+    def __init__(
+        self, rel: RelationFactory, pool: InternPool | None = None
+    ) -> None:
         #: predicate → program facts ∪ its facts in the round's new EDB
         #: — the entry state of a stratum-local predicate, and the
         #: value an EDB node publishes
@@ -140,6 +143,9 @@ class RoundCtx:
         #: cache's weighted patching checks it by identity before
         #: updating only the touched predicates
         self.baseline_edb: Database | None = None
+        #: intern pool: when set, task joins run the columnar batch
+        #: evaluator over each relation's interned mirror
+        self.pool: InternPool | None = pool
 
 
 @dataclass
@@ -228,9 +234,16 @@ class PlanSkeleton:
         self,
         cu: CompiledUpdate,
         join_orders: dict[int, tuple[int, ...]] | None = None,
+        pool: InternPool | None = None,
     ) -> None:
         program = cu.program
         self.program = program
+        #: intern pool stamped into every bound plan's RoundCtx; None
+        #: keeps the row (dict-substitution) join path
+        self.pool = pool
+        #: node → input node ids, derived lazily from the wiring (the
+        #: process executor ships exactly these values per dispatch)
+        self._input_nodes: dict[int, tuple[int, ...]] = {}
         #: proper-rule index → body evaluation order (analyzer hint);
         #: rules without an entry evaluate in textual order
         self.join_orders: dict[int, tuple[int, ...]] = dict(
@@ -306,6 +319,39 @@ class PlanSkeleton:
             return self.key_to_id[("edb", p)]
         si = self.stratum_of[p]
         return self.key_to_id[("pred", p, si, self.n_iters[si] - 1)]
+
+    def input_nodes(self, nid: int) -> tuple[int, ...]:
+        """The node ids whose values ``nid``'s unit closure reads.
+
+        EDB nodes read only the round baseline; predicate-state nodes
+        read their predecessor state plus their writer tasks; task nodes
+        read their wired sources and Δ-window states. The process
+        executor serializes exactly these values into each dispatch.
+        """
+        deps = self._input_nodes.get(nid)
+        if deps is not None:
+            return deps
+        key = self.node_keys[nid]
+        if key[0] == "edb":
+            deps = ()
+        elif key[0] == "pred":
+            _, p, si, k = key
+            prev = (
+                (self.key_to_id[("pred", p, si, k - 1)],) if k > 0 else ()
+            )
+            deps = prev + tuple(self.writers.get((p, si, k), ()))
+        else:
+            w = self.task_wiring[nid]
+            seen: list[int] = []
+            for src in w.sources.values():
+                if src is not None and src not in seen:
+                    seen.append(src)
+            for extra in (w.delta_cur, w.delta_prev):
+                if extra is not None and extra not in seen:
+                    seen.append(extra)
+            deps = tuple(seen)
+        self._input_nodes[nid] = deps
+        return deps
 
     def _wire_task(
         self, si: int, k: int, ri: int, pos: int | None
@@ -440,7 +486,12 @@ class PlanSkeleton:
                     values[src] if src is not None else ctx.baseline[q]
                 )
                 db.relations[q] = ctx.rel(q, arity_of[q], facts)
+            pool = ctx.pool
             if pos is None:
+                if pool is not None:
+                    return frozenset(
+                        eval_rule_columnar(rule, db, pool, order=order)
+                    )
                 return frozenset(eval_rule(rule, db, order=order))
             older = (
                 values[delta_prev]
@@ -451,6 +502,14 @@ class PlanSkeleton:
             if not delta_facts:
                 return frozenset()
             delta_rel = _fresh_relation(dq, arity_of[dq], delta_facts)
+            if pool is not None:
+                return frozenset(
+                    eval_rule_columnar(
+                        rule, db, pool,
+                        delta_overrides={dq: delta_rel}, delta_at=pos,
+                        order=order,
+                    )
+                )
             return frozenset(
                 instantiate_head(rule.head, subst)
                 for subst in join_body(
@@ -481,7 +540,7 @@ class PlanSkeleton:
         ``states_old`` is the cumulative predicate-state table of the
         old evaluation; pass the cached one to avoid recomputing it.
         """
-        ctx = RoundCtx(relation_factory or _fresh_relation)
+        ctx = RoundCtx(relation_factory or _fresh_relation, pool=self.pool)
         units = [
             self._make_unit(nid, key, ctx)
             for nid, key in enumerate(self.node_keys)
@@ -560,12 +619,14 @@ def build_execution_plan(
     cu: CompiledUpdate,
     relation_factory: RelationFactory | None = None,
     join_orders: dict[int, tuple[int, ...]] | None = None,
+    pool: InternPool | None = None,
 ) -> ExecutionPlan:
     """Rebuild every node of ``cu`` as a runnable unit of work.
 
     ``join_orders`` maps proper-rule indexes of ``cu.program`` to body
     evaluation orders (the static analyzer's cartesian-join hints).
+    ``pool`` switches every task unit to the columnar batch joins.
     """
-    return PlanSkeleton(cu, join_orders=join_orders).bind(
+    return PlanSkeleton(cu, join_orders=join_orders, pool=pool).bind(
         cu, relation_factory=relation_factory
     )

@@ -8,6 +8,8 @@ compiled (:mod:`repro.datalog.compiler`), rebuilt as runnable units
 per-node output diffs, not precompiled flags, deciding activation.
 
 * :mod:`~repro.runtime.executor` — the concurrent round executor.
+* :mod:`~repro.runtime.procpool` — forked process lanes: the
+  GIL-escaping ``"process"`` executor backend.
 * :mod:`~repro.runtime.recorder` — wall-clock rounds as
   :class:`~repro.sim.result.SimulationResult` schedules, so
   :mod:`repro.verify` and :mod:`repro.sim.timeline` apply unchanged.
@@ -29,6 +31,7 @@ from .chaos import (
     InjectedUnitFault,
 )
 from .executor import (
+    EXECUTOR_BACKENDS,
     LiveActivationState,
     RetryPolicy,
     RoundExecutor,
@@ -43,9 +46,11 @@ from .health import (
     ServiceUnavailableError,
 )
 from .metrics import MetricsLog, RoundMetrics
+from .procpool import ProcessLanes, process_backend_available
 from .recorder import RoundArtifacts, record_round
 from .service import (
     SHED_POLICIES,
+    STORAGE_CHOICES,
     STRATEGY_CHOICES,
     BackpressureError,
     MaterializationDivergenceError,
@@ -62,7 +67,10 @@ from .workloads_live import (
 )
 
 __all__ = [
+    "EXECUTOR_BACKENDS",
     "LiveActivationState",
+    "ProcessLanes",
+    "process_backend_available",
     "RetryPolicy",
     "RoundExecutor",
     "RoundOutcome",
@@ -78,6 +86,7 @@ __all__ = [
     "HealthState",
     "ServiceUnavailableError",
     "SHED_POLICIES",
+    "STORAGE_CHOICES",
     "STRATEGY_CHOICES",
     "RoundArtifacts",
     "record_round",

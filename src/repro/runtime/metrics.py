@@ -87,6 +87,20 @@ class RoundMetrics:
     #: the round's effective delta was empty and the service skipped
     #: compile/execute/verify entirely
     noop: bool = False
+    #: executor backend that ran the round: ``"thread"``,
+    #: ``"process"``, or ``"serial"`` for degraded fallback rounds
+    backend: str = "thread"
+    #: total distinct constants interned by the service's pool at round
+    #: end (0 under row storage)
+    intern_table_size: int = 0
+    #: columnar hash indexes built during this round (cold relations /
+    #: new probe patterns; warm steady-state rounds build none). Under
+    #: the process backend this counts coordinator-side work only —
+    #: forked workers mutate their own copy of the pool's counters.
+    columnar_builds: int = 0
+    #: rows pushed through columnar index probes during this round
+    #: (coordinator-side only under the process backend, see above)
+    columnar_probes: int = 0
 
     def to_json_dict(self) -> dict[str, Any]:
         """Plain-dict form for JSON emission."""

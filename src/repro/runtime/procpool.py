@@ -1,0 +1,311 @@
+"""GIL-escaping process lanes for :class:`~repro.runtime.executor.RoundExecutor`.
+
+The thread backend's worker lanes share one address space: a lane pops
+``(unit, attempt)`` and runs the unit against the round's live
+:class:`~repro.datalog.units.ValueStore`. Python threads cannot overlap
+the CPU-bound join work, though — the GIL serializes them — so the
+thread pool buys fault isolation and latency hiding, not parallelism.
+
+:class:`ProcessLanes` keeps the executor's coordinator loop, message
+shapes, and supervision semantics byte-compatible while moving unit
+execution into forked worker processes:
+
+* **Fork is the hand-off.** Lanes are forked at round start, after the
+  plan has been patched for the round, so every child inherits the
+  plan, its old values, the round baselines, and — crucially — the
+  intern pool and every columnar index built so far, all by
+  copy-on-write. Nothing static is ever serialized.
+* **Dispatches ship diffs.** A unit may read values *computed earlier
+  in the same round* by other units; those exist only in the parent.
+  Each dispatch therefore carries, for every computed input of the
+  node (``PlanSkeleton.input_nodes``), the symmetric difference of its
+  current value against its old value — small in steady state — and
+  the child overlays them onto a fresh value store before executing.
+* **Results ship diffs too.** The child returns ``(removed, added)``
+  relative to the unit's old value; the pump thread reconstructs the
+  full frozenset parent-side and forwards the exact completion tuple
+  the thread backend produces, so the coordinator cannot tell the
+  backends apart.
+* **Chaos moves to the submit site.** Thread lanes draw chaos decisions
+  worker-side; a child process drawing them could not advance the
+  parent injector's counters. Decisions are pure functions of
+  ``(seed, kind, round, node, attempt)``, so the coordinator draws the
+  same decision at dispatch time and ships it: injected failures raise
+  the same typed :class:`~repro.runtime.chaos.InjectedUnitFault` inside
+  the child, and a worker-kill makes the child post ``lane-died`` and
+  ``os._exit(1)`` — a real process death the supervisor must absorb.
+
+``perf_counter`` is CLOCK_MONOTONIC on Linux, comparable across
+processes, so child-side start/finish stamps slot into the parent's
+round timeline unchanged.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import os
+import pickle
+import queue
+import threading
+from time import perf_counter, sleep
+
+from ..datalog.units import ExecutionPlan
+from ..obs.trace import TraceSink
+from .chaos import ChaosInjector, InjectedUnitFault
+
+__all__ = ["ProcessLanes", "process_backend_available"]
+
+
+def process_backend_available() -> bool:
+    """Whether this platform can run the fork-based process backend."""
+    return "fork" in mp.get_all_start_methods()
+
+
+def _portable_error(exc: BaseException) -> BaseException:
+    """The exception itself if it survives a pickle round-trip, else a
+    :class:`RuntimeError` carrying its type and message.
+
+    Losing an unpicklable exception inside a worker process would hang
+    the coordinator forever; degrading it to a typed message keeps the
+    round's failure path (retry, quarantine) intact.
+    """
+    try:
+        pickle.loads(pickle.dumps(exc))
+        return exc
+    except Exception:
+        return RuntimeError(f"{type(exc).__name__}: {exc}")
+
+
+def _lane_main(tasks, results, cancel, plan: ExecutionPlan) -> None:
+    """Worker-process loop: pop dispatches, run units, post diffs.
+
+    Runs in a forked child; ``plan`` (units, old values, round ctx,
+    intern pool, columnar indexes) is inherited memory, never pickled.
+
+    Node values are write-once within a round (the coordinator sets a
+    value exactly once, on first success), so the lane keeps one value
+    store for its whole life and reconstructs each shipped source at
+    most once — later dispatches naming an already-seen source skip
+    both the unpickle and the O(|relation|) set rebuild.
+    """
+    values = plan.new_store()
+    seen: set[int] = set()
+    while True:
+        msg = tasks.get()
+        if msg[0] == "stop":
+            return
+        _tag, node, attempt, shipped, inject = msg
+        if cancel.is_set():
+            # aborted round: drop queued work instead of draining it
+            continue
+        if inject is not None and inject[0]:
+            # chaos worker-kill: report the orphaned attempt, then die
+            # for real — supervision must replace a whole process
+            results.put(("lane-died", node, attempt, perf_counter()))
+            os._exit(1)
+        for src, blob in shipped:
+            if src in seen:
+                continue
+            seen.add(src)
+            removed, added = pickle.loads(blob)
+            values.set(src, (plan.old_values[src] - removed) | added)
+        if inject is not None and inject[1] > 0.0:
+            sleep(inject[1])
+        t0 = perf_counter()
+        try:
+            if inject is not None and inject[2]:
+                raise InjectedUnitFault(node, attempt)
+            value, err = plan.units[node].execute(values), None
+        except BaseException as exc:
+            value, err = None, _portable_error(exc)
+        t1 = perf_counter()
+        if value is not None:
+            old = plan.units[node].old_value
+            payload = (old - value, value - old)
+        else:
+            payload = None
+        results.put(("done", node, attempt, payload, t0, t1, err))
+
+
+class ProcessLanes:
+    """A supervised set of forked worker processes over one task queue.
+
+    Drop-in peer of the executor's ``_WorkerLanes``: same ``spawn`` /
+    ``shutdown`` / ``cancel`` surface, same completion-message shapes
+    (delivered through the parent ``completions`` queue by a pump
+    thread), individually replaceable lanes. Construction forks the
+    initial lanes immediately — call it only after the plan is fully
+    patched for the round.
+    """
+
+    def __init__(
+        self,
+        workers: int,
+        plan: ExecutionPlan,
+        values,
+        completions: queue.SimpleQueue,
+        chaos: ChaosInjector | None = None,
+        sink: TraceSink | None = None,
+        name_prefix: str = "repro-runtime",
+    ) -> None:
+        if not process_backend_available():  # pragma: no cover - linux CI
+            raise RuntimeError(
+                "process executor backend requires fork-capable "
+                "multiprocessing (unavailable on this platform)"
+            )
+        if plan.skeleton is None:
+            raise RuntimeError(
+                "process executor backend requires a skeleton-built plan "
+                "(PlanSkeleton.bind / build_execution_plan)"
+            )
+        self._plan = plan
+        self._values = values
+        self._skeleton = plan.skeleton
+        self._chaos = chaos
+        self._sink = sink
+        self._prefix = name_prefix
+        #: node → pickled (removed, added) diff vs its old value;
+        #: values are write-once per round, so blobs never go stale
+        self._diff_blobs: dict[int, bytes] = {}
+        ctx = mp.get_context("fork")
+        self._tasks = ctx.SimpleQueue()
+        self._results = ctx.SimpleQueue()
+        self.cancel = ctx.Event()
+        self._procs: list = []
+        self._spawned = 0
+        for _ in range(workers):
+            self.spawn()
+        self._completions = completions
+        self._pump = threading.Thread(
+            target=self._pump_loop,
+            name=f"{name_prefix}-pump",
+            daemon=True,
+        )
+        self._pump.start()
+
+    # ------------------------------------------------------------------
+    def spawn(self) -> None:
+        """Fork one (more) worker lane.
+
+        A mid-round respawn forks the parent's *current* state; the
+        diff-shipping protocol overwrites any value the new child
+        already inherited, so a late fork is indistinguishable from an
+        early one.
+        """
+        ctx = mp.get_context("fork")
+        p = ctx.Process(
+            target=_lane_main,
+            args=(self._tasks, self._results, self.cancel, self._plan),
+            name=f"{self._prefix}-proc-{self._spawned}",
+            daemon=True,
+        )
+        self._spawned += 1
+        self._procs.append(p)
+        p.start()
+
+    @property
+    def spawned(self) -> int:
+        return self._spawned
+
+    # ------------------------------------------------------------------
+    def dispatch(self, node: int, attempt: int) -> None:
+        """Ship one unit attempt to the lanes.
+
+        Draws the chaos decision here (coordinator-side — identical to
+        the thread backend's worker-side draw, see module docstring)
+        and serializes only the node's computed-input diffs. Each
+        source's diff is computed and pickled once per round (values
+        are write-once), then reused as an opaque blob by every later
+        dispatch that ships the same source.
+        """
+        inject = None
+        chaos = self._chaos
+        if chaos is not None:
+            d = chaos.unit_outcome(node, attempt)
+            inject = (d.kill_worker, d.latency_s, d.fail)
+        values = self._values
+        old_values = self._plan.old_values
+        blobs = self._diff_blobs
+        shipped = []
+        for src in self._skeleton.input_nodes(node):
+            if values.computed(src):
+                blob = blobs.get(src)
+                if blob is None:
+                    cur = values[src]
+                    old = old_values[src]
+                    blob = pickle.dumps(
+                        (old - cur, cur - old),
+                        protocol=pickle.HIGHEST_PROTOCOL,
+                    )
+                    blobs[src] = blob
+                shipped.append((src, blob))
+        self._tasks.put(("run", node, attempt, shipped, inject))
+
+    # ------------------------------------------------------------------
+    def _pump_loop(self) -> None:
+        """Bridge the mp results queue onto the parent completions queue.
+
+        Reconstructs each done value from its diff so the coordinator
+        receives exactly the thread backend's message shapes; records
+        the per-unit span parent-side (children cannot reach the sink).
+        """
+        results = self._results
+        completions = self._completions
+        plan = self._plan
+        sink = self._sink
+        if sink is not None:
+            sink.set_thread_name(threading.current_thread().name)
+        while True:
+            try:
+                msg = results.get()
+            except (EOFError, OSError):  # pragma: no cover - torn queue
+                return
+            if msg[0] == "pump-stop":
+                return
+            if msg[0] != "done":
+                completions.put(msg)
+                continue
+            _tag, node, attempt, payload, t0, t1, err = msg
+            if payload is not None:
+                removed, added = payload
+                value = (plan.old_values[node] - removed) | added
+            else:
+                value = None
+            if sink is not None:
+                sink.record_span_abs(
+                    f"unit:{node}",
+                    "unit",
+                    t0,
+                    t1,
+                    args={
+                        "node": node,
+                        "label": plan.units[node].label,
+                        "attempt": attempt,
+                    },
+                )
+            completions.put(("done", node, attempt, value, t0, t1, err))
+
+    # ------------------------------------------------------------------
+    def shutdown(self) -> None:
+        """Cancel, stop every lane, join them all, and stop the pump.
+
+        One stop sentinel is enqueued per process ever spawned — dead
+        lanes leave theirs unconsumed, so every survivor sees one.
+        Lanes that ignore the sentinel (wedged mid-unit) are terminated.
+        After this returns no worker process and no pump thread is
+        alive — the process-backend no-leak guarantee.
+        """
+        self.cancel.set()
+        for _ in self._procs:
+            self._tasks.put(("stop",))
+        deadline = perf_counter() + 10.0
+        for p in self._procs:
+            p.join(timeout=max(0.1, deadline - perf_counter()))
+        for p in self._procs:
+            if p.is_alive():  # pragma: no cover - wedged lane
+                p.terminate()
+                p.join(timeout=1.0)
+        self._results.put(("pump-stop",))
+        self._pump.join()
+        self._tasks.close()
+        self._results.close()

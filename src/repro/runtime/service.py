@@ -67,6 +67,7 @@ from typing import Callable
 
 from ..datalog.ast import Program
 from ..datalog.bf import MAINTENANCE_STRATEGIES, make_engine
+from ..datalog.columnar import InternPool
 from ..datalog.compiler import CompiledUpdate, compile_update
 from ..datalog.database import Database
 from ..datalog.incremental import Delta, IncrementalEngine, merge_deltas
@@ -79,7 +80,12 @@ from ..schedulers.base import Scheduler
 from ..verify.invariants import VerificationReport
 from ..verify.program import ProgramAnalysis, analyze_program
 from .chaos import ChaosInjector, ChaosPlan, InjectedPhaseFault
-from .executor import RetryPolicy, RoundExecutor, UnitExecutionError
+from .executor import (
+    EXECUTOR_BACKENDS,
+    RetryPolicy,
+    RoundExecutor,
+    UnitExecutionError,
+)
 from .health import (
     HealthMonitor,
     HealthPolicy,
@@ -97,11 +103,15 @@ __all__ = [
     "ServiceUnavailableError",
     "UpdateStreamService",
     "SHED_POLICIES",
+    "STORAGE_CHOICES",
     "STRATEGY_CHOICES",
 ]
 
 #: load-shedding behavior when backpressure and degradation coincide
 SHED_POLICIES = ("reject", "drop-oldest", "coalesce-harder")
+
+#: relation-storage layouts for the evaluation hot path
+STORAGE_CHOICES = ("row", "columnar")
 
 #: maintenance strategies the service's shadow oracle accepts
 STRATEGY_CHOICES = tuple(sorted(MAINTENANCE_STRATEGIES)) + ("counting",)
@@ -195,7 +205,23 @@ class UpdateStreamService:
     scheduler:
         The one scheduler instance reused across all rounds.
     workers:
-        Thread-pool width per round.
+        Worker-pool width per round (lanes of the chosen executor
+        backend).
+    executor:
+        Executor backend for the concurrent fast path: ``"thread"``
+        (default) runs units on shared-memory worker threads,
+        ``"process"`` forks worker processes per round so CPU-bound
+        joins escape the GIL (diff-serialized hand-off, identical
+        supervision/retry/chaos semantics — see
+        :mod:`repro.runtime.procpool`). Degraded fallback rounds are
+        always serial regardless of backend.
+    storage:
+        Relation-storage layout of the evaluation hot path:
+        ``"columnar"`` (default) interns constants into integer ids and
+        runs the vectorized batch joins of
+        :mod:`repro.datalog.columnar`; ``"row"`` keeps the historical
+        per-tuple dict-substitution joins. Materializations are
+        byte-identical either way (the differential suite pins this).
     capacity:
         Bound of the update queue (backpressure threshold).
     verify:
@@ -282,6 +308,8 @@ class UpdateStreamService:
         edb: Database,
         scheduler: Scheduler,
         workers: int = 4,
+        executor: str = "thread",
+        storage: str = "columnar",
         capacity: int = 64,
         verify: bool = True,
         strict: bool = True,
@@ -321,9 +349,21 @@ class UpdateStreamService:
                 f"maintenance must be one of {STRATEGY_CHOICES}, "
                 f"got {maintenance!r}"
             )
+        if executor not in EXECUTOR_BACKENDS:
+            raise ValueError(
+                f"executor must be one of {EXECUTOR_BACKENDS}, "
+                f"got {executor!r}"
+            )
+        if storage not in STORAGE_CHOICES:
+            raise ValueError(
+                f"storage must be one of {STORAGE_CHOICES}, "
+                f"got {storage!r}"
+            )
         self.program = program
         self.scheduler = scheduler
         self.workers = workers
+        self.executor = executor
+        self.storage = storage
         self.verify = verify
         self.strict = strict
         self.deadline_s = deadline_s
@@ -343,10 +383,21 @@ class UpdateStreamService:
                 metrics=obs_metrics,
                 sink=sink,
                 analysis=self.analysis,
+                storage=storage,
             )
             if plan_cache
             else None
         )
+        #: intern pool for cold (cache-bypassed) columnar plan builds;
+        #: the cached path uses the plan cache's own pool instead
+        self._pool: InternPool | None = (
+            InternPool()
+            if storage == "columnar" and not plan_cache
+            else None
+        )
+        #: (builds, probes) pool counters at the end of the last round,
+        #: so per-round metrics report deltas
+        self._pool_counts = (0, 0)
         self.unit_timeout_s = unit_timeout_s
         self.shed_policy = shed_policy
         #: executor retry policy; ``None`` keeps fail-fast rounds
@@ -622,6 +673,25 @@ class UpdateStreamService:
                 },
             )
 
+    def _pool_round_stats(self) -> tuple[int, int, int]:
+        """``(intern table size, builds Δ, probes Δ)`` for the round
+        that just finished; zeros under row storage."""
+        pool = (
+            self.plan_cache.pool
+            if self.plan_cache is not None
+            else self._pool
+        )
+        if pool is None:
+            return 0, 0, 0
+        s = pool.stats()
+        b0, p0 = self._pool_counts
+        self._pool_counts = (s["columnar_builds"], s["columnar_probes"])
+        return (
+            s["intern_table_size"],
+            s["columnar_builds"] - b0,
+            s["columnar_probes"] - p0,
+        )
+
     def _noop_round(
         self,
         delta: Delta,
@@ -669,6 +739,7 @@ class UpdateStreamService:
             queue_wait_s=queue_wait_s,
             cancelled_ops=cancelled,
             noop=True,
+            backend=self.executor,
         )
         self.metrics.append(metrics)
         self._rounds_run += 1
@@ -716,12 +787,15 @@ class UpdateStreamService:
             chaos.begin_round(self._maintain_epoch)
         self._maintain_epoch += 1
         faults0 = chaos.injected_total if chaos is not None else 0
+        backend = "serial" if degraded else self.executor
         with sink.span(
             "round", "round",
             args={
                 "index": self._rounds_run,
                 "batches": n_batches,
                 "degraded": degraded,
+                "backend": backend,
+                "storage": self.storage,
             },
         ):
             t0 = perf_counter()
@@ -756,7 +830,11 @@ class UpdateStreamService:
                         else None
                     )
                     plan = build_execution_plan(
-                        cu, join_orders=join_orders
+                        cu,
+                        join_orders=join_orders,
+                        # degraded rounds stay on the row reference
+                        # path; healthy cold builds honor the storage
+                        pool=self._pool if not degraded else None,
                     )
             compile_s = perf_counter() - t0
 
@@ -781,6 +859,7 @@ class UpdateStreamService:
                         retry=self.unit_retry,
                         unit_timeout_s=self.unit_timeout_s,
                         chaos=chaos,
+                        backend=self.executor,
                     ).run()
                 values = outcome.values
                 tasks_executed = len(outcome.records)
@@ -789,6 +868,7 @@ class UpdateStreamService:
                     sp_exec.set("tasks_executed", tasks_executed)
                     sp_exec.set("unit_retries", outcome.unit_retries)
                     sp_exec.set("injected_faults", outcome.injected_faults)
+                    sp_exec.set("backend", outcome.backend)
             execute_s = perf_counter() - t0
 
             t0 = perf_counter()
@@ -850,6 +930,7 @@ class UpdateStreamService:
             self._edb = cu.edb_new
             self._materialization = cu.db_new
 
+            table_size, builds, probes = self._pool_round_stats()
             metrics = RoundMetrics(
                 index=self._rounds_run,
                 trace_name=cu.trace.name,
@@ -892,6 +973,10 @@ class UpdateStreamService:
                     else 0
                 ),
                 cancelled_ops=cancelled,
+                backend=backend,
+                intern_table_size=table_size,
+                columnar_builds=builds,
+                columnar_probes=probes,
             )
         self.metrics.append(metrics)
         self._rounds_run += 1

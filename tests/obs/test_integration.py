@@ -20,6 +20,7 @@ from repro.runtime import (
     UpdateStreamService,
     live_workload,
     make_stream,
+    process_backend_available,
 )
 from repro.schedulers import scheduler_registry
 from repro.sim import simulate
@@ -199,6 +200,96 @@ class TestChaosReconciliation:
         assert all(not m.degraded for m in svc.metrics.rounds)
 
     def test_chaos_trace_is_schema_valid(self, run):
+        rec, _ = run
+        assert validate_chrome_trace(chrome_trace(rec)) == []
+
+
+def traced_backend_service(executor, storage, rounds=4):
+    """A traced run pinned to one executor×storage cell."""
+    wl = live_workload("retail", seed=5)
+    rec = TraceRecorder()
+    svc = UpdateStreamService(
+        wl.program,
+        wl.edb,
+        REGISTRY["levelbased"](),
+        workers=4,
+        sink=rec,
+        executor=executor,
+        storage=storage,
+    )
+    for batches in make_stream(wl, "steady", rounds=rounds, batch_size=2):
+        for delta in batches:
+            svc.submit(delta)
+        svc.run_round()
+    return rec, svc
+
+
+class TestBackendReconciliation:
+    """Backend and interning stats agree across spans and metrics."""
+
+    @pytest.fixture(scope="class")
+    def run(self):
+        if not process_backend_available():  # pragma: no cover - non-linux
+            pytest.skip("process backend needs fork")
+        return traced_backend_service("process", "columnar")
+
+    def test_round_spans_carry_backend_and_storage(self, run):
+        rec, svc = run
+        rounds = [r for r in rec.records() if r.name == "round"]
+        assert len(rounds) == len(svc.metrics.rounds)
+        for span, m in zip(
+            sorted(rounds, key=lambda r: r.args["index"]),
+            svc.metrics.rounds,
+        ):
+            assert span.args["backend"] == m.backend == "process"
+            assert span.args["storage"] == svc.storage == "columnar"
+
+    def test_execute_span_backend_matches_outcome(self, run):
+        rec, svc = run
+        executes = [r for r in rec.records() if r.name == "execute"]
+        assert len(executes) == len(svc.metrics.rounds)
+        assert all(r.args["backend"] == "process" for r in executes)
+
+    def test_unit_spans_pumped_from_children_reconcile(self, run):
+        """Child-side unit spans survive the diff-shipping hand-off.
+
+        Workers are forked processes that cannot reach the sink; the
+        pump thread records each unit span parent-side from the
+        child's timestamps. Count, identity args, and thread
+        attribution must all still reconcile with RoundMetrics.
+        """
+        rec, svc = run
+        records = rec.records()
+        units = [r for r in records if r.cat == "unit"]
+        total_tasks = sum(m.tasks_executed for m in svc.metrics.rounds)
+        assert len(units) == total_tasks
+        assert all(
+            {"node", "label", "attempt"} <= set(u.args) for u in units
+        )
+        service_tid = next(r.tid for r in records if r.name == "round")
+        assert all(u.tid != service_tid for u in units)
+        pump_labels = set(rec.thread_names().values())
+        assert any("pump" in lbl for lbl in pump_labels)
+
+    def test_interning_stats_populate_round_metrics(self, run):
+        _, svc = run
+        rounds = svc.metrics.rounds
+        assert all(m.intern_table_size > 0 for m in rounds)
+        # the shared pool only ever grows
+        sizes = [m.intern_table_size for m in rounds]
+        assert sizes == sorted(sizes)
+        assert sum(m.columnar_builds for m in rounds) > 0
+        assert sum(m.columnar_probes for m in rounds) > 0
+
+    def test_row_storage_reports_zero_interning(self):
+        _, svc = traced_backend_service("thread", "row", rounds=2)
+        for m in svc.metrics.rounds:
+            assert m.backend == "thread"
+            assert m.intern_table_size == 0
+            assert m.columnar_builds == 0
+            assert m.columnar_probes == 0
+
+    def test_backend_trace_is_schema_valid(self, run):
         rec, _ = run
         assert validate_chrome_trace(chrome_trace(rec)) == []
 
